@@ -1,0 +1,80 @@
+// Experiment F10: adversarial arrival sequences. Random closed loops are
+// friendly to every scheduler; these patterns probe the worst cases the
+// competitive analysis is actually about. Reported with the Definition-1
+// windowed ratio (worst per-window latency over that window's lower bound)
+// alongside the whole-run ratio.
+#include <iostream>
+
+#include "core/bucket_scheduler.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "sim/adversarial.hpp"
+#include "sim/runner.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dtm;
+
+RunResult run_one(const Network& net, const AdversaryOptions& aopts,
+                  OnlineScheduler& sched) {
+  ScriptedWorkload wl = make_adversarial_workload(net, aopts);
+  RunOptions ropts;
+  ropts.ratio_window = std::max<Time>(net.diameter(), 8);
+  return run_experiment(net, wl, sched, ropts);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "\n### F10 — adversarial arrivals: greedy vs bucket\n";
+
+  const Network line = make_line(64);
+  const Network clique = make_clique(64);
+
+  Table t({"network", "adversary", "scheduler", "ratio", "windowed_ratio",
+           "max_latency"});
+  for (const auto kind : {AdversaryKind::kFarThenNear,
+                          AdversaryKind::kMovingHotspot,
+                          AdversaryKind::kConvoy}) {
+    for (const Network* net : {&line, &clique}) {
+      AdversaryOptions a;
+      a.kind = kind;
+      a.waves = 4;
+      a.burst = 8;
+      a.seed = 17;
+      {
+        GreedyScheduler g;
+        const RunResult r = run_one(*net, a, g);
+        t.row()
+            .add(net->name)
+            .add(to_string(kind))
+            .add(r.scheduler)
+            .add(r.ratio)
+            .add(r.windowed_ratio)
+            .add(r.latency.max());
+      }
+      {
+        std::shared_ptr<const BatchScheduler> algo =
+            net->kind == TopologyKind::kLine
+                ? std::shared_ptr<const BatchScheduler>(make_line_batch())
+                : std::shared_ptr<const BatchScheduler>(
+                      make_coloring_batch());
+        BucketScheduler b(algo);
+        const RunResult r = run_one(*net, a, b);
+        t.row()
+            .add(net->name)
+            .add(to_string(kind))
+            .add(r.scheduler)
+            .add(r.ratio)
+            .add(r.windowed_ratio)
+            .add(r.latency.max());
+      }
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nReading guide: far-then-near inflates greedy's windowed\n"
+               "ratio on the line (irrevocability tax); the bucket\n"
+               "scheduler's level separation keeps near transactions\n"
+               "progressing. On the clique both stay small (Theorem 3).\n";
+  return 0;
+}

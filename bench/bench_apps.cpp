@@ -1,0 +1,87 @@
+// Experiment F15 — application shapes: the bank-transfer and social-feed
+// workloads through every scheduler family (and, for the read-dominated
+// social shape, the read-write extension). The "different application
+// benchmarks in a practical setting" the paper's concluding remarks call
+// for.
+#include <iostream>
+
+#include "core/bucket_scheduler.hpp"
+#include "core/fcfs_scheduler.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "core/optimistic.hpp"
+#include "core/rw.hpp"
+#include "net/topology.hpp"
+#include "sim/app_workloads.hpp"
+#include "sim/runner.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dtm;
+
+  const Network net = make_cluster(4, 6, 8);  // 4 racks x 6 machines
+
+  std::cout << "\n### F15a — bank transfers (hot accounts) on the cluster\n";
+  {
+    BankOptions b;
+    b.transfers_per_node = 4;
+    Table t({"scheduler", "txns", "makespan", "mean_latency", "ratio"});
+    {
+      auto wl = make_bank_workload(net, b);
+      GreedyScheduler s;
+      const RunResult r = run_experiment(net, *wl, s);
+      t.row().add(r.scheduler).add(r.num_txns).add(r.makespan)
+          .add(r.latency.mean()).add(r.ratio);
+    }
+    {
+      auto wl = make_bank_workload(net, b);
+      FcfsScheduler s;
+      const RunResult r = run_experiment(net, *wl, s);
+      t.row().add(r.scheduler).add(r.num_txns).add(r.makespan)
+          .add(r.latency.mean()).add(r.ratio);
+    }
+    {
+      auto wl = make_bank_workload(net, b);
+      BucketScheduler s{
+          std::shared_ptr<const BatchScheduler>(make_cluster_batch(6))};
+      const RunResult r = run_experiment(net, *wl, s);
+      t.row().add(r.scheduler).add(r.num_txns).add(r.makespan)
+          .add(r.latency.mean()).add(r.ratio);
+    }
+    {
+      auto wl = make_bank_workload(net, b);
+      const OptimisticResult o = run_optimistic(net, *wl);
+      t.row().add("optimistic (no schedule)").add(o.num_txns)
+          .add(o.makespan).add(o.mean_latency).add(0.0);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n### F15b — social feed (read-dominated, celebrity skew)\n";
+  {
+    SocialOptions so;
+    so.actions_per_node = 4;
+    Table t({"model", "txns", "makespan", "copies"});
+    {
+      auto wl = make_social_workload(net, so);
+      GreedyScheduler s;
+      const RunResult r = run_experiment(net, *wl, s);
+      t.row().add("exclusive + greedy").add(r.num_txns).add(r.makespan)
+          .add(0);
+    }
+    for (const auto sem : {RwSemantics::kCoherent, RwSemantics::kSnapshot}) {
+      auto wl = make_social_workload(net, so);
+      const RwRunResult r = run_rw_experiment(net, *wl, 1, sem);
+      t.row()
+          .add(sem == RwSemantics::kSnapshot ? "rw snapshot" : "rw coherent")
+          .add(r.num_txns)
+          .add(r.makespan)
+          .add(r.copies);
+    }
+    t.print(std::cout);
+    std::cout << "\nReading guide: transfers are write-write, so the base\n"
+                 "model is the right one and greedy wins it; the feed is\n"
+                 "read-dominated, where snapshot sharing collapses the\n"
+                 "celebrity hotspots the exclusive model serializes.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Experiment F5 (paper Related Work): baseline comparison. Zhang et al.
+// route objects along TSP tours, which the paper notes "can lead to
+// significantly sub-optimal results" on general graphs; the trivial
+// sequential schedule is the nD worst case of Lemma 3. We compare both
+// against this paper's schedulers, offline (batch problems) and online
+// (through the bucket conversion).
+#include "bench_common.hpp"
+#include "core/bucket_scheduler.hpp"
+#include "core/fcfs_scheduler.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "core/lower_bound.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+using namespace dtm;
+
+/// Offline comparison: one batch problem, several algorithms.
+void offline_table(const Network& net, NodeId beta_hint) {
+  (void)beta_hint;  // used below via the switch
+  Rng rng(7);
+  BatchProblem p;
+  p.oracle = net.oracle.get();
+  p.now = 0;
+  std::vector<ObjectOrigin> origins;
+  const ObjId w = net.num_nodes() / 2;
+  for (ObjId o = 0; o < w; ++o) {
+    const auto node =
+        static_cast<NodeId>(rng.uniform_int(0, net.num_nodes() - 1));
+    p.objects.push_back({o, node, 0, false});
+    origins.push_back({o, node, 0});
+  }
+  std::vector<Transaction> txns;
+  for (NodeId u = 0; u < net.num_nodes(); ++u) {
+    const auto objs = rng.sample_distinct(w, 2);
+    p.txns.push_back({u, u, {objs[0], objs[1]}});
+    Transaction t;
+    t.id = u;
+    t.node = u;
+    t.gen_time = 0;
+    t.accesses = write_set({objs[0], objs[1]});
+    txns.push_back(t);
+  }
+  const auto lb = makespan_lower_bound(txns, origins, *net.oracle);
+
+  std::vector<std::unique_ptr<BatchScheduler>> algos;
+  algos.push_back(make_coloring_batch());
+  algos.push_back(make_hierarchical_batch(net));
+  algos.push_back(make_local_search_batch(6));
+  switch (net.kind) {
+    case TopologyKind::kLine:
+      algos.push_back(make_line_batch());
+      break;
+    case TopologyKind::kGrid:
+      algos.push_back(make_grid_snake_batch({8, 8}));
+      break;
+    case TopologyKind::kCluster:
+      algos.push_back(make_cluster_batch(beta_hint));
+      break;
+    default:
+      break;
+  }
+  algos.push_back(make_tsp_batch());
+  algos.push_back(make_sequential_batch());
+
+  Table t({"offline algorithm", "makespan", "LB", "approx"});
+  for (const auto& a : algos) {
+    Rng r(13);
+    BatchResult best = a->schedule(p, r);
+    if (a->randomized())
+      for (int i = 0; i < 2; ++i) {
+        BatchResult alt = a->schedule(p, r);
+        if (alt.makespan < best.makespan) best = std::move(alt);
+      }
+    t.row().add(a->name()).add(best.makespan).add(lb.best()).add(
+        static_cast<double>(best.makespan) /
+        static_cast<double>(lb.best()));
+  }
+  t.print(std::cout, "offline batch on " + net.name);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dtm::bench;
+
+  print_header("F5a", "offline batch: this paper's A vs TSP-tour (Zhang et "
+               "al.) vs fully sequential");
+  offline_table(make_line(64), 0);
+  offline_table(make_grid({8, 8}), 0);
+  offline_table(make_cluster(6, 4, 8), 4);
+
+  print_header("F5b", "online: this paper's schedulers vs FCFS and "
+               "baseline-A buckets on the line (same arrivals)");
+  {
+    const Network net = make_line(64);
+    SyntheticOptions w;
+    w.num_objects = 32;
+    w.k = 2;
+    w.rounds = 2;
+    w.seed = 111;
+    Table t({"online scheduler", "ratio"});
+    {
+      const CaseResult g = run_trials(net, w, [] {
+        return std::make_unique<dtm::GreedyScheduler>();
+      }, 2);
+      t.row().add("greedy (Alg. 1)").add(g.ratio);
+      const CaseResult f = run_trials(net, w, [] {
+        return std::make_unique<dtm::FcfsScheduler>();
+      }, 2);
+      t.row().add("fcfs (naive baseline)").add(f.ratio);
+    }
+    struct Algo {
+      std::string label;
+      std::function<std::shared_ptr<const BatchScheduler>()> make;
+    };
+    for (const Algo& a : {
+             Algo{"bucket[line-sweep]",
+                  [] {
+                    return std::shared_ptr<const BatchScheduler>(
+                        make_line_batch());
+                  }},
+             Algo{"bucket[tsp-nn]",
+                  [] {
+                    return std::shared_ptr<const BatchScheduler>(
+                        make_tsp_batch());
+                  }},
+             Algo{"bucket[sequential]",
+                  [] {
+                    return std::shared_ptr<const BatchScheduler>(
+                        make_sequential_batch());
+                  }},
+         }) {
+      const CaseResult r = run_trials(net, w, [&a] {
+        return std::make_unique<dtm::BucketScheduler>(a.make());
+      }, 2);
+      t.row().add(a.label).add(r.ratio);
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Experiment T1.5 (paper §IV-D): cluster topology — the bucket conversion
+// of the randomized cluster batch scheduler is
+// O(min(k*beta, log_c^k m) * log^3(n*gamma))-competitive. We sweep the
+// three structural parameters (number of cliques alpha, clique size beta,
+// bridge latency gamma) and k.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/bucket_scheduler.hpp"
+#include "net/topology.hpp"
+
+int main() {
+  using namespace dtm;
+  using namespace dtm::bench;
+
+  auto bucket_cluster = [](NodeId beta) {
+    return [beta] {
+      return std::make_unique<BucketScheduler>(
+          std::shared_ptr<const BatchScheduler>(make_cluster_batch(beta)));
+    };
+  };
+
+  print_header("T1.5a", "cluster: ratio vs bridge latency gamma "
+               "(polylog(n*gamma) envelope)");
+  {
+    Table t({"alpha", "beta", "gamma", "ratio",
+             "ratio/log3(n*gamma)"});
+    for (const Weight gamma : {4, 8, 16, 32, 64}) {
+      const NodeId alpha = 6, beta = 4;
+      const Network net = make_cluster(alpha, beta, gamma);
+      SyntheticOptions w;
+      w.num_objects = net.num_nodes();
+      w.k = 2;
+      w.rounds = 2;
+      w.seed = 51;
+      const CaseResult r = run_trials(net, w, bucket_cluster(beta), 2);
+      const double l = std::log2(static_cast<double>(net.num_nodes()) *
+                                 static_cast<double>(gamma));
+      t.row().add(alpha).add(beta).add(gamma).add(r.ratio).add(
+          r.ratio / (l * l * l));
+    }
+    t.print(std::cout);
+  }
+
+  print_header("T1.5b", "cluster: ratio vs clique size beta at fixed total "
+               "size-ish (the min(k*beta, ...) term grows with beta)");
+  {
+    Table t({"alpha", "beta", "n", "ratio", "ratio/(k*beta)"});
+    for (const NodeId beta : {2, 4, 8, 16}) {
+      const NodeId alpha = 48 / beta;
+      const Network net = make_cluster(alpha, beta, 2 * beta);
+      SyntheticOptions w;
+      w.num_objects = net.num_nodes();
+      w.k = 2;
+      w.rounds = 2;
+      w.seed = 52;
+      const CaseResult r = run_trials(net, w, bucket_cluster(beta), 2);
+      t.row().add(alpha).add(beta).add(net.num_nodes()).add(r.ratio).add(
+          r.ratio / (2.0 * beta));
+    }
+    t.print(std::cout);
+  }
+
+  print_header("T1.5c", "cluster: ratio vs k");
+  {
+    const NodeId alpha = 6, beta = 4;
+    const Network net = make_cluster(alpha, beta, 8);
+    Table t({"k", "ratio"});
+    for (const std::int32_t k : {1, 2, 4, 8}) {
+      SyntheticOptions w;
+      w.num_objects = net.num_nodes();
+      w.k = k;
+      w.rounds = 2;
+      w.seed = 53;
+      const CaseResult r = run_trials(net, w, bucket_cluster(beta), 2);
+      t.row().add(k).add(r.ratio);
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

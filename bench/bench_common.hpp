@@ -1,0 +1,62 @@
+// Shared harness utilities for the experiment benches (DESIGN.md §4).
+//
+// Every bench prints aligned tables whose rows are the series the paper's
+// claims predict; EXPERIMENTS.md quotes them. Ratios are makespan divided
+// by a certified lower bound on the optimal makespan, so every printed
+// ratio UPPER-bounds the true competitive ratio.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <memory>
+
+#include "core/scheduler.hpp"
+#include "sim/runner.hpp"
+#include "sim/workload.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace dtm::bench {
+
+struct CaseResult {
+  double ratio = 0.0;
+  double makespan = 0.0;
+  double mean_latency = 0.0;
+  double lb = 0.0;
+  std::int64_t txns = 0;
+  double windowed_ratio = 0.0;  ///< Definition-1 proxy (if window > 0)
+};
+
+/// Runs `trials` independent seeds of (network, workload-options, scheduler
+/// factory) and averages the headline metrics. The scheduler factory is
+/// invoked per trial (schedulers are stateful).
+inline CaseResult run_trials(
+    const Network& net, SyntheticOptions wopts,
+    const std::function<std::unique_ptr<OnlineScheduler>()>& make_scheduler,
+    int trials = 3, std::int64_t latency_factor = 1, Time ratio_window = 0) {
+  OnlineStats ratio, mk, lat, lb, wr;
+  std::int64_t txns = 0;
+  for (int t = 0; t < trials; ++t) {
+    SyntheticOptions o = wopts;
+    o.seed = wopts.seed + static_cast<std::uint64_t>(t) * 7919;
+    SyntheticWorkload wl(net, o);
+    auto sched = make_scheduler();
+    RunOptions ropts;
+    ropts.engine.latency_factor = latency_factor;
+    ropts.ratio_window = ratio_window;
+    const RunResult r = run_experiment(net, wl, *sched, ropts);
+    ratio.add(r.ratio);
+    mk.add(static_cast<double>(r.makespan));
+    lat.add(r.latency.mean());
+    lb.add(static_cast<double>(r.lb.best()));
+    wr.add(r.windowed_ratio);
+    txns = r.num_txns;
+  }
+  return {ratio.mean(), mk.mean(), lat.mean(), lb.mean(), txns, wr.mean()};
+}
+
+inline void print_header(const std::string& id, const std::string& claim) {
+  std::cout << "\n### " << id << " — " << claim << "\n";
+}
+
+}  // namespace dtm::bench

@@ -1,0 +1,82 @@
+// Experiment F8 (paper §VI open question: bounded link capacity).
+// Schedules are computed in the congestion-free model and replayed
+// hop-by-hop with per-edge admission limits. The *stretch* (achieved over
+// scheduled makespan) quantifies how much the model's unbounded-capacity
+// assumption flatters each topology/scheduler pair.
+#include <iostream>
+
+#include "core/bucket_scheduler.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "net/routing.hpp"
+#include "sim/congestion.hpp"
+#include "sim/runner.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dtm;
+
+/// Runs the workload through `sched` on the plain engine and returns the
+/// committed schedule plus origins.
+std::pair<std::vector<ScheduledTxn>, std::vector<ObjectOrigin>> capture(
+    const Network& net, SyntheticOptions wopts, OnlineScheduler& sched) {
+  SyntheticWorkload wl(net, wopts);
+  SyncEngine eng(net.oracle, wl.objects(), {});
+  while (!(wl.finished() && eng.all_done())) {
+    const auto arrivals = wl.arrivals_at(eng.now());
+    eng.begin_step(arrivals);
+    eng.apply(sched.on_step(eng, arrivals));
+    for (const auto& c : eng.finish_step()) wl.on_commit(c.txn, c.exec);
+  }
+  return {eng.committed(), eng.origins()};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "\n### F8 — congestion stretch under bounded link capacity\n";
+
+  struct Case {
+    Network net;
+  };
+  std::vector<Network> nets;
+  nets.push_back(make_line(48));
+  nets.push_back(make_grid({7, 7}));
+  nets.push_back(make_clique(48));
+  nets.push_back(make_star(6, 8));
+  nets.push_back(make_tree(2, 5));
+
+  Table t({"network", "capacity", "scheduled", "achieved", "stretch",
+           "total_wait", "max_wait"});
+  for (const auto& net : nets) {
+    const RoutingTable routes(net.graph);
+    SyntheticOptions w;
+    w.num_objects = net.num_nodes() / 2;
+    w.k = 2;
+    w.rounds = 2;
+    w.zipf_s = 0.8;
+    w.seed = 121;
+    GreedyScheduler sched;
+    const auto [scheduled, origins] = capture(net, w, sched);
+    for (const std::int64_t cap : {1, 2, 4, 0}) {
+      CongestionOptions copts;
+      copts.edge_capacity = cap;
+      const auto r =
+          replay_under_congestion(net, routes, origins, scheduled, copts);
+      t.row()
+          .add(net.name)
+          .add(cap == 0 ? std::string("inf") : std::to_string(cap))
+          .add(r.scheduled_makespan)
+          .add(r.achieved_makespan)
+          .add(r.stretch)
+          .add(r.total_queue_wait)
+          .add(r.max_queue_wait);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape: stretch <= ~1 at inf capacity (eager\n"
+               "replay can only gain); low-degree topologies (line, tree,\n"
+               "star hub) congest hardest at capacity 1; the clique barely\n"
+               "notices. This quantifies the §VI open question.\n";
+  return 0;
+}

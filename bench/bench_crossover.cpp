@@ -1,0 +1,82 @@
+// Experiment F3 (paper §III-E discussion): the direct greedy method suits
+// low-diameter graphs; the bucket conversion suits large-diameter graphs.
+// We sweep rectangular grids from 64x1 (a line, diameter 63) down to 8x8
+// (diameter 14) and report where the crossover falls.
+#include "bench_common.hpp"
+#include "core/bucket_scheduler.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "net/topology.hpp"
+
+int main() {
+  using namespace dtm;
+  using namespace dtm::bench;
+
+  print_header("F3", "direct vs converted: ratio across aspect ratios of a "
+               "64-node grid (diameter shrinks left to right)");
+  Table t({"shape", "diameter", "greedy_ratio", "bucket_ratio",
+           "greedy_wins"});
+  struct Shape {
+    NodeId rows, cols;
+  };
+  for (const Shape s : {Shape{1, 64}, Shape{2, 32}, Shape{4, 16},
+                        Shape{8, 8}}) {
+    const Network net = make_grid({s.rows, s.cols});
+    SyntheticOptions w;
+    w.num_objects = 32;
+    w.k = 2;
+    w.rounds = 2;
+    w.seed = 91;
+    const CaseResult g = run_trials(net, w, [] {
+      return std::make_unique<GreedyScheduler>();
+    }, 2);
+    const std::vector<NodeId> ext{s.rows, s.cols};
+    const CaseResult b = run_trials(net, w, [ext] {
+      return std::make_unique<BucketScheduler>(
+          std::shared_ptr<const BatchScheduler>(make_grid_snake_batch(ext)));
+    }, 2);
+    t.row()
+        .add(std::to_string(s.rows) + "x" + std::to_string(s.cols))
+        .add(net.diameter())
+        .add(g.ratio)
+        .add(b.ratio)
+        .add(g.ratio <= b.ratio ? "yes" : "no");
+  }
+  t.print(std::cout);
+
+  print_header("F3b", "clique vs line endpoints of the same trade-off");
+  Table t2({"network", "greedy_ratio", "bucket_ratio"});
+  {
+    const Network net = make_clique(64);
+    SyntheticOptions w;
+    w.num_objects = 32;
+    w.k = 2;
+    w.rounds = 2;
+    w.seed = 92;
+    const CaseResult g = run_trials(net, w, [] {
+      return std::make_unique<GreedyScheduler>();
+    }, 2);
+    const CaseResult b = run_trials(net, w, [] {
+      return std::make_unique<BucketScheduler>(
+          std::shared_ptr<const BatchScheduler>(make_coloring_batch()));
+    }, 2);
+    t2.row().add(net.name).add(g.ratio).add(b.ratio);
+  }
+  {
+    const Network net = make_line(64);
+    SyntheticOptions w;
+    w.num_objects = 32;
+    w.k = 2;
+    w.rounds = 2;
+    w.seed = 93;
+    const CaseResult g = run_trials(net, w, [] {
+      return std::make_unique<GreedyScheduler>();
+    }, 2);
+    const CaseResult b = run_trials(net, w, [] {
+      return std::make_unique<BucketScheduler>(
+          std::shared_ptr<const BatchScheduler>(make_line_batch()));
+    }, 2);
+    t2.row().add(net.name).add(g.ratio).add(b.ratio);
+  }
+  t2.print(std::cout);
+  return 0;
+}

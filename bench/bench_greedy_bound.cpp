@@ -1,0 +1,92 @@
+// Experiment F1 (paper Theorems 1 & 2): per-transaction bound tightness.
+// Every greedy color must satisfy c <= 2*Gamma' - Delta' (weighted mode)
+// or c <= Gamma' (uniform mode); we measure how tight the bound is in
+// practice — the paper remarks the weighted variant "can give better
+// execution schedules when used in practice".
+#include <iostream>
+
+#include "core/greedy_scheduler.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/workload.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct BoundStats {
+  dtm::OnlineStats slack_fraction;  // color / bound  (<= 1 required)
+  std::int64_t violations = 0;
+  std::int64_t samples = 0;
+};
+
+BoundStats measure(const dtm::Network& net, dtm::GreedyOptions gopts,
+                   dtm::SyntheticOptions wopts) {
+  using namespace dtm;
+  BoundStats out;
+  SyntheticWorkload wl(net, wopts);
+  GreedyScheduler sched(gopts);
+  SyncEngine eng(net.oracle, wl.objects(), {});
+  while (!(wl.finished() && eng.all_done())) {
+    const auto arrivals = wl.arrivals_at(eng.now());
+    eng.begin_step(arrivals);
+    const auto asg = sched.on_step(eng, arrivals);
+    for (const auto& b : sched.last_bounds()) {
+      ++out.samples;
+      if (b.color > b.bound) ++out.violations;
+      if (b.bound > 0)
+        out.slack_fraction.add(static_cast<double>(b.color) /
+                               static_cast<double>(b.bound));
+    }
+    eng.apply(asg);
+    for (const auto& c : eng.finish_step()) wl.on_commit(c.txn, c.exec);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dtm;
+
+  std::cout << "\n### F1 — Theorem 1/2 per-transaction bound tightness\n";
+  Table t({"network", "mode", "samples", "violations", "mean c/bound",
+           "max c/bound"});
+
+  struct Case {
+    Network net;
+    Weight beta;  // 0 = weighted mode
+  };
+  std::vector<Case> cases;
+  cases.push_back({make_clique(48), 0});
+  cases.push_back({make_clique(48), 1});
+  cases.push_back({make_hypercube(6), 0});
+  cases.push_back({make_hypercube(6), 6});
+  cases.push_back({make_grid({8, 8}), 0});
+  cases.push_back({make_line(96), 0});
+  cases.push_back({make_star(6, 6), 0});
+
+  for (const auto& c : cases) {
+    SyntheticOptions w;
+    w.num_objects = c.net.num_nodes();
+    w.k = 3;
+    w.rounds = 3;
+    w.zipf_s = 0.5;
+    w.seed = 71;
+    GreedyOptions g;
+    g.uniform_beta = c.beta;
+    const BoundStats s = measure(c.net, g, w);
+    t.row()
+        .add(c.net.name)
+        .add(c.beta > 0 ? "uniform" : "weighted")
+        .add(s.samples)
+        .add(s.violations)
+        .add(s.slack_fraction.mean())
+        .add(s.slack_fraction.max());
+  }
+  t.print(std::cout);
+  std::cout << "\nviolations must be 0 (Theorem 1/2 are hard guarantees);\n"
+               "mean c/bound << 1 shows the practical headroom the paper's\n"
+               "closing remark of SIII-D alludes to.\n";
+  return 0;
+}

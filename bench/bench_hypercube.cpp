@@ -1,0 +1,75 @@
+// Experiment T1.2 (paper §III-D): on the hypercube the greedy schedule in
+// uniform mode (complete graph abstraction with beta = log n) is
+// O(k log n)-competitive — ratio should track k * log n.
+//
+// Both the uniform-weight variant (the analyzed algorithm, Theorem 2) and
+// the plain weighted variant (Theorem 1, "better in practice" per the
+// paper's remark) are measured.
+#include "bench_common.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "net/topology.hpp"
+
+int main() {
+  using namespace dtm;
+  using namespace dtm::bench;
+
+  print_header("T1.2a", "hypercube: ratio vs n at fixed k "
+               "(expected ~log n growth; normalized column ~flat)");
+  {
+    Table t({"n", "log_n", "variant", "ratio", "ratio/(k*log n)"});
+    for (const int d : {4, 5, 6, 7, 8, 9, 10}) {
+      const Network net = make_hypercube(d);
+      const std::int32_t k = 4;
+      SyntheticOptions w;
+      w.num_objects = net.num_nodes();
+      w.k = k;
+      w.rounds = 2;
+      w.seed = 21;
+      const CaseResult plain = run_trials(net, w, [] {
+        return std::make_unique<GreedyScheduler>();
+      });
+      const CaseResult uniform = run_trials(net, w, [d] {
+        GreedyOptions o;
+        o.uniform_beta = d;  // worst-case uniform weight log n (§III-D)
+        return std::make_unique<GreedyScheduler>(o);
+      });
+      t.row()
+          .add(net.num_nodes())
+          .add(d)
+          .add("weighted")
+          .add(plain.ratio)
+          .add(plain.ratio / (k * d));
+      t.row()
+          .add(net.num_nodes())
+          .add(d)
+          .add("uniform-beta")
+          .add(uniform.ratio)
+          .add(uniform.ratio / (k * d));
+    }
+    t.print(std::cout);
+  }
+
+  print_header("T1.2b", "hypercube: ratio vs k at fixed n");
+  {
+    const Network net = make_hypercube(7);
+    Table t({"k", "weighted_ratio", "uniform_ratio"});
+    for (const std::int32_t k : {1, 2, 4, 8}) {
+      SyntheticOptions w;
+      w.num_objects = net.num_nodes();
+      w.k = k;
+      w.rounds = 2;
+      w.seed = 22;
+      const CaseResult plain = run_trials(net, w, [] {
+        return std::make_unique<GreedyScheduler>();
+      });
+      const CaseResult uniform = run_trials(net, w, [] {
+        GreedyOptions o;
+        o.uniform_beta = 7;
+        return std::make_unique<GreedyScheduler>(o);
+      });
+      t.row().add(k).add(plain.ratio).add(uniform.ratio);
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

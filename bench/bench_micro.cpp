@@ -1,0 +1,135 @@
+// Experiment F6 (paper run-time remarks, §III-B and §IV-D): the sequential
+// computation cost of the schedulers is small polynomial — "subsumed within
+// a single time step" relative to communication. google-benchmark
+// microbenchmarks of every hot path.
+#include <benchmark/benchmark.h>
+
+#include "batch/batch_scheduler.hpp"
+#include "batch/problem_builder.hpp"
+#include "core/coloring.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "net/sparse_cover.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/workload.hpp"
+
+namespace {
+
+using namespace dtm;
+
+void BM_MinFeasibleColor(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<ColorConstraint> cs;
+  cs.reserve(m);
+  for (std::size_t i = 0; i < m; ++i)
+    cs.push_back({rng.uniform_int(0, 1000), rng.uniform_int(1, 16)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min_feasible_color(cs, 0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MinFeasibleColor)->Range(8, 2048)->Complexity();
+
+void BM_ChainEvaluate(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Network net = make_line(n);
+  Rng rng(2);
+  BatchProblem p;
+  p.oracle = net.oracle.get();
+  for (ObjId o = 0; o < n / 2; ++o)
+    p.objects.push_back(
+        {o, static_cast<NodeId>(rng.uniform_int(0, n - 1)), 0, false});
+  for (TxnId i = 0; i < n; ++i) {
+    const auto objs = rng.sample_distinct(n / 2, 2);
+    p.txns.push_back({i, static_cast<NodeId>(rng.uniform_int(0, n - 1)),
+                      {objs[0], objs[1]}});
+  }
+  std::vector<std::size_t> order(p.txns.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain_evaluate(p, order));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ChainEvaluate)->Range(16, 512)->Complexity();
+
+void BM_ColoringBatch(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Network net = make_clique(n);
+  Rng rng(3);
+  BatchProblem p;
+  p.oracle = net.oracle.get();
+  for (ObjId o = 0; o < n / 2; ++o)
+    p.objects.push_back(
+        {o, static_cast<NodeId>(rng.uniform_int(0, n - 1)), 0, false});
+  for (TxnId i = 0; i < n; ++i) {
+    const auto objs = rng.sample_distinct(n / 2, 2);
+    p.txns.push_back({i, static_cast<NodeId>(i), {objs[0], objs[1]}});
+  }
+  const auto algo = make_coloring_batch();
+  for (auto _ : state) {
+    Rng r(4);
+    benchmark::DoNotOptimize(algo->schedule(p, r));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ColoringBatch)->Range(16, 256)->Complexity();
+
+void BM_GreedyOnStep(benchmark::State& state) {
+  // Cost of scheduling one batch of arrivals (one per node) online.
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Network net = make_clique(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    SyntheticOptions w;
+    w.num_objects = n;
+    w.k = 2;
+    w.seed = 5;
+    SyntheticWorkload wl(net, w);
+    SyncEngine eng(net.oracle, wl.objects(), {});
+    const auto arrivals = wl.arrivals_at(0);
+    eng.begin_step(arrivals);
+    GreedyScheduler sched;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sched.on_step(eng, arrivals));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GreedyOnStep)->Range(16, 256)->Complexity();
+
+void BM_ApspBuild(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(6);
+  const Network net = make_random_connected(n, 4 * n, 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApspOracle(net.graph));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ApspBuild)->Range(32, 256)->Complexity();
+
+void BM_SparseCoverBuild(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Network net = make_line(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SparseCover(net.graph, *net.oracle, {}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SparseCoverBuild)->Range(32, 256)->Complexity();
+
+void BM_ClosedFormOracle(benchmark::State& state) {
+  const Network net = make_hypercube(16);  // 65536 nodes, O(1) distances
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto u = static_cast<NodeId>(rng.uniform_int(0, 65535));
+    const auto v = static_cast<NodeId>(rng.uniform_int(0, 65535));
+    benchmark::DoNotOptimize(net.dist(u, v));
+  }
+}
+BENCHMARK(BM_ClosedFormOracle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

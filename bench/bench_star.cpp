@@ -1,0 +1,76 @@
+// Experiment T1.6 (paper §IV-D): star topology — the bucket conversion of
+// the randomized star batch scheduler is
+// O(log beta * min(k*beta, log_c^k m) * log^3 n)-competitive. Sweeps over
+// the ray count alpha, ray length beta, and k.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/bucket_scheduler.hpp"
+#include "net/topology.hpp"
+
+int main() {
+  using namespace dtm;
+  using namespace dtm::bench;
+
+  auto bucket_star = [](NodeId beta) {
+    return [beta] {
+      return std::make_unique<BucketScheduler>(
+          std::shared_ptr<const BatchScheduler>(make_star_batch(beta)));
+    };
+  };
+
+  print_header("T1.6a", "star: ratio vs ray length beta "
+               "(log beta * k * beta envelope, polylog n)");
+  {
+    Table t({"alpha", "beta", "n", "ratio", "ratio/(k*beta*log beta)"});
+    for (const NodeId beta : {2, 4, 8, 16}) {
+      const NodeId alpha = 6;
+      const Network net = make_star(alpha, beta);
+      SyntheticOptions w;
+      w.num_objects = net.num_nodes();
+      w.k = 2;
+      w.rounds = 2;
+      w.seed = 61;
+      const CaseResult r = run_trials(net, w, bucket_star(beta), 2);
+      const double env = 2.0 * beta * std::max(1.0, std::log2(beta));
+      t.row().add(alpha).add(beta).add(net.num_nodes()).add(r.ratio).add(
+          r.ratio / env);
+    }
+    t.print(std::cout);
+  }
+
+  print_header("T1.6b", "star: ratio vs ray count alpha at fixed beta "
+               "(n grows; polylog n factor only)");
+  {
+    Table t({"alpha", "beta", "n", "ratio"});
+    for (const NodeId alpha : {2, 4, 8, 16, 32}) {
+      const NodeId beta = 4;
+      const Network net = make_star(alpha, beta);
+      SyntheticOptions w;
+      w.num_objects = net.num_nodes();
+      w.k = 2;
+      w.rounds = 2;
+      w.seed = 62;
+      const CaseResult r = run_trials(net, w, bucket_star(beta), 2);
+      t.row().add(alpha).add(beta).add(net.num_nodes()).add(r.ratio);
+    }
+    t.print(std::cout);
+  }
+
+  print_header("T1.6c", "star: ratio vs k");
+  {
+    const Network net = make_star(6, 6);
+    Table t({"k", "ratio"});
+    for (const std::int32_t k : {1, 2, 4, 8}) {
+      SyntheticOptions w;
+      w.num_objects = net.num_nodes();
+      w.k = k;
+      w.rounds = 2;
+      w.seed = 63;
+      const CaseResult r = run_trials(net, w, bucket_star(6), 2);
+      t.row().add(k).add(r.ratio);
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

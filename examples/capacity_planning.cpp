@@ -1,0 +1,77 @@
+// Capacity planning: how much link bandwidth does a DTM deployment need?
+//
+// Uses the two model extensions together:
+//  1. produce an online schedule for a rack-scale workload,
+//  2. replay it hop-by-hop under different per-link capacities (the §VI
+//     bounded-capacity question) and read off the makespan stretch,
+//  3. show how much of the traffic disappears when the workload's reads
+//     are served by replicas instead of moving the master copy.
+//
+//   $ ./example_capacity_planning
+#include <iostream>
+
+#include "core/greedy_scheduler.hpp"
+#include "core/rw.hpp"
+#include "net/routing.hpp"
+#include "sim/congestion.hpp"
+#include "sim/runner.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dtm;
+
+  const Network net = make_tree(2, 5);  // a 63-node fat-tree-ish fabric
+  const RoutingTable routes(net.graph);
+
+  SyntheticOptions wopts;
+  wopts.num_objects = 32;
+  wopts.k = 2;
+  wopts.rounds = 3;
+  wopts.zipf_s = 0.9;
+  wopts.write_fraction = 0.4;
+  wopts.seed = 404;
+
+  // Step 1: schedule online (greedy) and capture the committed schedule.
+  SyntheticWorkload wl(net, wopts);
+  GreedyScheduler sched;
+  SyncEngine eng(net.oracle, wl.objects(), {});
+  while (!(wl.finished() && eng.all_done())) {
+    const auto arrivals = wl.arrivals_at(eng.now());
+    eng.begin_step(arrivals);
+    eng.apply(sched.on_step(eng, arrivals));
+    for (const auto& c : eng.finish_step()) wl.on_commit(c.txn, c.exec);
+  }
+
+  // Step 2: stretch under bounded capacity.
+  Table cap({"link capacity", "achieved makespan", "stretch",
+             "total queue wait"});
+  for (const std::int64_t c : {1, 2, 4, 0}) {
+    CongestionOptions copts;
+    copts.edge_capacity = c;
+    const auto r = replay_under_congestion(net, routes, eng.origins(),
+                                           eng.committed(), copts);
+    cap.row()
+        .add(c == 0 ? std::string("unbounded") : std::to_string(c))
+        .add(r.achieved_makespan)
+        .add(r.stretch)
+        .add(r.total_queue_wait);
+  }
+  cap.print(std::cout, "binary-tree fabric: stretch vs per-link capacity");
+
+  // Step 3: the read-sharing alternative on the same workload shape.
+  SyntheticWorkload wl_rw(net, wopts);
+  const RwRunResult rw = run_rw_experiment(net, wl_rw);
+  Table share({"model", "makespan", "copies shipped"});
+  share.row()
+      .add("exclusive objects (paper §II)")
+      .add(makespan(eng.committed()))
+      .add(0);
+  share.row().add("snapshot reads (extension)").add(rw.makespan).add(
+      rw.copies);
+  share.print(std::cout, "same workload, 40% writes");
+
+  std::cout << "\nPlanning take-away: on tree-like fabrics single-object\n"
+              "links need ~2x capacity headroom before queueing vanishes;\n"
+              "read replication removes most master-copy movement outright.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Network-on-chip scenario: an 8x8 mesh of cores sharing cache lines.
+//
+// Each core runs a closed loop of transactions touching k = 2 cache lines
+// drawn from a Zipf-skewed popularity distribution (a few hot lines, a long
+// tail) — the standard NoC-coherence stress shape. We compare the direct
+// greedy schedule (Algorithm 1) against the bucket conversion (Algorithm 2)
+// running over the snake-order batch scheduler, reproducing the paper's
+// §III-E guidance that the direct method wins on low-diameter fabrics.
+//
+//   $ ./example_noc_grid
+#include <iostream>
+
+#include "core/bucket_scheduler.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "net/topology.hpp"
+#include "sim/analysis.hpp"
+#include "sim/runner.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dtm;
+
+  const std::vector<NodeId> extents{8, 8};
+  const Network net = make_grid(extents);
+
+  SyntheticOptions wopts;
+  wopts.num_objects = 96;  // cache lines
+  wopts.k = 2;
+  wopts.zipf_s = 1.0;      // hot lines
+  wopts.rounds = 4;        // closed loop: commit -> next request
+  wopts.seed = 2026;
+
+  Table table({"scheduler", "txns", "makespan", "mean_latency", "p_max",
+               "LB", "ratio"});
+
+  {
+    SyntheticWorkload wl(net, wopts);
+    GreedyScheduler sched;
+    const RunResult r = run_experiment(net, wl, sched);
+    table.row()
+        .add(r.scheduler)
+        .add(r.num_txns)
+        .add(r.makespan)
+        .add(r.latency.mean())
+        .add(r.latency.max())
+        .add(r.lb.best())
+        .add(r.ratio);
+  }
+  {
+    SyntheticWorkload wl(net, wopts);
+    BucketScheduler sched{std::shared_ptr<const BatchScheduler>(
+        make_grid_snake_batch(extents))};
+    const RunResult r = run_experiment(net, wl, sched);
+    table.row()
+        .add(r.scheduler)
+        .add(r.num_txns)
+        .add(r.makespan)
+        .add(r.latency.mean())
+        .add(r.latency.max())
+        .add(r.lb.best())
+        .add(r.ratio);
+  }
+
+  table.print(std::cout, "8x8 NoC mesh, 96 cache lines, Zipf(1.0), 4 rounds");
+  std::cout << "\nExpected shape: greedy (direct method) beats the bucket\n"
+               "conversion on this low-diameter fabric (paper §III-E).\n";
+
+  // What the greedy run did to the fabric, in aggregate.
+  {
+    SyntheticWorkload wl(net, wopts);
+    GreedyScheduler sched;
+    const RunResult r = run_experiment(net, wl, sched);
+    std::cout << "\n-- greedy run, fabric-level view --\n"
+              << to_string(analyze_run(r.committed, r.origins, *net.oracle));
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fully decentralized operation under continuous arrivals (paper §V).
+//
+// A star-shaped edge deployment: a hub and alpha chains of beta devices.
+// Transactions arrive stochastically (geometric think times) and are
+// scheduled by the *distributed* bucket scheduler — no central authority:
+// transactions discover their objects with probe messages (objects move at
+// half speed so probes can catch them), report to sparse-cover cluster
+// leaders, and partial buckets activate on the global 2^i clock. The run
+// prints scheduling-protocol message statistics alongside the schedule
+// quality, the trade the paper's Theorem 5 quantifies.
+//
+//   $ ./example_online_feed
+#include <iostream>
+
+#include "dist/dist_bucket.hpp"
+#include "sim/runner.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dtm;
+
+  const Network net = make_star(6, 5);  // hub + 6 chains of 5 devices
+
+  SyntheticOptions wopts;
+  wopts.num_objects = 30;
+  wopts.k = 2;
+  wopts.rounds = 3;
+  wopts.arrival_prob = 0.15;  // bursty think times
+  wopts.zipf_s = 0.6;
+  wopts.seed = 99;
+  SyntheticWorkload wl(net, wopts);
+
+  DistributedBucketScheduler sched(
+      net, std::shared_ptr<const BatchScheduler>(make_star_batch(5)));
+
+  RunOptions opts;
+  opts.engine.latency_factor = 2;  // §V: objects travel at half speed
+  const RunResult r = run_experiment(net, wl, sched, opts);
+
+  Table run({"txns", "makespan", "mean_latency", "max_latency", "LB",
+             "ratio"});
+  run.row()
+      .add(r.num_txns)
+      .add(r.makespan)
+      .add(r.latency.mean())
+      .add(r.latency.max())
+      .add(r.lb.best())
+      .add(r.ratio);
+  run.print(std::cout, "distributed bucket scheduler on star(6x5)");
+
+  const DistStats& s = sched.stats();
+  Table proto({"probes", "reports", "notifications", "msg_distance",
+               "max_discovery_delay", "cover_layers", "max_sublayers"});
+  proto.row()
+      .add(s.probes)
+      .add(s.reports)
+      .add(s.notifications)
+      .add(s.message_distance)
+      .add(s.max_discovery_delay)
+      .add(sched.cover().num_layers())
+      .add(sched.cover().max_sublayers());
+  proto.print(std::cout, "scheduling-protocol message accounting");
+
+  std::cout << "\nEvery commit above was verified by the engine: the object\n"
+               "was physically present at the node at the commit step, with\n"
+               "all coordination delays charged to the schedule.\n";
+  return 0;
+}

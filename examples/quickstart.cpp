@@ -1,0 +1,57 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+// Builds a 8-node clique, generates a handful of conflicting transactions,
+// schedules them online with the greedy scheduler (Algorithm 1), executes
+// the schedule on the synchronous engine, and prints what happened.
+//
+//   $ ./example_quickstart
+#include <iostream>
+
+#include "core/greedy_scheduler.hpp"
+#include "net/topology.hpp"
+#include "sim/gantt.hpp"
+#include "sim/runner.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dtm;
+
+  // 1. A communication network: 8 nodes, all pairs one hop apart.
+  const Network net = make_clique(8);
+
+  // 2. Shared objects: two objects born at nodes 0 and 4.
+  std::vector<ObjectOrigin> origins{{0, 0, 0}, {1, 4, 0}};
+
+  // 3. Transactions: every node wants both objects, all arriving at t=0
+  //    (the paper's batch-on-every-node scenario, §III-C).
+  std::vector<Transaction> txns;
+  for (TxnId i = 0; i < net.num_nodes(); ++i) {
+    Transaction t;
+    t.id = i;
+    t.node = static_cast<NodeId>(i);
+    t.gen_time = 0;
+    t.accesses = write_set({0, 1});
+    txns.push_back(t);
+  }
+  ScriptedWorkload workload(origins, txns);
+
+  // 4. Schedule online and execute. run_experiment validates the schedule
+  //    both during execution (object presence at every commit) and post hoc.
+  GreedyScheduler scheduler;
+  const RunResult result = run_experiment(net, workload, scheduler);
+
+  // 5. Report.
+  std::cout << "network:    " << result.network << "\n"
+            << "scheduler:  " << result.scheduler << "\n"
+            << "txns:       " << result.num_txns << "\n"
+            << "makespan:   " << result.makespan << " steps\n"
+            << "lower bound " << result.lb.best() << " steps\n"
+            << "ratio:      " << result.ratio
+            << "  (Theorem 3 predicts O(k) = O(2) on the clique)\n\n";
+
+  // 6. What actually happened, node by node and object by object.
+  std::cout << render_gantt(result.committed, net.num_nodes()) << "\n"
+            << render_itineraries(result.committed, result.origins,
+                                  *net.oracle);
+  return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerates every experiment table quoted in EXPERIMENTS.md.
+# Usage: scripts/regen_experiments.sh [build-dir] [out-dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-results}"
+
+if [ ! -d "$BUILD/bench" ]; then
+  echo "build directory '$BUILD' not found — run:" >&2
+  echo "  cmake -B $BUILD -G Ninja && cmake --build $BUILD" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT"
+for b in "$BUILD"/bench/bench_*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name="$(basename "$b")"
+  echo "== $name"
+  "$b" > "$OUT/$name.txt" 2>&1
+done
+echo "experiment outputs written to $OUT/"

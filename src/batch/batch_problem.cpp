@@ -1,0 +1,81 @@
+#include "batch/batch_problem.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace dtm {
+
+const BatchObject& BatchProblem::object(ObjId id) const {
+  const auto it =
+      std::find_if(objects.begin(), objects.end(),
+                   [id](const BatchObject& o) { return o.id == id; });
+  DTM_CHECK(it != objects.end(), "batch problem missing object " << id);
+  return *it;
+}
+
+Time BatchResult::exec_of(TxnId id) const {
+  const auto it =
+      std::find_if(assignments.begin(), assignments.end(),
+                   [id](const Assignment& a) { return a.txn == id; });
+  DTM_CHECK(it != assignments.end(), "batch result missing txn " << id);
+  return it->exec;
+}
+
+void check_batch_result(const BatchProblem& p, const BatchResult& r) {
+  DTM_CHECK(r.assignments.size() == p.txns.size(),
+            "batch result has " << r.assignments.size() << " assignments for "
+                                << p.txns.size() << " txns");
+  std::map<TxnId, Time> exec;
+  for (const auto& a : r.assignments) {
+    DTM_CHECK(a.exec >= p.now,
+              "txn " << a.txn << " scheduled at " << a.exec << " < now "
+                     << p.now);
+    DTM_CHECK(exec.emplace(a.txn, a.exec).second,
+              "duplicate assignment for txn " << a.txn);
+  }
+  Time max_exec = p.now;
+
+  // Per-object chain feasibility from the availability point.
+  struct Cursor {
+    NodeId node;
+    Time free_at;
+    bool from_txn;
+  };
+  std::map<ObjId, Cursor> cur;
+  for (const auto& o : p.objects)
+    cur[o.id] = {o.node, o.ready, o.from_txn};
+
+  struct User {
+    Time exec;
+    TxnId id;
+    NodeId node;
+  };
+  std::map<ObjId, std::vector<User>> users;
+  for (const auto& t : p.txns) {
+    const auto it = exec.find(t.id);
+    DTM_CHECK(it != exec.end(), "txn " << t.id << " not assigned");
+    max_exec = std::max(max_exec, it->second);
+    for (const ObjId o : t.objects)
+      users[o].push_back({it->second, t.id, t.node});
+  }
+  for (auto& [obj, list] : users) {
+    const auto cit = cur.find(obj);
+    DTM_CHECK(cit != cur.end(), "object " << obj << " not in problem");
+    std::sort(list.begin(), list.end(), [](const User& a, const User& b) {
+      return a.exec < b.exec || (a.exec == b.exec && a.id < b.id);
+    });
+    Cursor c = cit->second;
+    for (const auto& u : list) {
+      Time needed = c.free_at + p.travel(c.node, u.node);
+      if (c.from_txn) needed = std::max(needed, c.free_at + 1);
+      DTM_CHECK(u.exec >= needed,
+                "object " << obj << ": txn " << u.id << " at " << u.exec
+                          << " unreachable before " << needed);
+      c = {u.node, u.exec, true};
+    }
+  }
+  DTM_CHECK(r.makespan == max_exec - p.now,
+            "makespan " << r.makespan << " != " << max_exec - p.now);
+}
+
+}  // namespace dtm

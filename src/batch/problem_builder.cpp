@@ -1,0 +1,66 @@
+#include "batch/problem_builder.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace dtm {
+
+BatchProblem build_batch_problem(const SystemView& view,
+                                 std::span<const TxnId> txns,
+                                 const std::map<TxnId, Time>& extra_assigned) {
+  BatchProblem p;
+  p.oracle = &view.oracle();
+  p.latency_factor = view.latency_factor();
+  p.now = view.now();
+
+  auto exec_of = [&](TxnId id) -> Time {
+    const auto it = extra_assigned.find(id);
+    if (it != extra_assigned.end()) return it->second;
+    return view.assigned_exec(id);
+  };
+
+  std::set<ObjId> objs;
+  std::set<TxnId> ours(txns.begin(), txns.end());
+  for (const TxnId id : txns) {
+    const Transaction& t = view.txn(id);
+    BatchTxn bt{t.id, t.node, t.object_ids()};
+    std::sort(bt.objects.begin(), bt.objects.end());
+    bt.objects.erase(std::unique(bt.objects.begin(), bt.objects.end()),
+                     bt.objects.end());
+    for (const ObjId o : bt.objects) objs.insert(o);
+    p.txns.push_back(std::move(bt));
+  }
+
+  for (const ObjId o : objs) {
+    // Latest assigned live user outside our batch pins the object.
+    TxnId pin = kNoTxn;
+    Time pin_exec = kNoTime;
+    for (const TxnId uid : view.live_users_of(o)) {
+      if (ours.count(uid)) continue;
+      const Time e = exec_of(uid);
+      if (e == kNoTime) continue;  // unscheduled stranger: not a commitment
+      if (e > pin_exec) {
+        pin_exec = e;
+        pin = uid;
+      }
+    }
+    if (pin != kNoTxn) {
+      p.objects.push_back({o, view.txn(pin).node, pin_exec, true});
+      continue;
+    }
+    const ObjectState& os = view.object(o);
+    if (os.in_transit()) {
+      // No pending scheduled user, but the object is mid-flight (its
+      // destination user just executed is impossible — it would have the
+      // object — so this is a tail case after redirects): it is committed
+      // until it lands.
+      p.objects.push_back({o, os.dest(), std::max(p.now, os.arrive_time()),
+                           os.last_txn() != kNoTxn});
+    } else {
+      p.objects.push_back({o, os.at(), p.now, os.last_txn() != kNoTxn});
+    }
+  }
+  return p;
+}
+
+}  // namespace dtm

@@ -1,0 +1,27 @@
+// Bridge from the live system state to an offline batch problem.
+//
+// Implements the paper's first "basic modification" of A (§IV-A): already-
+// scheduled transactions are folded into per-object availability, so the
+// batch algorithm appends new work after them without touching their times.
+#pragma once
+
+#include <map>
+#include <span>
+
+#include "batch/batch_problem.hpp"
+#include "core/scheduler.hpp"
+
+namespace dtm {
+
+/// Builds the batch problem for scheduling `txns` (live, unscheduled) given
+/// the current system state. `extra_assigned` carries assignments made
+/// earlier in the same step that the view cannot see yet.
+///
+/// Availability of each object is the position/time at which it runs out of
+/// commitments to scheduled transactions: the latest assigned live user if
+/// any, otherwise the object's current (possibly in-transit) position.
+[[nodiscard]] BatchProblem build_batch_problem(
+    const SystemView& view, std::span<const TxnId> txns,
+    const std::map<TxnId, Time>& extra_assigned);
+
+}  // namespace dtm

@@ -1,0 +1,96 @@
+#include "core/coloring.hpp"
+
+#include <algorithm>
+
+namespace dtm {
+
+namespace {
+
+Time round_up(Time x, Time multiple) {
+  if (multiple <= 1) return x;
+  const Time r = x % multiple;
+  // x may be negative only transiently (min_color is clamped to >= 0 by the
+  // caller-facing function), but guard anyway.
+  if (r == 0) return x;
+  return r > 0 ? x + (multiple - r) : x - r;
+}
+
+}  // namespace
+
+Time min_feasible_color_intervals(
+    std::span<const ForbiddenInterval> intervals, Time min_color,
+    Time multiple_of) {
+  DTM_REQUIRE(multiple_of >= 1, "multiple_of=" << multiple_of);
+  DTM_REQUIRE(min_color >= 0, "min_color=" << min_color);
+  std::vector<std::pair<Time, Time>> forbidden;
+  forbidden.reserve(intervals.size());
+  for (const auto& iv : intervals) {
+    if (iv.hi < iv.lo) continue;  // empty
+    forbidden.emplace_back(iv.lo, iv.hi);
+  }
+  std::sort(forbidden.begin(), forbidden.end());
+  Time candidate = round_up(min_color, multiple_of);
+  for (const auto& [lo, hi] : forbidden) {
+    if (candidate < lo) break;  // intervals sorted by lo: all later ones too
+    if (candidate <= hi) candidate = round_up(hi + 1, multiple_of);
+  }
+  return candidate;
+}
+
+Time min_feasible_color(std::span<const ColorConstraint> cs, Time min_color,
+                        Time multiple_of) {
+  // Forbidden open intervals (color - gap, color + gap) become the closed
+  // integer ranges [color - gap + 1, color + gap - 1].
+  std::vector<ForbiddenInterval> forbidden;
+  forbidden.reserve(cs.size());
+  for (const auto& c : cs) {
+    if (c.gap <= 0) continue;
+    forbidden.push_back({c.color - c.gap + 1, c.color + c.gap - 1});
+  }
+  const Time candidate =
+      min_feasible_color_intervals(forbidden, min_color, multiple_of);
+  DTM_CHECK(color_satisfies(candidate, cs), "sweep produced invalid color");
+  return candidate;
+}
+
+Time lemma1_bound(std::span<const ColorConstraint> cs) {
+  Time gamma = 0;
+  Time delta = 0;
+  for (const auto& c : cs) {
+    if (c.gap <= 0) continue;
+    gamma += c.gap;
+    ++delta;
+  }
+  return 2 * gamma - delta;
+}
+
+Time lemma2_bound(std::span<const ColorConstraint> cs) {
+  Time gamma = 0;
+  Weight beta = 0;
+  bool has_zero_neighbor = false;
+  for (const auto& c : cs) {
+    if (c.gap <= 0) continue;
+    gamma += c.gap;
+    beta = std::max(beta, c.gap);
+    if (c.color == 0) has_zero_neighbor = true;
+  }
+  return has_zero_neighbor ? gamma : gamma + beta;
+}
+
+Time uniform_dynamic_bound(std::span<const ColorConstraint> cs, Weight beta) {
+  DTM_REQUIRE(beta >= 1, "beta=" << beta);
+  Time forbidden = 0;
+  for (const auto& c : cs) {
+    if (c.gap <= 0) continue;
+    forbidden += 2 * ((c.gap + beta - 1) / beta);
+  }
+  return beta * (1 + forbidden);
+}
+
+bool color_satisfies(Time color, std::span<const ColorConstraint> cs) {
+  return std::all_of(cs.begin(), cs.end(), [color](const ColorConstraint& c) {
+    return std::abs(color - c.color) >= c.gap;
+  });
+}
+
+}  // namespace dtm

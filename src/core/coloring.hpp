@@ -1,0 +1,80 @@
+// Weighted greedy coloring (paper §III-A, Lemmas 1 and 2).
+//
+// A valid coloring assigns integers to nodes such that adjacent nodes differ
+// by at least their edge weight (Equation 1). In the scheduling application
+// colors are execution-time offsets: a gap of w between conflicting
+// transactions leaves exactly enough steps for the shared object to travel
+// between them.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dtm {
+
+/// One already-colored neighbor of the node being colored: the chosen color
+/// must satisfy |c - color| >= gap. Constraints with gap <= 0 are vacuous.
+struct ColorConstraint {
+  Time color = 0;
+  Weight gap = 0;
+};
+
+/// Smallest color c >= min_color with c % multiple_of == 0 satisfying every
+/// constraint. This is the constructive step of Lemma 1 (multiple_of = 1)
+/// and Lemma 2 (multiple_of = beta, colors restricted to multiples of the
+/// uniform edge weight). O(m log m) in the number of constraints.
+[[nodiscard]] Time min_feasible_color(std::span<const ColorConstraint> cs,
+                                      Time min_color = 0,
+                                      Time multiple_of = 1);
+
+/// Lemma 1's guarantee for a node with the given constraints: a valid color
+/// <= 2*Gamma - Delta exists, where Gamma is the weighted degree (sum of
+/// gaps) and Delta the plain degree (count of constraints with gap >= 1).
+[[nodiscard]] Time lemma1_bound(std::span<const ColorConstraint> cs);
+
+/// Lemma 2's guarantee when every gap equals `beta` and every neighbor color
+/// is a multiple of beta: a valid color that is a multiple of beta and
+/// <= Gamma = beta * Delta exists. As used by Theorem 2 the constraint set
+/// always contains a color-0 neighbor (the transaction currently holding the
+/// object), which blocks no candidate >= beta; if no color-0 constraint is
+/// present the guarantee weakens to Gamma + beta, and this helper returns
+/// that.
+[[nodiscard]] Time lemma2_bound(std::span<const ColorConstraint> cs);
+
+/// Guaranteed bound for beta-multiple colors against ARBITRARY constraints
+/// (neighbor colors need not be multiples of beta, gaps need not equal
+/// beta — the situation in a dynamic run, where previously scheduled
+/// transactions carry offsets exec - now): each constraint with gap g
+/// forbids at most 2*ceil(g/beta) candidate multiples, so a free multiple
+/// exists at or below beta * (1 + sum 2*ceil(g/beta)). Reduces to Lemma 2's
+/// premise-specific Gamma bound when colors are aligned and gaps equal
+/// beta.
+[[nodiscard]] Time uniform_dynamic_bound(std::span<const ColorConstraint> cs,
+                                         Weight beta);
+
+/// True iff `color` satisfies every constraint. Used by tests and by the
+/// schedule validator.
+[[nodiscard]] bool color_satisfies(Time color,
+                                   std::span<const ColorConstraint> cs);
+
+/// A forbidden closed integer interval [lo, hi] of colors. One-sided
+/// constraints (e.g. the snapshot-read rule "a write may precede a read
+/// only with a full travel gap, but may follow it freely") are expressible
+/// as intervals where the symmetric ColorConstraint cannot.
+struct ForbiddenInterval {
+  Time lo = 0;
+  Time hi = -1;  ///< empty when hi < lo
+
+  [[nodiscard]] bool contains(Time c) const { return c >= lo && c <= hi; }
+};
+
+/// Smallest color c >= min_color with c % multiple_of == 0 avoiding every
+/// interval. Same sweep as min_feasible_color (which is the special case
+/// of symmetric intervals).
+[[nodiscard]] Time min_feasible_color_intervals(
+    std::span<const ForbiddenInterval> intervals, Time min_color = 0,
+    Time multiple_of = 1);
+
+}  // namespace dtm

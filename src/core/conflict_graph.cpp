@@ -1,0 +1,137 @@
+#include "core/conflict_graph.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/coloring.hpp"
+
+namespace dtm {
+
+DependencyGraph DependencyGraph::build(const SystemView& view) {
+  DependencyGraph g;
+  const Time now = view.now();
+
+  const auto live = view.live_txns();
+  std::set<ObjId> objects;
+  for (const TxnId id : live) {
+    const Transaction& t = view.txn(id);
+    g.txn_index_[id] = static_cast<std::int32_t>(g.nodes_.size());
+    DependencyNode n;
+    n.kind = DependencyNode::Kind::kLiveTxn;
+    n.txn = id;
+    const Time exec = view.assigned_exec(id);
+    n.color = exec == kNoTime ? kNoTime : exec - now;
+    g.nodes_.push_back(n);
+    for (const auto& a : t.accesses) objects.insert(a.obj);
+  }
+  // Holder nodes Z_t(o) for every object in play.
+  std::map<ObjId, std::int32_t> holder_index;
+  for (const ObjId o : objects) {
+    holder_index[o] = static_cast<std::int32_t>(g.nodes_.size());
+    DependencyNode n;
+    n.kind = DependencyNode::Kind::kHolder;
+    n.holder_of = o;
+    n.color = 0;  // the holder "executes at time t" (paper §III-B)
+    g.nodes_.push_back(n);
+  }
+  g.incident_.resize(g.nodes_.size());
+
+  auto add_edge = [&g](std::int32_t a, std::int32_t b, Weight w) {
+    const auto e = static_cast<std::int32_t>(g.edges_.size());
+    g.edges_.push_back({a, b, w});
+    g.incident_[static_cast<std::size_t>(a)].push_back(e);
+    g.incident_[static_cast<std::size_t>(b)].push_back(e);
+  };
+
+  // Conflict edges (H_t): object intersection; weight = travel time
+  // between the transactions' nodes (>= 1 between distinct transactions).
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const Transaction& a = view.txn(live[i]);
+    for (std::size_t j = i + 1; j < live.size(); ++j) {
+      const Transaction& b = view.txn(live[j]);
+      if (!a.conflicts_with(b)) continue;
+      add_edge(static_cast<std::int32_t>(i), static_cast<std::int32_t>(j),
+               std::max<Weight>(1, view.travel(a.node, b.node)));
+    }
+  }
+  // Holder edges (the H'_t extension): each user of o depends on Z_t(o)
+  // with weight = the object's current travel time to the user.
+  for (const ObjId o : objects) {
+    for (const TxnId uid : view.live_users_of(o)) {
+      const Transaction& u = view.txn(uid);
+      const Weight w = view.object(o).time_to(u.node, now, view.oracle(),
+                                              view.latency_factor());
+      add_edge(g.txn_index_.at(uid), holder_index.at(o), w);
+    }
+  }
+  return g;
+}
+
+std::int32_t DependencyGraph::degree(std::int32_t node) const {
+  return static_cast<std::int32_t>(
+      incident_[static_cast<std::size_t>(node)].size());
+}
+
+Weight DependencyGraph::weighted_degree(std::int32_t node) const {
+  Weight g = 0;
+  for (const auto e : incident_[static_cast<std::size_t>(node)])
+    g += edges_[static_cast<std::size_t>(e)].weight;
+  return g;
+}
+
+std::int32_t DependencyGraph::txn_degree(std::int32_t node) const {
+  std::int32_t d = 0;
+  for (const auto ei : incident_[static_cast<std::size_t>(node)]) {
+    const auto& e = edges_[static_cast<std::size_t>(ei)];
+    const auto other = e.a == node ? e.b : e.a;
+    if (nodes_[static_cast<std::size_t>(other)].kind ==
+        DependencyNode::Kind::kLiveTxn)
+      ++d;
+  }
+  return d;
+}
+
+Weight DependencyGraph::txn_weighted_degree(std::int32_t node) const {
+  Weight g = 0;
+  for (const auto ei : incident_[static_cast<std::size_t>(node)]) {
+    const auto& e = edges_[static_cast<std::size_t>(ei)];
+    const auto other = e.a == node ? e.b : e.a;
+    if (nodes_[static_cast<std::size_t>(other)].kind ==
+        DependencyNode::Kind::kLiveTxn)
+      g += e.weight;
+  }
+  return g;
+}
+
+std::int32_t DependencyGraph::index_of(TxnId t) const {
+  const auto it = txn_index_.find(t);
+  return it == txn_index_.end() ? -1 : it->second;
+}
+
+bool DependencyGraph::valid_partial_coloring() const {
+  for (const auto& e : edges_) {
+    const Time ca = nodes_[static_cast<std::size_t>(e.a)].color;
+    const Time cb = nodes_[static_cast<std::size_t>(e.b)].color;
+    if (ca == kNoTime || cb == kNoTime) continue;
+    if (std::abs(ca - cb) < e.weight) return false;
+  }
+  return true;
+}
+
+DependencyGraph::Stats DependencyGraph::stats() const {
+  Stats s;
+  s.edges = static_cast<std::int64_t>(edges_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == DependencyNode::Kind::kLiveTxn)
+      ++s.live_txns;
+    else
+      ++s.holders;
+    s.max_degree =
+        std::max(s.max_degree, degree(static_cast<std::int32_t>(i)));
+    s.max_weighted_degree = std::max(
+        s.max_weighted_degree, weighted_degree(static_cast<std::int32_t>(i)));
+  }
+  return s;
+}
+
+}  // namespace dtm

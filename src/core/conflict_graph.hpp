@@ -1,0 +1,84 @@
+// The transaction dependency graphs of §III-B: H_t (conflicts among live
+// transactions) and the extended H'_t (plus the current holders Z_t(o),
+// including virtual in-transit positions).
+//
+// The greedy scheduler builds its constraint sets directly for speed; this
+// module materializes the graphs explicitly for analysis, tests, and
+// experiment reporting (degrees Δ, weighted degrees Γ — the quantities
+// Theorems 1 and 2 are stated in).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "core/types.hpp"
+
+namespace dtm {
+
+/// A node of H'_t: either a live transaction or the current holder Z_t(o)
+/// of an object (the object's resting place or in-transit virtual node).
+struct DependencyNode {
+  enum class Kind { kLiveTxn, kHolder } kind = Kind::kLiveTxn;
+  TxnId txn = kNoTxn;    ///< kLiveTxn: the transaction id
+  ObjId holder_of = kNoObj;  ///< kHolder: the object whose position this is
+  /// Color of an already-scheduled transaction (exec - now), 0 for holders
+  /// and executing transactions, kNoTime for unscheduled live transactions.
+  Time color = kNoTime;
+};
+
+struct DependencyEdge {
+  std::int32_t a = -1;  ///< indices into nodes()
+  std::int32_t b = -1;
+  Weight weight = 0;    ///< travel time (>= 1 between distinct txns)
+};
+
+/// Snapshot of H'_t at one time step (H_t is the restriction to kLiveTxn
+/// nodes; helpers below expose both views).
+class DependencyGraph {
+ public:
+  /// Builds H'_t from the live system state: one node per live transaction
+  /// plus one holder node per object used by any live transaction.
+  static DependencyGraph build(const SystemView& view);
+
+  [[nodiscard]] const std::vector<DependencyNode>& nodes() const {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<DependencyEdge>& edges() const {
+    return edges_;
+  }
+
+  /// Degree Δ'(v) and weighted degree Γ'(v) in H'_t.
+  [[nodiscard]] std::int32_t degree(std::int32_t node) const;
+  [[nodiscard]] Weight weighted_degree(std::int32_t node) const;
+
+  /// Degree/weighted degree restricted to transaction-transaction edges
+  /// (the H_t view).
+  [[nodiscard]] std::int32_t txn_degree(std::int32_t node) const;
+  [[nodiscard]] Weight txn_weighted_degree(std::int32_t node) const;
+
+  /// Index of the node for transaction `t`, -1 if absent.
+  [[nodiscard]] std::int32_t index_of(TxnId t) const;
+
+  /// True iff the stored colors form a valid partial coloring of H'_t
+  /// (Equation 1 over every edge whose endpoints both have colors).
+  [[nodiscard]] bool valid_partial_coloring() const;
+
+  /// Summary statistics for experiment reporting.
+  struct Stats {
+    std::int64_t live_txns = 0;
+    std::int64_t holders = 0;
+    std::int64_t edges = 0;
+    std::int32_t max_degree = 0;
+    Weight max_weighted_degree = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  std::vector<DependencyNode> nodes_;
+  std::vector<DependencyEdge> edges_;
+  std::vector<std::vector<std::int32_t>> incident_;  ///< node -> edge idx
+  std::map<TxnId, std::int32_t> txn_index_;
+};
+
+}  // namespace dtm

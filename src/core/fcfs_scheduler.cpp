@@ -1,0 +1,42 @@
+#include "core/fcfs_scheduler.hpp"
+
+#include <algorithm>
+
+namespace dtm {
+
+std::vector<Assignment> FcfsScheduler::on_step(
+    const SystemView& view, std::span<const Transaction> arrivals) {
+  std::vector<Assignment> out;
+  const Time now = view.now();
+  for (const Transaction& t : arrivals) {
+    // Chain the transaction onto the tail of each of its objects' queues,
+    // in strict arrival order (no reordering, no slotting-in).
+    Time exec = now;
+    for (const auto& acc : t.accesses) {
+      auto it = tails_.find(acc.obj);
+      if (it == tails_.end()) {
+        const ObjectState& os = view.object(acc.obj);
+        Tail tail;
+        tail.node = os.in_transit() ? os.dest() : os.at();
+        tail.free_at =
+            os.in_transit() ? std::max(now, os.arrive_time()) : now;
+        tail.from_txn = os.last_txn() != kNoTxn;
+        it = tails_.emplace(acc.obj, tail).first;
+      }
+      const Tail& tail = it->second;
+      // The object rests at the tail node until this request exists: it
+      // departs at max(free_at, now), not at free_at (FCFS has no
+      // clairvoyant pre-positioning).
+      const Time depart = std::max(tail.free_at, now);
+      Time arrive = depart + view.travel(tail.node, t.node);
+      if (tail.from_txn) arrive = std::max(arrive, tail.free_at + 1);
+      exec = std::max(exec, arrive);
+    }
+    for (const auto& acc : t.accesses)
+      tails_[acc.obj] = {t.node, exec, true};
+    out.push_back({t.id, exec});
+  }
+  return out;
+}
+
+}  // namespace dtm

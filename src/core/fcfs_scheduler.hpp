@@ -1,0 +1,33 @@
+// First-come-first-served online baseline.
+//
+// The simplest sound online scheduler: each object serves its requesters in
+// arrival order, and a transaction commits once every requested object has
+// worked through its queue. Distance-oblivious ordering — the contrast that
+// shows what Algorithm 1's weighted coloring (which picks *positions* in
+// time using distances) actually buys. Used by the baseline experiments.
+#pragma once
+
+#include <map>
+
+#include "core/scheduler.hpp"
+
+namespace dtm {
+
+class FcfsScheduler final : public OnlineScheduler {
+ public:
+  [[nodiscard]] std::vector<Assignment> on_step(
+      const SystemView& view, std::span<const Transaction> arrivals) override;
+
+  [[nodiscard]] std::string name() const override { return "fcfs"; }
+
+ private:
+  /// Tail of each object's service chain: (node, time, is_txn).
+  struct Tail {
+    NodeId node = kNoNode;
+    Time free_at = 0;
+    bool from_txn = false;
+  };
+  std::map<ObjId, Tail> tails_;
+};
+
+}  // namespace dtm

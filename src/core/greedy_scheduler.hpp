@@ -1,0 +1,69 @@
+// Online greedy schedule (paper Algorithm 1, §III).
+//
+// Every newly generated transaction is immediately assigned an execution
+// time by greedy weighted coloring of the extended dependency graph H'_t:
+//  - already-scheduled live transactions carry color (exec - now);
+//  - the current holder of each object — including the virtual in-transit
+//    position v_t(o) — carries color 0 with gap equal to the object's travel
+//    time to the new transaction;
+//  - conflicting transaction pairs carry gap max(1, travel(u, v)).
+// The chosen color c gives execution time now + c; Theorem 1 caps c at
+// 2*Gamma' - Delta', and the uniform-weight mode (Lemma 2 / Theorem 2)
+// restricts colors to multiples of beta and caps c at Gamma'.
+#pragma once
+
+#include <memory>
+
+#include "core/coloring.hpp"
+#include "core/scheduler.hpp"
+
+namespace dtm {
+
+struct GreedyOptions {
+    /// 0 = general weighted mode (Lemma 1). beta > 0 = uniform mode
+    /// (Lemma 2): colors are multiples of beta and every conflict gap is
+    /// rounded up to beta; requires all relevant distances <= beta.
+    Weight uniform_beta = 0;
+
+    /// Extra steps added to every color, modeling the simple centralized
+    /// information-collection round of §III-E (0 = instant knowledge).
+    Time coordination_delay = 0;
+
+    /// Congestion-aware slack: every travel-time gap is inflated by this
+    /// fraction (rounded up), leaving room for queueing on shared links
+    /// when the schedule is executed under bounded capacity (the §VI
+    /// extension; see bench_congestion). 0 = the paper's exact model.
+    double congestion_padding = 0.0;
+  };
+
+class GreedyScheduler final : public OnlineScheduler {
+ public:
+  using Options = GreedyOptions;
+
+  explicit GreedyScheduler(Options opts = {}) : opts_(opts) {}
+
+  [[nodiscard]] std::vector<Assignment> on_step(
+      const SystemView& view, std::span<const Transaction> arrivals) override;
+
+  [[nodiscard]] std::string name() const override {
+    return opts_.uniform_beta > 0 ? "greedy-uniform" : "greedy";
+  }
+
+  /// Theorem 1/2 bound for the most recent arrival batch: per transaction,
+  /// the guaranteed color bound (2*Gamma'-Delta' or Gamma'). Exposed for the
+  /// bound-tightness experiment (F1).
+  struct BoundSample {
+    TxnId txn = kNoTxn;
+    Time color = 0;
+    Time bound = 0;
+  };
+  [[nodiscard]] const std::vector<BoundSample>& last_bounds() const {
+    return last_bounds_;
+  }
+
+ private:
+  Options opts_;
+  std::vector<BoundSample> last_bounds_;
+};
+
+}  // namespace dtm

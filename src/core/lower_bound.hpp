@@ -1,0 +1,42 @@
+// Certified lower bounds on the optimal makespan t* (paper §II / §III-C).
+//
+// Computing t* is NP-hard (the paper cites [5]); the competitive ratios we
+// report in experiments are makespan / LB with LB <= t*, so every reported
+// ratio *upper-bounds* the true competitive ratio. Three certificates are
+// combined, all of which the paper's own analyses use implicitly:
+//   load:   an object used by m transactions needs >= m-1 steps between its
+//           first and last commit, plus the travel to its nearest first user
+//           (Theorem 3's l_max argument);
+//   reach:  every user of an object must wait for it to arrive from its
+//           origin at least once;
+//   spread: the object must visit both endpoints of its farthest user pair.
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+
+namespace dtm {
+
+struct LowerBoundBreakdown {
+  Time load = 0;    ///< max over objects: (m_o - 1) + min_u travel(origin, u)
+  Time reach = 0;   ///< max over objects, users: travel(origin, u)
+  Time spread = 0;  ///< max over objects: max pairwise travel among users
+  Time lmax = 0;    ///< max over objects: number of users (paper's l_max)
+
+  [[nodiscard]] Time best() const {
+    return std::max({load, reach, spread, Time{1}});
+  }
+};
+
+/// Lower bound for executing all of `txns` given object `origins`, measured
+/// from time 0 (origins' creation times shift the certificates). For
+/// dynamic instances this is a valid bound on the optimal offline makespan
+/// of the whole arrival sequence started at time 0.
+[[nodiscard]] LowerBoundBreakdown makespan_lower_bound(
+    const std::vector<Transaction>& txns,
+    const std::vector<ObjectOrigin>& origins, const DistanceOracle& oracle,
+    std::int64_t latency_factor = 1);
+
+}  // namespace dtm

@@ -1,0 +1,69 @@
+#include "core/object_state.hpp"
+
+#include <algorithm>
+
+namespace dtm {
+
+Time ObjectState::time_to(NodeId x, Time now, const DistanceOracle& oracle,
+                          std::int64_t latency_factor) const {
+  DTM_REQUIRE(latency_factor >= 1, "latency factor " << latency_factor);
+  if (!in_transit_) return latency_factor * oracle.dist(at_, x);
+  if (now <= depart_) {
+    // Heading back toward `from_` first (post-redirect transient).
+    return (depart_ - now) + latency_factor * oracle.dist(from_, x);
+  }
+  if (now >= arrive_) return latency_factor * oracle.dist(to_, x);
+  const Time covered = now - depart_;
+  const Time remaining = arrive_ - now;
+  return std::min(covered + latency_factor * oracle.dist(from_, x),
+                  remaining + latency_factor * oracle.dist(to_, x));
+}
+
+void ObjectState::route_to(NodeId target, Time now,
+                           const DistanceOracle& oracle,
+                           std::int64_t latency_factor) {
+  DTM_REQUIRE(latency_factor >= 1, "latency factor " << latency_factor);
+  settle(now);
+  if (!in_transit_) {
+    if (at_ == target) return;  // already there
+    from_ = at_;
+    to_ = target;
+    depart_ = now;
+    arrive_ = now + latency_factor * oracle.dist(from_, target);
+    in_transit_ = true;
+    return;
+  }
+  if (to_ == target) return;  // already heading there
+  // Redirect mid-flight: realize whichever of the two graph routes (back via
+  // `from_`, forward via `to_`) reaches the new target sooner. The leg is
+  // rebased so that `depart_` is the moment the object passes the chosen
+  // endpoint; time_to() handles the now < depart_ transient.
+  const Time covered = std::max<Time>(now - depart_, 0);
+  const Time remaining = std::max<Time>(arrive_ - now, 0);
+  const Time via_from = covered + latency_factor * oracle.dist(from_, target);
+  const Time via_to = remaining + latency_factor * oracle.dist(to_, target);
+  if (via_from <= via_to) {
+    depart_ = now + covered;
+    // from_ stays.
+  } else {
+    depart_ = now + remaining;
+    from_ = to_;
+  }
+  to_ = target;
+  arrive_ = depart_ + latency_factor * oracle.dist(from_, target);
+  in_transit_ = from_ != target || depart_ > now;
+  if (!in_transit_) {
+    at_ = target;
+    rest_since_ = now;
+  }
+}
+
+void ObjectState::settle(Time now) {
+  if (in_transit_ && now >= arrive_) {
+    at_ = to_;
+    rest_since_ = arrive_;
+    in_transit_ = false;
+  }
+}
+
+}  // namespace dtm

@@ -1,0 +1,197 @@
+#include "core/optimistic.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace dtm {
+
+namespace {
+
+struct ObjSim {
+  NodeId pos = kNoNode;
+  bool in_transit = false;
+  Time arrive = kNoTime;
+  TxnId carried_for = kNoTxn;
+  Weight leg_dist = 0;
+  TxnId held_by = kNoTxn;
+  std::deque<TxnId> queue;
+};
+
+struct TxnSim {
+  Transaction txn;
+  std::set<ObjId> held;
+  std::set<ObjId> wanted;
+  Time first_hold = kNoTime;
+  std::int32_t attempts = 0;
+  Time retry_at = kNoTime;  ///< backing off until then (kNoTime = active)
+  Weight shipped = 0;       ///< travel spent on this attempt's deliveries
+  bool done = false;
+};
+
+}  // namespace
+
+OptimisticResult run_optimistic(const Network& net, Workload& workload,
+                                OptimisticOptions opts) {
+  const Time patience =
+      opts.patience > 0 ? opts.patience : 2 * std::max<Weight>(net.diameter(), 1) + 4;
+  Rng rng(opts.seed);
+
+  std::map<ObjId, ObjSim> objs;
+  for (const auto& o : workload.objects()) {
+    ObjSim s;
+    s.pos = o.node;
+    objs[o.id] = s;
+  }
+  std::map<TxnId, TxnSim> txns;
+  OptimisticResult out;
+
+  auto enqueue_requests = [&](TxnSim& t) {
+    for (const ObjId o : t.wanted) objs.at(o).queue.push_back(t.txn.id);
+  };
+
+  Time now = 0;
+  std::int64_t live = 0;
+  while (true) {
+    DTM_CHECK(now < opts.max_steps, "optimistic run exceeded step cap "
+                                        << opts.max_steps);
+    // 1. Arrivals.
+    for (const Transaction& a : workload.arrivals_at(now)) {
+      TxnSim t;
+      t.txn = a;
+      for (const auto& acc : a.accesses) {
+        DTM_CHECK(objs.count(acc.obj), "unknown object " << acc.obj);
+        t.wanted.insert(acc.obj);
+      }
+      enqueue_requests(t);
+      txns.emplace(a.id, std::move(t));
+      ++live;
+    }
+    // 2. Retries whose backoff expired re-enter the queues.
+    for (auto& [id, t] : txns) {
+      if (t.done || t.retry_at == kNoTime || t.retry_at > now) continue;
+      t.retry_at = kNoTime;
+      enqueue_requests(t);
+    }
+    // 3. Deliveries.
+    for (auto& [oid, o] : objs) {
+      if (!o.in_transit || o.arrive > now) continue;
+      o.in_transit = false;
+      TxnSim& t = txns.at(o.carried_for);
+      o.held_by = o.carried_for;
+      o.carried_for = kNoTxn;
+      t.held.insert(oid);
+      t.shipped += o.leg_dist;
+      if (t.first_hold == kNoTime) t.first_hold = now;
+    }
+    // 4. Commits: full sets fire instantly.
+    for (auto& [id, t] : txns) {
+      if (t.done || t.held.size() != t.wanted.size()) continue;
+      for (const ObjId oid : t.wanted) {
+        ObjSim& o = objs.at(oid);
+        DTM_CHECK(o.held_by == id && o.pos == t.txn.node,
+                  "optimistic commit without object " << oid);
+        o.held_by = kNoTxn;
+      }
+      t.done = true;
+      --live;
+      out.committed.push_back({t.txn, now});
+      out.makespan = std::max(out.makespan, now);
+      workload.on_commit(id, now);
+    }
+    // (Commits may have produced new arrivals for this step via the
+    // closed-loop callback only at now+gap >= now+1, handled next round.)
+
+    // 5. Aborts: partial holders out of patience.
+    for (auto& [id, t] : txns) {
+      if (t.done || t.held.empty() || t.first_hold == kNoTime) continue;
+      if (t.held.size() == t.wanted.size()) continue;
+      if (now - t.first_hold < patience) continue;
+      ++out.aborts;
+      out.wasted_distance += t.shipped;
+      for (const ObjId oid : t.held) {
+        ObjSim& o = objs.at(oid);
+        o.held_by = kNoTxn;  // released where it lies (the txn's node)
+      }
+      t.held.clear();
+      t.shipped = 0;
+      t.first_hold = kNoTime;
+      ++t.attempts;
+      const Time cap =
+          opts.backoff_base * (Time{1} << std::min<std::int32_t>(t.attempts, 6));
+      t.retry_at = now + rng.uniform_int(1, std::max<Time>(cap, 1));
+      // Drop its outstanding queue entries (re-queued on retry).
+      for (const ObjId oid : t.wanted) {
+        auto& q = objs.at(oid).queue;
+        q.erase(std::remove(q.begin(), q.end(), id), q.end());
+      }
+    }
+    // 6. Grants: free objects serve their queue heads.
+    for (auto& [oid, o] : objs) {
+      if (o.in_transit || o.held_by != kNoTxn) continue;
+      while (!o.queue.empty()) {
+        const TxnId head = o.queue.front();
+        const auto it = txns.find(head);
+        if (it == txns.end() || it->second.done ||
+            it->second.retry_at != kNoTime) {
+          o.queue.pop_front();  // stale entry
+          continue;
+        }
+        o.queue.pop_front();
+        TxnSim& t = it->second;
+        const Weight d = net.dist(o.pos, t.txn.node);
+        o.leg_dist = d;
+        if (d == 0) {
+          o.held_by = head;
+          t.held.insert(oid);
+          if (t.first_hold == kNoTime) t.first_hold = now;
+        } else {
+          o.in_transit = true;
+          o.carried_for = head;
+          o.arrive = now + d;
+          o.pos = t.txn.node;  // position on arrival
+        }
+        break;
+      }
+    }
+
+    if (workload.finished() && live == 0) break;
+
+    // Next event: arrival, delivery, retry expiry, or patience deadline.
+    Time next = kNoTime;
+    auto consider = [&next](Time t) {
+      if (t == kNoTime) return;
+      next = next == kNoTime ? t : std::min(next, t);
+    };
+    consider(workload.next_arrival_time());
+    for (const auto& [oid, o] : objs)
+      if (o.in_transit) consider(o.arrive);
+    for (const auto& [id, t] : txns) {
+      if (t.done) continue;
+      if (t.retry_at != kNoTime) consider(t.retry_at);
+      if (t.first_hold != kNoTime && t.held.size() != t.wanted.size())
+        consider(t.first_hold + patience);
+      // A set completed by a same-step zero-distance grant commits on the
+      // next step.
+      if (!t.wanted.empty() && t.held.size() == t.wanted.size())
+        consider(now + 1);
+    }
+    DTM_CHECK(next != kNoTime, "optimistic run stalled at step " << now
+                                                                 << " with "
+                                                                 << live
+                                                                 << " live");
+    DTM_CHECK(next > now, "optimistic event loop failed to advance");
+    now = next;
+  }
+
+  out.num_txns = static_cast<std::int64_t>(out.committed.size());
+  double lat = 0;
+  for (const auto& s : out.committed)
+    lat += static_cast<double>(s.exec - s.txn.gen_time);
+  if (out.num_txns > 0)
+    out.mean_latency = lat / static_cast<double>(out.num_txns);
+  return out;
+}
+
+}  // namespace dtm

@@ -1,0 +1,242 @@
+#include "core/rw.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "core/lower_bound.hpp"
+
+namespace dtm {
+
+namespace {
+
+struct Event {
+  Time exec;
+  TxnId id;
+  NodeId node;
+  bool write;
+};
+
+/// Per-object access timeline sorted by (exec, id).
+std::map<ObjId, std::vector<Event>> build_timelines(
+    const std::vector<ScheduledTxn>& scheduled) {
+  std::map<ObjId, std::vector<Event>> tl;
+  for (const auto& s : scheduled)
+    for (const auto& a : s.txn.accesses)
+      tl[a.obj].push_back({s.exec, s.txn.id, s.txn.node,
+                           a.mode == AccessMode::kWrite});
+  for (auto& [_, events] : tl)
+    std::sort(events.begin(), events.end(), [](const Event& a,
+                                               const Event& b) {
+      if (a.exec != b.exec) return a.exec < b.exec;
+      // Reads before writes at the same step: a read concurrent with a
+      // write observes the previous version.
+      if (a.write != b.write) return !a.write;
+      return a.id < b.id;
+    });
+  return tl;
+}
+
+}  // namespace
+
+ValidationError validate_rw_schedule(
+    const std::vector<ScheduledTxn>& scheduled,
+    const std::vector<ObjectOrigin>& origins, const DistanceOracle& oracle,
+    std::int64_t latency_factor, RwSemantics semantics) {
+  std::map<ObjId, ObjectOrigin> origin_of;
+  for (const auto& o : origins) origin_of[o.id] = o;
+  for (const auto& s : scheduled) {
+    if (s.exec == kNoTime || s.exec < s.txn.gen_time) {
+      std::ostringstream os;
+      os << "txn " << s.txn.id << " has invalid execution time " << s.exec;
+      return os.str();
+    }
+  }
+
+  for (const auto& [obj, events] : build_timelines(scheduled)) {
+    const auto it = origin_of.find(obj);
+    if (it == origin_of.end()) {
+      std::ostringstream os;
+      os << "object " << obj << " has no origin";
+      return os.str();
+    }
+    // Walk the timeline tracking the master (latest strictly-earlier
+    // write). Two writes at the same step are invalid; a read and a write
+    // at the same step are fine (the read sees the previous version).
+    NodeId master_node = it->second.node;
+    Time master_exec = it->second.created;
+    bool master_is_txn = false;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const Event& e = events[i];
+      Time needed =
+          master_exec + latency_factor * oracle.dist(master_node, e.node);
+      if (master_is_txn) needed = std::max(needed, master_exec + 1);
+      if (e.write && semantics == RwSemantics::kCoherent) {
+        // Invalidation: the write also clears every earlier access.
+        for (std::size_t j = 0; j < i; ++j) {
+          const Event& prev = events[j];
+          needed = std::max(
+              needed, prev.exec + std::max<Time>(
+                                      1, latency_factor *
+                                             oracle.dist(prev.node, e.node)));
+        }
+      }
+      if (e.exec < needed) {
+        std::ostringstream os;
+        os << "object " << obj << ": " << (e.write ? "write" : "read")
+           << " txn " << e.id << " at " << e.exec
+           << " cannot receive the version of node " << master_node
+           << " (available " << master_exec << ") before " << needed;
+        return os.str();
+      }
+      if (e.write) {
+        if (master_is_txn && e.exec == master_exec) {
+          std::ostringstream os;
+          os << "object " << obj << ": two writes at step " << e.exec;
+          return os.str();
+        }
+        master_node = e.node;
+        master_exec = e.exec;
+        master_is_txn = true;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Time RwGreedyScheduler::schedule(const Transaction& t, Time now) {
+  std::vector<ForbiddenInterval> forbidden;
+  Time floor = 0;
+  for (const auto& acc : t.accesses) {
+    const bool acc_write = acc.mode == AccessMode::kWrite;
+    const auto oit = origins_.find(acc.obj);
+    DTM_REQUIRE(oit != origins_.end(), "object " << acc.obj << " unknown");
+    // Origin floor: the first version must physically reach us.
+    floor = std::max(floor, (oit->second.created - now) +
+                                factor_ * oracle_->dist(oit->second.node,
+                                                        t.node));
+    for (const auto& rec : history_[acc.obj]) {
+      if (!rec.write && !acc_write) continue;  // read-read: share freely
+      const Time r = rec.exec - now;
+      const Weight g =
+          std::max<Weight>(1, factor_ * oracle_->dist(rec.node, t.node));
+      if (rec.write && acc_write) {
+        // Master chain: symmetric separation.
+        forbidden.push_back({r - g + 1, r + g - 1});
+      } else if (rec.write && !acc_write) {
+        // New read vs existing write: after the write, the copy must
+        // travel from the writer. Before it: snapshot reads the older
+        // version freely (concurrency included); coherent needs the full
+        // symmetric gap — the writer collects the read's invalidation ack,
+        // so a read may only precede a write by at least the travel time.
+        if (semantics_ == RwSemantics::kCoherent)
+          forbidden.push_back({r - g + 1, r + g - 1});
+        else
+          forbidden.push_back({r + 1, r + g - 1});
+      } else {  // rec is a read, acc is a write
+        // Before the read: the read will re-source from us, so leave it
+        // the copy travel time. After (or concurrent): snapshot writes
+        // never wait for readers; coherent writes must clear them.
+        forbidden.push_back({r - g + 1, r - 1});
+        if (semantics_ == RwSemantics::kCoherent)
+          forbidden.push_back({r, r + g - 1});
+      }
+    }
+  }
+  const Time c = min_feasible_color_intervals(forbidden, floor);
+  for (const auto& acc : t.accesses)
+    history_[acc.obj].push_back(
+        {now + c, t.node, acc.mode == AccessMode::kWrite});
+  return now + c;
+}
+
+RwRunResult run_rw_experiment(const Network& net, Workload& workload,
+                              std::int64_t latency_factor,
+                              RwSemantics semantics) {
+  RwGreedyScheduler sched(*net.oracle, latency_factor, semantics);
+  const auto origins = workload.objects();
+  for (const auto& o : origins) sched.add_origin(o);
+
+  std::vector<ScheduledTxn> scheduled;
+  using Commit = std::pair<Time, std::size_t>;  // exec, index
+  std::priority_queue<Commit, std::vector<Commit>, std::greater<>> pending;
+
+  Time now = 0;
+  while (true) {
+    for (const Transaction& t : workload.arrivals_at(now))
+      // schedule() may return `now` itself; such commits fire this step.
+      {
+        const Time exec = sched.schedule(t, now);
+        scheduled.push_back({t, exec});
+        pending.emplace(exec, scheduled.size() - 1);
+      }
+    while (!pending.empty() && pending.top().first <= now) {
+      const auto [exec, idx] = pending.top();
+      pending.pop();
+      workload.on_commit(scheduled[idx].txn.id, exec);
+    }
+    if (workload.finished() && pending.empty()) break;
+    // Advance to the next event.
+    Time next = kNoTime;
+    const Time arr = workload.next_arrival_time();
+    if (arr != kNoTime) next = arr;
+    if (!pending.empty())
+      next = next == kNoTime ? pending.top().first
+                             : std::min(next, pending.top().first);
+    DTM_CHECK(next != kNoTime && next > now,
+              "rw experiment stalled at step " << now);
+    now = next;
+  }
+
+  const auto err = validate_rw_schedule(scheduled, origins, *net.oracle,
+                                        latency_factor, semantics);
+  DTM_CHECK(!err.has_value(), "invalid rw schedule: " << *err);
+
+  RwRunResult r;
+  r.num_txns = static_cast<std::int64_t>(scheduled.size());
+  double lat = 0;
+  for (const auto& s : scheduled) {
+    r.makespan = std::max(r.makespan, s.exec);
+    lat += static_cast<double>(s.exec - s.txn.gen_time);
+  }
+  if (r.num_txns > 0) r.mean_latency = lat / static_cast<double>(r.num_txns);
+
+  // Copy accounting: every read ships one copy from its snapshot source.
+  for (const auto& [obj, events] : build_timelines(scheduled)) {
+    NodeId master = kNoNode;
+    for (const auto& o : origins)
+      if (o.id == obj) master = o.node;
+    for (const auto& e : events) {
+      if (e.write) {
+        master = e.node;
+      } else {
+        ++r.copies;
+        r.copy_distance += net.dist(master, e.node);
+      }
+    }
+  }
+
+  // Writes-only exclusive lower bound (reads are free to replicate, so
+  // only the write serialization certifies optimal cost).
+  std::vector<Transaction> writes_only;
+  for (const auto& s : scheduled) {
+    Transaction t = s.txn;
+    t.accesses.erase(
+        std::remove_if(t.accesses.begin(), t.accesses.end(),
+                       [](const ObjectAccess& a) {
+                         return a.mode != AccessMode::kWrite;
+                       }),
+        t.accesses.end());
+    if (!t.accesses.empty()) writes_only.push_back(std::move(t));
+  }
+  if (!writes_only.empty()) {
+    r.write_lb = makespan_lower_bound(writes_only, origins, *net.oracle,
+                                      latency_factor)
+                     .best();
+  }
+  r.ratio = static_cast<double>(r.makespan) /
+            static_cast<double>(std::max<Time>(r.write_lb, 1));
+  return r;
+}
+
+}  // namespace dtm

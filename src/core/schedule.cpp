@@ -1,0 +1,77 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace dtm {
+
+ValidationError validate_schedule(const std::vector<ScheduledTxn>& scheduled,
+                                  const std::vector<ObjectOrigin>& origins,
+                                  const DistanceOracle& oracle,
+                                  std::int64_t latency_factor) {
+  std::map<ObjId, ObjectOrigin> origin_of;
+  for (const auto& o : origins) origin_of[o.id] = o;
+
+  // Per-object user lists, sorted by execution time.
+  std::map<ObjId, std::vector<const ScheduledTxn*>> users;
+  for (const auto& s : scheduled) {
+    if (s.exec == kNoTime) {
+      std::ostringstream os;
+      os << "txn " << s.txn.id << " was never assigned an execution time";
+      return os.str();
+    }
+    if (s.exec < s.txn.gen_time) {
+      std::ostringstream os;
+      os << "txn " << s.txn.id << " executes at " << s.exec
+         << " before its generation time " << s.txn.gen_time;
+      return os.str();
+    }
+    for (const auto& a : s.txn.accesses) users[a.obj].push_back(&s);
+  }
+
+  for (auto& [obj, list] : users) {
+    const auto it = origin_of.find(obj);
+    if (it == origin_of.end()) {
+      std::ostringstream os;
+      os << "object " << obj << " is used but has no origin";
+      return os.str();
+    }
+    std::sort(list.begin(), list.end(),
+              [](const ScheduledTxn* a, const ScheduledTxn* b) {
+                return a->exec < b->exec ||
+                       (a->exec == b->exec && a->txn.id < b->txn.id);
+              });
+    // Origin -> first user: pure travel (the object is free at creation).
+    NodeId pos = it->second.node;
+    Time free_at = it->second.created;
+    bool from_txn = false;
+    for (const ScheduledTxn* s : list) {
+      const Weight d = oracle.dist(pos, s->txn.node);
+      Time needed = free_at + latency_factor * d;
+      // Between two distinct commits of the same object at least one step
+      // must pass even at distance zero (same node).
+      if (from_txn) needed = std::max(needed, free_at + 1);
+      if (s->exec < needed) {
+        std::ostringstream os;
+        os << "object " << obj << ": txn " << s->txn.id << " at node "
+           << s->txn.node << " executes at " << s->exec
+           << " but the object cannot arrive before " << needed
+           << " (coming from node " << pos << ", free at " << free_at << ")";
+        return os.str();
+      }
+      pos = s->txn.node;
+      free_at = s->exec;
+      from_txn = true;
+    }
+  }
+  return std::nullopt;
+}
+
+Time makespan(const std::vector<ScheduledTxn>& scheduled, Time start) {
+  Time end = start;
+  for (const auto& s : scheduled) end = std::max(end, s.exec);
+  return end - start;
+}
+
+}  // namespace dtm

@@ -1,0 +1,48 @@
+// Execution schedules and their feasibility validation (paper §II).
+//
+// A schedule assigns each transaction an execution time. Feasibility is a
+// per-object chain condition: order the users of each object by execution
+// time; the object must be able to travel from its origin through the users
+// in that order, spending latency_factor * dist(u, v) steps per hop and at
+// least one step between distinct consecutive commits.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "net/graph.hpp"
+
+namespace dtm {
+
+/// Where and when an object comes into existence.
+struct ObjectOrigin {
+  ObjId id = kNoObj;
+  NodeId node = kNoNode;
+  Time created = 0;
+};
+
+/// A transaction together with its assigned execution time.
+struct ScheduledTxn {
+  Transaction txn;
+  Time exec = kNoTime;
+};
+
+/// Result of validating a schedule: nullopt on success, otherwise a
+/// human-readable description of the first violation found.
+using ValidationError = std::optional<std::string>;
+
+/// Checks per-object chain feasibility plus exec >= gen_time for every
+/// transaction. `latency_factor` scales object travel times (2 in the
+/// distributed setting, where objects move at half speed — paper §V).
+[[nodiscard]] ValidationError validate_schedule(
+    const std::vector<ScheduledTxn>& scheduled,
+    const std::vector<ObjectOrigin>& origins, const DistanceOracle& oracle,
+    std::int64_t latency_factor = 1);
+
+/// Total time until every transaction has executed, measured from `start`.
+[[nodiscard]] Time makespan(const std::vector<ScheduledTxn>& scheduled,
+                            Time start = 0);
+
+}  // namespace dtm

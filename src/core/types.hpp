@@ -1,0 +1,72 @@
+// Core identifiers and the transaction record of the data-flow DTM model
+// (paper §II): a transaction resides at a node, requests a set of mobile
+// objects, and executes at the discrete step at which it has assembled them.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace dtm {
+
+using TxnId = std::int64_t;
+using ObjId = std::int32_t;
+using Time = std::int64_t;
+
+constexpr TxnId kNoTxn = -1;
+constexpr ObjId kNoObj = -1;
+constexpr Time kNoTime = -1;
+
+/// Access mode for an object. The paper's conflict relation is pure object
+/// intersection (§II: "Two transactions conflict if O(T1) ∩ O(T2) ≠ ∅"), so
+/// the mode does not relax conflicts; it is carried for workload realism and
+/// as a documented extension point (read-sharing / replication).
+enum class AccessMode : std::uint8_t { kRead, kWrite };
+
+struct ObjectAccess {
+  ObjId obj = kNoObj;
+  AccessMode mode = AccessMode::kWrite;
+
+  friend bool operator==(const ObjectAccess&, const ObjectAccess&) = default;
+};
+
+/// A transaction T: pinned to `node`, generated at `gen_time`, requesting
+/// the objects O(T) in `accesses` (distinct object ids).
+struct Transaction {
+  TxnId id = kNoTxn;
+  NodeId node = kNoNode;
+  Time gen_time = kNoTime;
+  std::vector<ObjectAccess> accesses;
+
+  [[nodiscard]] bool uses(ObjId o) const {
+    return std::any_of(accesses.begin(), accesses.end(),
+                       [o](const ObjectAccess& a) { return a.obj == o; });
+  }
+
+  /// True iff O(T) ∩ O(other) ≠ ∅ — the paper's conflict relation.
+  [[nodiscard]] bool conflicts_with(const Transaction& other) const {
+    for (const auto& a : accesses)
+      if (other.uses(a.obj)) return true;
+    return false;
+  }
+
+  [[nodiscard]] std::vector<ObjId> object_ids() const {
+    std::vector<ObjId> ids;
+    ids.reserve(accesses.size());
+    for (const auto& a : accesses) ids.push_back(a.obj);
+    return ids;
+  }
+};
+
+/// Builder shorthand for workloads/tests: all-write accesses to `objs`.
+[[nodiscard]] inline std::vector<ObjectAccess> write_set(
+    const std::vector<ObjId>& objs) {
+  std::vector<ObjectAccess> a;
+  a.reserve(objs.size());
+  for (const ObjId o : objs) a.push_back({o, AccessMode::kWrite});
+  return a;
+}
+
+}  // namespace dtm

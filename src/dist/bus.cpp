@@ -1,0 +1,31 @@
+#include "dist/bus.hpp"
+
+namespace dtm {
+
+void MessageBus::send(NodeId from, NodeId to, Time now, Payload payload) {
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.sent = now;
+  m.deliver = now + oracle_->dist(from, to);
+  m.seq = seq_++;
+  m.payload = std::move(payload);
+  ++sent_;
+  distance_ += oracle_->dist(from, to);
+  queue_.push(std::move(m));
+}
+
+std::vector<Message> MessageBus::drain(Time now) {
+  std::vector<Message> out;
+  while (!queue_.empty() && queue_.top().deliver <= now) {
+    out.push_back(queue_.top());
+    queue_.pop();
+  }
+  return out;
+}
+
+Time MessageBus::next_delivery() const {
+  return queue_.empty() ? kNoTime : queue_.top().deliver;
+}
+
+}  // namespace dtm

@@ -1,0 +1,91 @@
+// Typed message bus for the distributed scheduling protocol (paper §V).
+//
+// Messages travel point-to-point at one distance unit per step (the
+// network's native speed; objects travel at half that, which is what makes
+// probe chases terminate). Delivery is exact: a message sent at time t
+// from u to v arrives at t + dist(u, v) and is handed to the recipient the
+// first time the owner drains the bus at or after that step.
+#pragma once
+
+#include <queue>
+#include <variant>
+#include <vector>
+
+#include "core/types.hpp"
+#include "net/graph.hpp"
+
+namespace dtm {
+
+/// Discovery probe chasing an object's forwarding trail (Algorithm 3
+/// line 2). Carries the requester so the reply can find its way back.
+struct ProbeMsg {
+  TxnId requester = kNoTxn;
+  NodeId requester_node = kNoNode;
+  ObjId object = kNoObj;
+  Weight travelled = 0;  ///< accumulated chase distance (for stats)
+  /// Departure time of the last pointer followed: the chase only follows
+  /// pointers laid at or after this time, so it walks the trail forward in
+  /// time and cannot cycle through revisited nodes.
+  Time min_depart = kNoTime;
+};
+
+/// Reply from the node currently holding (or about to receive) the object:
+/// the object's position and the live transactions known to use it
+/// ("the object carries the information of all the transaction locations
+/// that will use it").
+struct ReplyMsg {
+  TxnId requester = kNoTxn;
+  ObjId object = kNoObj;
+  NodeId object_node = kNoNode;  ///< where the object is / will next rest
+  Time object_free_at = kNoTime;  ///< when it is there
+  std::vector<std::pair<TxnId, NodeId>> users;  ///< conflicting txns
+};
+
+/// Transaction -> cluster leader report (Algorithm 3 line 6).
+struct ReportMsg {
+  TxnId txn = kNoTxn;
+};
+
+using Payload = std::variant<ProbeMsg, ReplyMsg, ReportMsg>;
+
+struct Message {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  Time sent = kNoTime;
+  Time deliver = kNoTime;
+  std::int64_t seq = 0;  ///< FIFO tie-break
+  Payload payload;
+};
+
+class MessageBus {
+ public:
+  explicit MessageBus(const DistanceOracle& oracle) : oracle_(&oracle) {}
+
+  /// Sends a message; it will be delivered at now + dist(from, to).
+  void send(NodeId from, NodeId to, Time now, Payload payload);
+
+  /// Pops every message with deliver <= now, in (deliver, seq) order.
+  [[nodiscard]] std::vector<Message> drain(Time now);
+
+  /// Earliest pending delivery, kNoTime if none.
+  [[nodiscard]] Time next_delivery() const;
+
+  [[nodiscard]] std::int64_t messages_sent() const { return sent_; }
+  [[nodiscard]] std::int64_t total_distance() const { return distance_; }
+
+ private:
+  struct Later {
+    bool operator()(const Message& a, const Message& b) const {
+      if (a.deliver != b.deliver) return a.deliver > b.deliver;
+      return a.seq > b.seq;
+    }
+  };
+
+  const DistanceOracle* oracle_;
+  std::priority_queue<Message, std::vector<Message>, Later> queue_;
+  std::int64_t seq_ = 0;
+  std::int64_t sent_ = 0;
+  std::int64_t distance_ = 0;
+};
+
+}  // namespace dtm

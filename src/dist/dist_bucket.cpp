@@ -1,0 +1,349 @@
+#include "dist/dist_bucket.hpp"
+
+#include <algorithm>
+
+#include "batch/problem_builder.hpp"
+
+namespace dtm {
+
+namespace {
+
+std::int32_t ceil_log2_i64(std::int64_t x) {
+  std::int32_t l = 0;
+  std::int64_t p = 1;
+  while (p < x) {
+    p <<= 1;
+    ++l;
+  }
+  return l;
+}
+
+}  // namespace
+
+DistributedBucketScheduler::DistributedBucketScheduler(
+    const Network& net, std::shared_ptr<const BatchScheduler> algo,
+    DistBucketOptions opts)
+    : net_(net),
+      cover_(net.graph, *net.oracle, opts.cover),
+      algo_(std::move(algo)),
+      opts_(opts),
+      rng_(opts.seed),
+      bus_(*net.oracle) {
+  DTM_REQUIRE(algo_ != nullptr, "distributed bucket needs a batch algorithm");
+  if (opts_.enforce_suffix_property)
+    wrapped_ = std::make_unique<SuffixWrapper>(algo_);
+}
+
+void DistributedBucketScheduler::ensure_levels(const SystemView& view) {
+  if (num_levels_ > 0) return;
+  DTM_REQUIRE(view.latency_factor() >= 2,
+              "Algorithm 3 requires half-speed objects (latency factor >= 2, "
+              "got " << view.latency_factor() << ") so discovery probes can "
+              "catch in-transit objects");
+  std::int32_t levels = opts_.max_level;
+  if (levels <= 0) {
+    const std::int64_t horizon = static_cast<std::int64_t>(
+                                     view.oracle().num_nodes()) *
+                                 std::max<Weight>(view.oracle().diameter(), 1) *
+                                 view.latency_factor();
+    levels = ceil_log2_i64(std::max<std::int64_t>(horizon, 2)) + 6;
+  }
+  num_levels_ = levels + 1;
+}
+
+std::vector<Assignment> DistributedBucketScheduler::on_step(
+    const SystemView& view, std::span<const Transaction> arrivals) {
+  ensure_levels(view);
+  const Time now = view.now();
+  std::vector<Assignment> out;
+  std::map<TxnId, Time> extra;
+
+  if (opts_.message_level_discovery) track_objects(view);
+
+  // 1. New transactions start discovery (Algorithm 3 lines 2-6).
+  for (const Transaction& t : arrivals) {
+    trace_index_[t.id] = traces_.size();
+    traces_.push_back({t.id, now, kNoTime, {}, -1, kNoTime});
+    if (opts_.message_level_discovery)
+      start_probe_discovery(view, t);
+    else
+      start_analytic_discovery(view, t);
+  }
+
+  // 2. Protocol messages (probes chasing trails, replies, reports).
+  if (opts_.message_level_discovery) pump_messages(view, extra);
+
+  // 2b. Reports reaching their leader now (insertion into partial
+  //     buckets). In message mode the bus enqueued these via ReportMsg;
+  //     in analytic mode they were scheduled at arrival.
+  while (!reports_.empty() && reports_.top().when <= now) {
+    const PendingReport rep = reports_.top();
+    reports_.pop();
+    stats_.max_discovery_delay =
+        std::max(stats_.max_discovery_delay,
+                 rep.when - traces_[trace_index_.at(rep.txn)].arrived);
+    handle_report(view, {now, rep.txn, rep.home}, extra);
+  }
+
+  // 3. Global activations: every partial i-bucket fires at multiples of 2^i
+  //    (lowest level first, heights lexicographic within a level).
+  if (now > 0) {
+    for (std::int32_t i = 0; i < num_levels_; ++i) {
+      if (i < 63 && (now % (Time{1} << i)) != 0) continue;
+      activate(view, i, extra, out);
+    }
+  }
+  stats_.message_distance = analytic_distance_ + bus_.total_distance();
+  return out;
+}
+
+void DistributedBucketScheduler::start_analytic_discovery(
+    const SystemView& view, const Transaction& t) {
+  const Time now = view.now();
+  Weight x = 0;        // furthest object (distance bound)
+  Time probe_rtt = 0;  // chase + reply, max over objects
+  std::set<TxnId> seen;
+  Weight conflict_dist = 0;
+  for (const auto& acc : t.accesses) {
+    // Pure-distance bound to the object's current position (factor 1).
+    const Weight xd =
+        view.object(acc.obj).time_to(t.node, now, view.oracle(), 1);
+    x = std::max(x, xd);
+    probe_rtt = std::max<Time>(probe_rtt, 4 * xd);
+    ++stats_.probes;
+    analytic_distance_ += 4 * xd;
+    for (const TxnId uid : view.live_users_of(acc.obj)) {
+      if (uid == t.id || !seen.insert(uid).second) continue;
+      conflict_dist = std::max(
+          conflict_dist, view.oracle().dist(view.txn(uid).node, t.node));
+    }
+  }
+  const Weight y = std::max(x, conflict_dist);
+  const std::int32_t layer = cover_.lowest_layer_covering(y);
+  const ClusterRef home = cover_.home_cluster(t.node, layer);
+  const NodeId leader = cover_.cluster(home).leader;
+  const Weight to_leader = view.oracle().dist(t.node, leader);
+  const Time report_at = now + probe_rtt + to_leader;
+  ++stats_.reports;
+  analytic_distance_ += to_leader;
+  traces_[trace_index_.at(t.id)].home = home;
+  reports_.push({report_at, t.id, home});
+}
+
+void DistributedBucketScheduler::track_objects(const SystemView& view) {
+  for (const ObjId o : tracked_) trails_.observe(view.object(o), view.now());
+}
+
+void DistributedBucketScheduler::start_probe_discovery(
+    const SystemView& view, const Transaction& t) {
+  const Time now = view.now();
+  Discovery d;
+  d.node = t.node;
+  d.started = now;
+  for (const auto& acc : t.accesses) {
+    if (tracked_.insert(acc.obj).second) {
+      // First sight of this object: its current resting place (or inbound
+      // node) becomes the trail root every requester is assumed to know.
+      const ObjectState& os = view.object(acc.obj);
+      trails_.register_object(acc.obj,
+                              os.in_transit() ? os.dest() : os.at());
+      trails_.observe(os, now);
+    }
+    if (!d.awaiting.insert(acc.obj).second) continue;
+    ++stats_.probes;
+    bus_.send(t.node, trails_.birth_node(acc.obj), now,
+              ProbeMsg{t.id, t.node, acc.obj, 0});
+  }
+  discovering_[t.id] = std::move(d);
+}
+
+void DistributedBucketScheduler::pump_messages(
+    const SystemView& view, const std::map<TxnId, Time>& extra) {
+  (void)extra;
+  const Time now = view.now();
+  // Multiple drain rounds: a probe answered locally can produce a reply
+  // and a report within the same step when distances are zero.
+  for (int round = 0; round < 8; ++round) {
+    const auto msgs = bus_.drain(now);
+    if (msgs.empty()) break;
+    for (const Message& m : msgs) {
+      if (const auto* probe = std::get_if<ProbeMsg>(&m.payload)) {
+        const auto hop =
+            trails_.lookup(probe->object, m.to, now, probe->min_depart);
+        if (hop.departed) {
+          // Chase the forwarding pointer, forward in trail time.
+          ProbeMsg next = *probe;
+          next.travelled += view.oracle().dist(m.to, hop.next);
+          next.min_depart = hop.depart_time;
+          ++stats_.probe_hops;
+          DTM_CHECK(next.travelled <=
+                        4 * static_cast<Weight>(view.oracle().num_nodes()) *
+                            std::max<Weight>(view.oracle().diameter(), 1),
+                    "probe chase failed to terminate");
+          bus_.send(m.to, hop.next, now, next);
+          continue;
+        }
+        // The object is here (or inbound here): reply with its knowledge.
+        ReplyMsg reply;
+        reply.requester = probe->requester;
+        reply.object = probe->object;
+        reply.object_node = trails_.current_terminus(probe->object);
+        const ObjectState& os = view.object(probe->object);
+        reply.object_free_at =
+            os.in_transit() ? os.arrive_time() : now;
+        for (const TxnId uid : view.live_users_of(probe->object)) {
+          if (uid == probe->requester) continue;
+          reply.users.emplace_back(uid, view.txn(uid).node);
+        }
+        bus_.send(m.to, probe->requester_node, now, std::move(reply));
+      } else if (const auto* reply = std::get_if<ReplyMsg>(&m.payload)) {
+        const auto it = discovering_.find(reply->requester);
+        if (it == discovering_.end()) continue;  // already reported
+        Discovery& d = it->second;
+        d.y = std::max(d.y, view.oracle().dist(d.node, reply->object_node));
+        for (const auto& [uid, unode] : reply->users)
+          d.y = std::max(d.y, view.oracle().dist(d.node, unode));
+        d.awaiting.erase(reply->object);
+        if (d.awaiting.empty()) finish_discovery(view, reply->requester);
+      } else if (const auto* report = std::get_if<ReportMsg>(&m.payload)) {
+        // Delivered at the leader: queue for insertion this step.
+        const auto& tr = traces_[trace_index_.at(report->txn)];
+        reports_.push({now, report->txn, tr.home});
+      }
+    }
+  }
+}
+
+void DistributedBucketScheduler::finish_discovery(const SystemView& view,
+                                                  TxnId txn) {
+  const Time now = view.now();
+  const Discovery d = discovering_.at(txn);
+  discovering_.erase(txn);
+  const std::int32_t layer = cover_.lowest_layer_covering(d.y);
+  const ClusterRef home = cover_.home_cluster(d.node, layer);
+  const NodeId leader = cover_.cluster(home).leader;
+  traces_[trace_index_.at(txn)].home = home;
+  ++stats_.reports;
+  bus_.send(d.node, leader, now, ReportMsg{txn});
+}
+
+void DistributedBucketScheduler::handle_report(
+    const SystemView& view, const PendingReport& rep,
+    const std::map<TxnId, Time>& extra) {
+  BucketKey base{rep.home, -1};
+  const std::int32_t level = choose_level(view, base, rep.txn, extra);
+  base.level = level;
+  auto& bucket = partial_buckets_[base];
+
+  if (opts_.check_sublayer_disjointness) {
+    // Corollary 1: within one sub-layer (and level), conflicting
+    // transactions land in the same partial bucket.
+    const Transaction& t = view.txn(rep.txn);
+    for (const auto& [key, members] : partial_buckets_) {
+      if (key.level != level || key.home == rep.home) continue;
+      if (key.home.layer != rep.home.layer ||
+          key.home.sublayer != rep.home.sublayer)
+        continue;
+      for (const TxnId other : members)
+        DTM_CHECK(!t.conflicts_with(view.txn(other)),
+                  "Corollary 1 violated: txns " << t.id << " and " << other
+                                                << " conflict across partial "
+                                                   "buckets of one sub-layer");
+    }
+  }
+
+  bucket.push_back(rep.txn);
+  max_level_used_ = std::max(max_level_used_, level);
+  auto& tr = traces_[trace_index_.at(rep.txn)];
+  tr.reported = rep.when;
+  tr.level = level;
+}
+
+std::int32_t DistributedBucketScheduler::choose_level(
+    const SystemView& view, const BucketKey& base, TxnId txn,
+    const std::map<TxnId, Time>& extra) {
+  for (std::int32_t i = 0; i < num_levels_; ++i) {
+    BucketKey key = base;
+    key.level = i;
+    std::vector<TxnId> members;
+    const auto it = partial_buckets_.find(key);
+    if (it != partial_buckets_.end()) members = it->second;
+    members.push_back(txn);
+    const BatchProblem p = build_batch_problem(view, members, extra);
+    if (estimate_fa(*algo_, p, rng_) <= (Time{1} << i)) return i;
+  }
+  return num_levels_ - 1;
+}
+
+void DistributedBucketScheduler::activate(const SystemView& view,
+                                          std::int32_t level,
+                                          std::map<TxnId, Time>& extra,
+                                          std::vector<Assignment>& out) {
+  // Collect this level's nonempty partial buckets in height order (the
+  // lexicographic serialization of Lemma 8).
+  std::vector<BucketKey> keys;
+  for (const auto& [key, members] : partial_buckets_)
+    if (key.level == level && !members.empty()) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
+  const Time now = view.now();
+  for (const BucketKey& key : keys) {
+    auto& members = partial_buckets_.at(key);
+    const CoverCluster& cluster = cover_.cluster(key.home);
+    BatchProblem p = build_batch_problem(view, members, extra);
+    // Leader gather round: object commitments cannot be consumed before the
+    // leader has collected state and redistributed decisions inside the
+    // cluster (weak-diameter round trip).
+    const Time gather = cluster.weak_diameter;
+    for (auto& o : p.objects) o.ready = std::max(o.ready, now + gather);
+
+    const BatchScheduler& a =
+        wrapped_ ? static_cast<const BatchScheduler&>(*wrapped_) : *algo_;
+    BatchResult r = a.schedule(p, rng_);
+    if (a.randomized()) {
+      for (std::int32_t t = 1; t < opts_.randomized_retries; ++t) {
+        BatchResult alt = a.schedule(p, rng_);
+        if (alt.makespan < r.makespan) r = std::move(alt);
+      }
+    }
+    // Leader -> transaction notification: a commit cannot happen before the
+    // decision physically reaches the node. A uniform shift preserves every
+    // chain gap and all availability floors.
+    Time shift = 0;
+    for (const auto& asg : r.assignments) {
+      const NodeId node = view.txn(asg.txn).node;
+      const Weight notify = view.oracle().dist(cluster.leader, node);
+      shift = std::max(shift, (now + notify) - asg.exec);
+      ++stats_.notifications;
+      analytic_distance_ += notify;
+    }
+    for (const auto& asg : r.assignments) {
+      const Assignment final{asg.txn, asg.exec + shift};
+      out.push_back(final);
+      extra[final.txn] = final.exec;
+      auto& tr = traces_[trace_index_.at(final.txn)];
+      tr.exec = final.exec;
+    }
+    members.clear();
+  }
+}
+
+Time DistributedBucketScheduler::next_event_hint(Time now) const {
+  Time next = reports_.empty() ? kNoTime : std::max(reports_.top().when, now);
+  const Time bus_next = bus_.next_delivery();
+  if (bus_next != kNoTime) {
+    const Time fire = std::max(bus_next, now);
+    next = next == kNoTime ? fire : std::min(next, fire);
+  }
+  for (const auto& [key, members] : partial_buckets_) {
+    if (members.empty()) continue;
+    const Time period =
+        key.level < 63 ? (Time{1} << key.level) : (Time{1} << 62);
+    const Time base = std::max<Time>(now, 1);
+    const Time fire = ((base + period - 1) / period) * period;
+    next = next == kNoTime ? fire : std::min(next, fire);
+  }
+  return next;
+}
+
+}  // namespace dtm

@@ -1,0 +1,63 @@
+#include "dist/tracking.hpp"
+
+namespace dtm {
+
+void ObjectTrailDirectory::register_object(ObjId id, NodeId birth) {
+  Trail t;
+  t.birth = birth;
+  t.terminus = birth;
+  const bool inserted = trails_.emplace(id, std::move(t)).second;
+  DTM_CHECK(inserted, "object " << id << " registered twice");
+}
+
+NodeId ObjectTrailDirectory::birth_node(ObjId id) const {
+  const auto it = trails_.find(id);
+  DTM_REQUIRE(it != trails_.end(), "unknown object " << id);
+  return it->second.birth;
+}
+
+void ObjectTrailDirectory::observe(const ObjectState& obj, Time /*now*/) {
+  const auto it = trails_.find(obj.id());
+  DTM_REQUIRE(it != trails_.end(), "unknown object " << obj.id());
+  Trail& t = it->second;
+  if (obj.in_transit()) {
+    const NodeId from = obj.leg_from();
+    const NodeId to = obj.dest();
+    if (!t.was_in_transit || t.leg_from != from || t.leg_to != to) {
+      // New leg: the departure node keeps a forwarding pointer stamped with
+      // the true departure time (a probe arriving earlier sees the object
+      // as still present, which physically it is).
+      t.pointer[from] = {to, obj.depart_time()};
+      t.leg_from = from;
+      t.leg_to = to;
+      t.was_in_transit = true;
+      t.terminus = to;
+    }
+  } else {
+    t.was_in_transit = false;
+    t.terminus = obj.at();
+  }
+}
+
+ObjectTrailDirectory::TrailHop ObjectTrailDirectory::lookup(
+    ObjId id, NodeId node, Time now, Time min_depart) const {
+  const auto it = trails_.find(id);
+  DTM_REQUIRE(it != trails_.end(), "unknown object " << id);
+  const auto pit = it->second.pointer.find(node);
+  TrailHop hop;
+  if (pit != it->second.pointer.end() && pit->second.second <= now &&
+      (min_depart == kNoTime || pit->second.second >= min_depart)) {
+    hop.departed = true;
+    hop.next = pit->second.first;
+    hop.depart_time = pit->second.second;
+  }
+  return hop;
+}
+
+NodeId ObjectTrailDirectory::current_terminus(ObjId id) const {
+  const auto it = trails_.find(id);
+  DTM_REQUIRE(it != trails_.end(), "unknown object " << id);
+  return it->second.terminus;
+}
+
+}  // namespace dtm

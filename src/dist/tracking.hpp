@@ -1,0 +1,69 @@
+// Object tracking via forwarding-pointer trails (paper §V: "We can track
+// objects in transit by reaching the node that the object departs from").
+//
+// Every time an object leaves a node, that node keeps a forwarding pointer
+// (where it went, when it left). A probe that knows the object's birth node
+// chases the trail pointer by pointer; because objects travel at half the
+// message speed, the chase terminates (the probe gains distance on every
+// hop). The directory is a *distributed* data structure in the model; the
+// simulation stores it centrally but every lookup is made by a probe that
+// physically visits the node, so information only flows at network speed.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/object_state.hpp"
+#include "core/types.hpp"
+
+namespace dtm {
+
+class ObjectTrailDirectory {
+ public:
+  /// Registers the object's birth node (time 0). Requesters are assumed to
+  /// know birth nodes (static global knowledge, as in the paper).
+  void register_object(ObjId id, NodeId birth);
+
+  [[nodiscard]] NodeId birth_node(ObjId id) const;
+
+  /// Mirrors the engine's object state into the trail: call once per
+  /// observed step per object; departures are recorded at the node the
+  /// object left with the exact departure time read off the leg.
+  void observe(const ObjectState& obj, Time now);
+
+  /// What a probe physically standing at `node` at time `now` learns about
+  /// the object: either "departed toward X at time T" (follow the trail,
+  /// only visible if T <= now) or "resting here / inbound here".
+  /// `min_depart` filters to pointers laid at or after the previous hop's
+  /// departure: trails are walked forward in time (an older pointer at a
+  /// revisited node means the object has since come back — it is here).
+  struct TrailHop {
+    bool departed = false;
+    NodeId next = kNoNode;   ///< where it went (valid if departed)
+    Time depart_time = kNoTime;
+  };
+  [[nodiscard]] TrailHop lookup(ObjId id, NodeId node, Time now,
+                                Time min_depart = kNoTime) const;
+
+  /// The node at the end of the currently-known trail (where the object
+  /// rests or will next arrive). Used by the holder to answer probes.
+  [[nodiscard]] NodeId current_terminus(ObjId id) const;
+
+ private:
+  struct Trail {
+    NodeId birth = kNoNode;
+    /// Per node, the most recent departure (node -> (next, time)). A node
+    /// can be revisited; the latest pointer wins, and a probe arriving
+    /// before the recorded departure treats the object as still here —
+    /// exactly the physical semantics.
+    std::map<NodeId, std::pair<NodeId, Time>> pointer;
+    NodeId terminus = kNoNode;
+    // Last observed leg, to detect changes.
+    bool was_in_transit = false;
+    NodeId leg_from = kNoNode;
+    NodeId leg_to = kNoNode;
+  };
+  std::map<ObjId, Trail> trails_;
+};
+
+}  // namespace dtm

@@ -1,0 +1,78 @@
+#include "net/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace dtm {
+
+void Graph::add_edge(NodeId u, NodeId v, Weight w) {
+  DTM_REQUIRE(valid_node(u) && valid_node(v), "edge {" << u << "," << v << "}");
+  DTM_REQUIRE(u != v, "self loop at node " << u);
+  DTM_REQUIRE(w > 0, "edge weight " << w << " must be positive");
+  adj_[static_cast<std::size_t>(u)].push_back({v, w});
+  adj_[static_cast<std::size_t>(v)].push_back({u, w});
+  ++num_edges_;
+}
+
+bool Graph::connected() const {
+  const auto d = sssp(0);
+  return std::none_of(d.begin(), d.end(),
+                      [](Weight x) { return x >= kInfWeight; });
+}
+
+namespace {
+
+// Shared Dijkstra core: stops expanding past `radius` when radius >= 0.
+std::vector<Weight> dijkstra(const Graph& g, NodeId source, Weight radius) {
+  std::vector<Weight> dist(static_cast<std::size_t>(g.num_nodes()),
+                           kInfWeight);
+  using Item = std::pair<Weight, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[static_cast<std::size_t>(source)] = 0;
+  pq.emplace(0, source);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    for (const auto& e : g.neighbors(u)) {
+      const Weight nd = d + e.weight;
+      if (radius >= 0 && nd > radius) continue;
+      if (nd < dist[static_cast<std::size_t>(e.to)]) {
+        dist[static_cast<std::size_t>(e.to)] = nd;
+        pq.emplace(nd, e.to);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<Weight> Graph::sssp(NodeId source) const {
+  DTM_REQUIRE(valid_node(source), "sssp source " << source);
+  return dijkstra(*this, source, -1);
+}
+
+std::vector<Weight> Graph::sssp_within(NodeId source, Weight radius) const {
+  DTM_REQUIRE(valid_node(source), "sssp source " << source);
+  DTM_REQUIRE(radius >= 0, "radius " << radius);
+  return dijkstra(*this, source, radius);
+}
+
+ApspOracle::ApspOracle(const Graph& g) : n_(g.num_nodes()) {
+  dist_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_));
+  for (NodeId s = 0; s < n_; ++s) {
+    const auto row = g.sssp(s);
+    DTM_CHECK(std::none_of(row.begin(), row.end(),
+                           [](Weight x) { return x >= kInfWeight; }),
+              "graph must be connected for APSP oracle (source " << s << ")");
+    std::copy(row.begin(), row.end(),
+              dist_.begin() +
+                  static_cast<std::ptrdiff_t>(
+                      static_cast<std::size_t>(s) *
+                      static_cast<std::size_t>(n_)));
+    diameter_ = std::max(diameter_, *std::max_element(row.begin(), row.end()));
+  }
+}
+
+}  // namespace dtm

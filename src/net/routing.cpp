@@ -1,0 +1,73 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace dtm {
+
+RoutingTable::RoutingTable(const Graph& g) : n_(g.num_nodes()), graph_(&g) {
+  next_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
+               kNoNode);
+  dist_.assign(next_.size(), kInfWeight);
+  // One Dijkstra per destination, recording each node's parent toward the
+  // destination; the parent IS the next hop.
+  using Item = std::pair<Weight, NodeId>;
+  for (NodeId dest = 0; dest < n_; ++dest) {
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist_[idx(dest, dest)] = 0;
+    next_[idx(dest, dest)] = dest;
+    pq.emplace(0, dest);
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist_[idx(dest, u)]) continue;
+      for (const auto& e : g.neighbors(u)) {
+        const Weight nd = d + e.weight;
+        auto& cur = dist_[idx(dest, e.to)];
+        auto& hop = next_[idx(dest, e.to)];
+        if (nd < cur) {
+          cur = nd;
+          hop = u;  // from e.to, step to u to get closer to dest
+          pq.emplace(nd, e.to);
+        } else if (nd == cur && u < hop) {
+          hop = u;  // deterministic tie-break; u is a valid parent (equal d)
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < dist_.size(); ++i)
+    DTM_CHECK(dist_[i] < kInfWeight,
+              "routing table requires a connected graph");
+}
+
+NodeId RoutingTable::next_hop(NodeId u, NodeId dest) const {
+  DTM_REQUIRE(u >= 0 && u < n_ && dest >= 0 && dest < n_,
+              "next_hop(" << u << "," << dest << ")");
+  return next_[idx(dest, u)];
+}
+
+std::vector<NodeId> RoutingTable::path(NodeId u, NodeId dest) const {
+  std::vector<NodeId> p{u};
+  while (u != dest) {
+    u = next_hop(u, dest);
+    p.push_back(u);
+    DTM_CHECK(p.size() <= static_cast<std::size_t>(n_) + 1,
+              "routing loop between " << p.front() << " and " << dest);
+  }
+  return p;
+}
+
+Weight RoutingTable::dist(NodeId u, NodeId dest) const {
+  DTM_REQUIRE(u >= 0 && u < n_ && dest >= 0 && dest < n_,
+              "dist(" << u << "," << dest << ")");
+  return dist_[idx(dest, u)];
+}
+
+Weight RoutingTable::edge_weight(NodeId u, NodeId v) const {
+  for (const auto& e : graph_->neighbors(u))
+    if (e.to == v) return e.weight;
+  DTM_CHECK(false, "nodes " << u << " and " << v << " are not adjacent");
+  return 0;
+}
+
+}  // namespace dtm

@@ -1,0 +1,46 @@
+// Explicit shortest-path routing: per-source next-hop tables.
+//
+// The baseline model (paper §II) abstracts object motion as "arrives after
+// dist(u,v) steps". The congestion extension (paper §VI names bounded link
+// capacity as an open question) needs objects to physically occupy edges,
+// which requires hop-by-hop paths. One Dijkstra per source; O(n^2) memory.
+#pragma once
+
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace dtm {
+
+class RoutingTable {
+ public:
+  explicit RoutingTable(const Graph& g);
+
+  /// First hop on a shortest path from `u` toward `dest` (u itself when
+  /// u == dest). Deterministic: ties broken toward the smaller node id.
+  [[nodiscard]] NodeId next_hop(NodeId u, NodeId dest) const;
+
+  /// Full node sequence u -> ... -> dest (inclusive).
+  [[nodiscard]] std::vector<NodeId> path(NodeId u, NodeId dest) const;
+
+  /// Shortest-path distance (same metric the hops realize).
+  [[nodiscard]] Weight dist(NodeId u, NodeId dest) const;
+
+  [[nodiscard]] NodeId num_nodes() const { return n_; }
+
+  /// Weight of edge {u, v}; u and v must be adjacent.
+  [[nodiscard]] Weight edge_weight(NodeId u, NodeId v) const;
+
+ private:
+  [[nodiscard]] std::size_t idx(NodeId u, NodeId v) const {
+    return static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(v);
+  }
+
+  NodeId n_;
+  const Graph* graph_;
+  std::vector<NodeId> next_;   ///< next_[dest * n + u] = hop from u to dest
+  std::vector<Weight> dist_;
+};
+
+}  // namespace dtm

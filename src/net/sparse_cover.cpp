@@ -1,0 +1,165 @@
+#include "net/sparse_cover.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dtm {
+
+namespace {
+
+std::int32_t ceil_log2(std::int64_t x) {
+  DTM_REQUIRE(x >= 1, "ceil_log2(" << x << ")");
+  std::int32_t l = 0;
+  std::int64_t p = 1;
+  while (p < x) {
+    p <<= 1;
+    ++l;
+  }
+  return l;
+}
+
+}  // namespace
+
+SparseCover::SparseCover(const Graph& g, const DistanceOracle& oracle,
+                         const Options& opts) {
+  const NodeId n = g.num_nodes();
+  const Weight d = std::max<Weight>(oracle.diameter(), 1);
+  const std::int32_t h1 = ceil_log2(d) + 1;
+  std::int32_t max_random = opts.max_random_sublayers;
+  if (max_random <= 0) max_random = 4 * ceil_log2(std::max<NodeId>(n, 2)) + 8;
+
+  Rng rng(opts.seed);
+  layers_.resize(static_cast<std::size_t>(h1));
+  home_.assign(static_cast<std::size_t>(h1),
+               std::vector<std::pair<std::int32_t, std::int32_t>>(
+                   static_cast<std::size_t>(n), {-1, -1}));
+  for (std::int32_t l = 0; l < h1; ++l) {
+    layers_[static_cast<std::size_t>(l)].radius = Weight{1} << l;
+    build_layer(g, oracle, l, rng, max_random);
+  }
+}
+
+void SparseCover::build_layer(const Graph& g, const DistanceOracle& oracle,
+                              std::int32_t l, Rng& rng,
+                              std::int32_t max_random) {
+  const NodeId n = g.num_nodes();
+  auto& layer = layers_[static_cast<std::size_t>(l)];
+  auto& home = home_[static_cast<std::size_t>(l)];
+  const Weight r = layer.radius;
+
+  std::vector<bool> home_done(static_cast<std::size_t>(n), false);
+  NodeId remaining = n;
+
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  std::int32_t sublayer_count = 0;
+  while (remaining > 0) {
+    // Safety valve: random carving makes progress every sub-layer (the first
+    // uncovered center always gets home-covered), so this loop terminates in
+    // at most n sub-layers; max_random only controls when we stop shuffling
+    // and switch to deterministic uncovered-first ordering.
+    const bool randomized = sublayer_count < max_random;
+    if (randomized) {
+      rng.shuffle(order);
+    } else {
+      std::stable_partition(order.begin(), order.end(), [&](NodeId u) {
+        return !home_done[static_cast<std::size_t>(u)];
+      });
+    }
+
+    CoverSubLayer sub;
+    sub.cluster_of.assign(static_cast<std::size_t>(n), -1);
+
+    for (const NodeId c : order) {
+      if (home_done[static_cast<std::size_t>(c)]) continue;
+      if (sub.cluster_of[static_cast<std::size_t>(c)] >= 0) continue;
+      // Carve the still-unassigned part of ball(c, 2R).
+      const auto ball = g.sssp_within(c, 2 * r);
+      CoverCluster cl;
+      cl.leader = c;
+      for (NodeId u = 0; u < n; ++u) {
+        if (ball[static_cast<std::size_t>(u)] < kInfWeight &&
+            sub.cluster_of[static_cast<std::size_t>(u)] < 0) {
+          sub.cluster_of[static_cast<std::size_t>(u)] =
+              static_cast<std::int32_t>(sub.clusters.size());
+          cl.nodes.push_back(u);
+        }
+      }
+      sub.clusters.push_back(std::move(cl));
+    }
+    // Nodes untouched by any carve (all were home-covered or swallowed):
+    // singleton clusters keep the sub-layer a partition of V.
+    for (NodeId u = 0; u < n; ++u) {
+      if (sub.cluster_of[static_cast<std::size_t>(u)] < 0) {
+        sub.cluster_of[static_cast<std::size_t>(u)] =
+            static_cast<std::int32_t>(sub.clusters.size());
+        sub.clusters.push_back({u, {u}, 0});
+      }
+    }
+    // Weak-diameter upper bound: members sit within 2R of the leader, so
+    // pairwise distance is at most twice the max leader distance.
+    for (auto& cl : sub.clusters) {
+      Weight to_leader = 0;
+      for (const NodeId u : cl.nodes)
+        to_leader = std::max(to_leader, oracle.dist(cl.leader, u));
+      cl.weak_diameter = 2 * to_leader;
+      DTM_CHECK(cl.weak_diameter <= 4 * r,
+                "cluster diameter bound violated at layer " << l);
+    }
+    // Home-coverage scan: u is covered if its (R-1)-neighborhood lies inside
+    // u's cluster in this sub-layer.
+    const std::int32_t si = static_cast<std::int32_t>(layer.sublayers.size());
+    for (NodeId u = 0; u < n; ++u) {
+      if (home_done[static_cast<std::size_t>(u)]) continue;
+      const std::int32_t cu = sub.cluster_of[static_cast<std::size_t>(u)];
+      const auto nb = g.sssp_within(u, r - 1);
+      bool inside = true;
+      for (NodeId v = 0; v < n && inside; ++v) {
+        if (nb[static_cast<std::size_t>(v)] < kInfWeight &&
+            sub.cluster_of[static_cast<std::size_t>(v)] != cu) {
+          inside = false;
+        }
+      }
+      if (inside) {
+        home_done[static_cast<std::size_t>(u)] = true;
+        home[static_cast<std::size_t>(u)] = {si, cu};
+        --remaining;
+      }
+    }
+    layer.sublayers.push_back(std::move(sub));
+    ++sublayer_count;
+    DTM_CHECK(sublayer_count <= n + 1,
+              "sparse cover failed to converge at layer " << l);
+  }
+}
+
+const CoverCluster& SparseCover::cluster(const ClusterRef& ref) const {
+  DTM_REQUIRE(ref.valid(), "invalid cluster ref");
+  const auto& layer = layers_[static_cast<std::size_t>(ref.layer)];
+  const auto& sub = layer.sublayers[static_cast<std::size_t>(ref.sublayer)];
+  return sub.clusters[static_cast<std::size_t>(ref.cluster)];
+}
+
+ClusterRef SparseCover::home_cluster(NodeId u, std::int32_t l) const {
+  DTM_REQUIRE(l >= 0 && l < num_layers(), "layer " << l);
+  const auto& [si, ci] =
+      home_[static_cast<std::size_t>(l)][static_cast<std::size_t>(u)];
+  DTM_CHECK(si >= 0, "node " << u << " has no home cluster at layer " << l);
+  return {l, si, ci};
+}
+
+std::int32_t SparseCover::lowest_layer_covering(Weight y) const {
+  DTM_REQUIRE(y >= 0, "coverage radius " << y);
+  const std::int32_t l = ceil_log2(y + 1);
+  return std::min(l, num_layers() - 1);
+}
+
+std::int32_t SparseCover::max_sublayers() const {
+  std::int32_t m = 0;
+  for (const auto& l : layers_)
+    m = std::max(m, static_cast<std::int32_t>(l.sublayers.size()));
+  return m;
+}
+
+}  // namespace dtm

@@ -1,0 +1,99 @@
+// Hierarchical sparse cover decomposition (paper §V, "Cluster
+// Decomposition"), the substrate of the distributed bucket scheduler.
+//
+// The hierarchy has H1 = ceil(log2 D) + 1 layers. Layer l targets locality
+// radius R = 2^l. Each layer consists of sub-layers; every sub-layer is a
+// *partition* of V into clusters of weak diameter O(R) (we guarantee <= 4R).
+// For every node u and every layer l, some cluster in some sub-layer of
+// layer l contains the (2^l - 1)-neighborhood of u; one such cluster is
+// designated u's *home cluster* at layer l. One node per cluster is its
+// leader (the carving center).
+//
+// Construction is randomized ball carving per sub-layer, repeated until all
+// nodes are home-covered at the layer; with random center orderings the
+// expected number of sub-layers is O(log n), matching the paper's
+// g(l) = O(log n) overlap.
+#pragma once
+
+#include <vector>
+
+#include "net/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+
+/// A cluster in one sub-layer of the hierarchy.
+struct CoverCluster {
+  NodeId leader = kNoNode;          ///< carving center; hosts partial buckets
+  std::vector<NodeId> nodes;        ///< members (sorted)
+  Weight weak_diameter = 0;         ///< max pairwise G-distance among members
+};
+
+/// A partition of V into clusters.
+struct CoverSubLayer {
+  std::vector<CoverCluster> clusters;
+  std::vector<std::int32_t> cluster_of;  ///< node -> index into clusters
+};
+
+/// All sub-layers of one locality scale.
+struct CoverLayer {
+  Weight radius = 0;  ///< R = 2^l
+  std::vector<CoverSubLayer> sublayers;
+};
+
+/// Identifies a cluster in the hierarchy. Heights (layer, sublayer) are
+/// ordered lexicographically, as in the paper.
+struct ClusterRef {
+  std::int32_t layer = -1;
+  std::int32_t sublayer = -1;
+  std::int32_t cluster = -1;
+
+  [[nodiscard]] bool valid() const { return layer >= 0; }
+  friend auto operator<=>(const ClusterRef&, const ClusterRef&) = default;
+};
+
+struct SparseCoverOptions {
+    std::uint64_t seed = 12345;
+    /// Cap on sub-layers tried with random centers before the deterministic
+    /// fallback sweep kicks in (fallback preserves correctness, not the
+    /// O(log n) overlap).
+    std::int32_t max_random_sublayers = 0;  ///< 0 => 4*ceil(log2 n) + 8
+  };
+
+class SparseCover {
+ public:
+  using Options = SparseCoverOptions;
+
+  SparseCover(const Graph& g, const DistanceOracle& oracle,
+              const Options& opts = {});
+
+  [[nodiscard]] std::int32_t num_layers() const {
+    return static_cast<std::int32_t>(layers_.size());
+  }
+  [[nodiscard]] const CoverLayer& layer(std::int32_t l) const {
+    DTM_REQUIRE(l >= 0 && l < num_layers(), "layer " << l);
+    return layers_[static_cast<std::size_t>(l)];
+  }
+  [[nodiscard]] const CoverCluster& cluster(const ClusterRef& ref) const;
+
+  /// The home cluster of `u` at layer `l`: contains u's (2^l - 1)-
+  /// neighborhood.
+  [[nodiscard]] ClusterRef home_cluster(NodeId u, std::int32_t l) const;
+
+  /// Smallest layer l such that u's home cluster at l contains the
+  /// y-neighborhood of u, i.e. 2^l - 1 >= y (Algorithm 3, line 5).
+  [[nodiscard]] std::int32_t lowest_layer_covering(Weight y) const;
+
+  /// Max sub-layers over layers: the paper's H2 (per-node overlap per layer).
+  [[nodiscard]] std::int32_t max_sublayers() const;
+
+ private:
+  void build_layer(const Graph& g, const DistanceOracle& oracle,
+                   std::int32_t l, Rng& rng, std::int32_t max_random);
+
+  std::vector<CoverLayer> layers_;
+  /// home_[l][u] = (sublayer, cluster) of u's home at layer l.
+  std::vector<std::vector<std::pair<std::int32_t, std::int32_t>>> home_;
+};
+
+}  // namespace dtm

@@ -1,0 +1,374 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <utility>
+
+namespace dtm {
+
+std::string to_string(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kClique: return "clique";
+    case TopologyKind::kLine: return "line";
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kGrid: return "grid";
+    case TopologyKind::kHypercube: return "hypercube";
+    case TopologyKind::kButterfly: return "butterfly";
+    case TopologyKind::kStar: return "star";
+    case TopologyKind::kCluster: return "cluster";
+    case TopologyKind::kTorus: return "torus";
+    case TopologyKind::kTree: return "tree";
+    case TopologyKind::kRandom: return "random";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Closed-form oracle defined by a distance functor.
+template <typename DistFn>
+class FormulaOracle final : public DistanceOracle {
+ public:
+  FormulaOracle(NodeId n, Weight diameter, DistFn fn)
+      : n_(n), diameter_(diameter), fn_(std::move(fn)) {}
+
+  [[nodiscard]] Weight dist(NodeId u, NodeId v) const override {
+    DTM_REQUIRE(u >= 0 && v >= 0 && u < n_ && v < n_,
+                "dist(" << u << "," << v << ") n=" << n_);
+    return fn_(u, v);
+  }
+  [[nodiscard]] Weight diameter() const override { return diameter_; }
+  [[nodiscard]] NodeId num_nodes() const override { return n_; }
+
+ private:
+  NodeId n_;
+  Weight diameter_;
+  DistFn fn_;
+};
+
+template <typename DistFn>
+std::shared_ptr<const DistanceOracle> make_formula_oracle(NodeId n,
+                                                          Weight diameter,
+                                                          DistFn fn) {
+  return std::make_shared<FormulaOracle<DistFn>>(n, diameter, std::move(fn));
+}
+
+/// Mixed-radix decode of a row-major grid/torus node id.
+std::vector<NodeId> grid_coords(NodeId id, const std::vector<NodeId>& ext) {
+  std::vector<NodeId> c(ext.size());
+  for (std::size_t d = ext.size(); d-- > 0;) {
+    c[d] = id % ext[d];
+    id /= ext[d];
+  }
+  return c;
+}
+
+NodeId checked_product(const std::vector<NodeId>& ext) {
+  DTM_REQUIRE(!ext.empty(), "grid needs at least one dimension");
+  std::int64_t n = 1;
+  for (const NodeId e : ext) {
+    DTM_REQUIRE(e >= 1, "grid extent " << e);
+    n *= e;
+    DTM_REQUIRE(n <= (std::int64_t{1} << 30), "grid too large: " << n);
+  }
+  return static_cast<NodeId>(n);
+}
+
+}  // namespace
+
+Network make_clique(NodeId n) {
+  DTM_REQUIRE(n >= 1, "clique n=" << n);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v, 1);
+  auto oracle = make_formula_oracle(
+      n, n > 1 ? 1 : 0,
+      [](NodeId u, NodeId v) -> Weight { return u == v ? 0 : 1; });
+  return {TopologyKind::kClique, "clique(n=" + std::to_string(n) + ")",
+          std::move(g), std::move(oracle)};
+}
+
+Network make_line(NodeId n) {
+  DTM_REQUIRE(n >= 1, "line n=" << n);
+  Graph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) g.add_edge(u, u + 1, 1);
+  auto oracle = make_formula_oracle(
+      n, static_cast<Weight>(n - 1),
+      [](NodeId u, NodeId v) -> Weight { return std::abs(u - v); });
+  return {TopologyKind::kLine, "line(n=" + std::to_string(n) + ")",
+          std::move(g), std::move(oracle)};
+}
+
+Network make_ring(NodeId n) {
+  DTM_REQUIRE(n >= 3, "ring n=" << n);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) g.add_edge(u, (u + 1) % n, 1);
+  auto oracle = make_formula_oracle(
+      n, static_cast<Weight>(n / 2), [n](NodeId u, NodeId v) -> Weight {
+        const Weight d = std::abs(u - v);
+        return std::min<Weight>(d, n - d);
+      });
+  return {TopologyKind::kRing, "ring(n=" + std::to_string(n) + ")",
+          std::move(g), std::move(oracle)};
+}
+
+Network make_grid(const std::vector<NodeId>& extents) {
+  const NodeId n = checked_product(extents);
+  Graph g(n);
+  for (NodeId id = 0; id < n; ++id) {
+    const auto c = grid_coords(id, extents);
+    NodeId stride = 1;
+    for (std::size_t d = extents.size(); d-- > 0;) {
+      if (c[d] + 1 < extents[d]) g.add_edge(id, id + stride, 1);
+      stride *= extents[d];
+    }
+  }
+  Weight diam = 0;
+  for (const NodeId e : extents) diam += e - 1;
+  auto ext = extents;
+  auto oracle = make_formula_oracle(
+      n, diam, [ext](NodeId u, NodeId v) -> Weight {
+        Weight d = 0;
+        for (std::size_t i = ext.size(); i-- > 0;) {
+          d += std::abs(u % ext[i] - v % ext[i]);
+          u /= ext[i];
+          v /= ext[i];
+        }
+        return d;
+      });
+  std::string name = "grid(";
+  for (std::size_t i = 0; i < extents.size(); ++i)
+    name += (i ? "x" : "") + std::to_string(extents[i]);
+  name += ")";
+  return {TopologyKind::kGrid, std::move(name), std::move(g),
+          std::move(oracle)};
+}
+
+Network make_torus(const std::vector<NodeId>& extents) {
+  const NodeId n = checked_product(extents);
+  Graph g(n);
+  std::set<std::pair<NodeId, NodeId>> added;  // avoid parallel wrap edges
+  for (NodeId id = 0; id < n; ++id) {
+    const auto c = grid_coords(id, extents);
+    NodeId stride = 1;
+    for (std::size_t d = extents.size(); d-- > 0;) {
+      if (extents[d] > 1) {
+        const NodeId next =
+            c[d] + 1 < extents[d] ? id + stride : id - (extents[d] - 1) * stride;
+        const auto key = std::minmax(id, next);
+        if (added.insert({key.first, key.second}).second)
+          g.add_edge(id, next, 1);
+      }
+      stride *= extents[d];
+    }
+  }
+  Weight diam = 0;
+  for (const NodeId e : extents) diam += e / 2;
+  auto ext = extents;
+  auto oracle = make_formula_oracle(
+      n, diam, [ext](NodeId u, NodeId v) -> Weight {
+        Weight d = 0;
+        for (std::size_t i = ext.size(); i-- > 0;) {
+          const Weight raw = std::abs(u % ext[i] - v % ext[i]);
+          d += std::min<Weight>(raw, ext[i] - raw);
+          u /= ext[i];
+          v /= ext[i];
+        }
+        return d;
+      });
+  std::string name = "torus(";
+  for (std::size_t i = 0; i < extents.size(); ++i)
+    name += (i ? "x" : "") + std::to_string(extents[i]);
+  name += ")";
+  return {TopologyKind::kTorus, std::move(name), std::move(g),
+          std::move(oracle)};
+}
+
+Network make_hypercube(int d) {
+  DTM_REQUIRE(d >= 0 && d <= 24, "hypercube d=" << d);
+  const NodeId n = NodeId{1} << d;
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (int b = 0; b < d; ++b)
+      if (u < (u ^ (NodeId{1} << b))) g.add_edge(u, u ^ (NodeId{1} << b), 1);
+  auto oracle = make_formula_oracle(
+      n, static_cast<Weight>(d), [](NodeId u, NodeId v) -> Weight {
+        return std::popcount(static_cast<std::uint32_t>(u ^ v));
+      });
+  return {TopologyKind::kHypercube, "hypercube(d=" + std::to_string(d) + ")",
+          std::move(g), std::move(oracle)};
+}
+
+Network make_butterfly(int d) {
+  DTM_REQUIRE(d >= 1 && d <= 10, "butterfly d=" << d);
+  const NodeId rows = NodeId{1} << d;
+  const NodeId n = (d + 1) * rows;
+  Graph g(n);
+  auto id = [rows](NodeId level, NodeId row) { return level * rows + row; };
+  for (NodeId level = 0; level < d; ++level) {
+    for (NodeId row = 0; row < rows; ++row) {
+      g.add_edge(id(level, row), id(level + 1, row), 1);
+      g.add_edge(id(level, row), id(level + 1, row ^ (NodeId{1} << level)), 1);
+    }
+  }
+  auto oracle = std::make_shared<ApspOracle>(g);
+  return {TopologyKind::kButterfly, "butterfly(d=" + std::to_string(d) + ")",
+          std::move(g), oracle};
+}
+
+NodeId star_node(NodeId alpha, NodeId beta, NodeId ray, NodeId pos) {
+  DTM_REQUIRE(ray >= 0 && ray < alpha && pos >= 0 && pos < beta,
+              "star_node ray=" << ray << " pos=" << pos);
+  return 1 + ray * beta + pos;
+}
+
+Network make_star(NodeId alpha, NodeId beta) {
+  DTM_REQUIRE(alpha >= 1 && beta >= 1, "star alpha=" << alpha
+                                                     << " beta=" << beta);
+  const NodeId n = 1 + alpha * beta;
+  Graph g(n);
+  for (NodeId r = 0; r < alpha; ++r) {
+    g.add_edge(0, star_node(alpha, beta, r, 0), 1);
+    for (NodeId j = 0; j + 1 < beta; ++j)
+      g.add_edge(star_node(alpha, beta, r, j), star_node(alpha, beta, r, j + 1),
+                 1);
+  }
+  const Weight diam = alpha >= 2 ? 2 * static_cast<Weight>(beta)
+                                 : static_cast<Weight>(beta);
+  auto oracle = make_formula_oracle(
+      n, diam, [beta](NodeId u, NodeId v) -> Weight {
+        if (u == v) return 0;
+        if (u == 0) return (v - 1) % beta + 1;
+        if (v == 0) return (u - 1) % beta + 1;
+        const NodeId ru = (u - 1) / beta, pu = (u - 1) % beta;
+        const NodeId rv = (v - 1) / beta, pv = (v - 1) % beta;
+        if (ru == rv) return std::abs(pu - pv);
+        return static_cast<Weight>(pu) + pv + 2;
+      });
+  return {TopologyKind::kStar,
+          "star(a=" + std::to_string(alpha) + ",b=" + std::to_string(beta) + ")",
+          std::move(g), std::move(oracle)};
+}
+
+NodeId cluster_node(NodeId beta, NodeId clique, NodeId member) {
+  DTM_REQUIRE(member >= 0 && member < beta, "cluster member " << member);
+  return clique * beta + member;
+}
+
+Network make_cluster(NodeId alpha, NodeId beta, Weight gamma) {
+  DTM_REQUIRE(alpha >= 1 && beta >= 1, "cluster alpha=" << alpha
+                                                        << " beta=" << beta);
+  DTM_REQUIRE(gamma >= beta, "cluster requires gamma >= beta (paper §IV-D); "
+                             "gamma=" << gamma << " beta=" << beta);
+  const NodeId n = alpha * beta;
+  Graph g(n);
+  for (NodeId c = 0; c < alpha; ++c)
+    for (NodeId i = 0; i < beta; ++i)
+      for (NodeId j = i + 1; j < beta; ++j)
+        g.add_edge(cluster_node(beta, c, i), cluster_node(beta, c, j), 1);
+  for (NodeId c1 = 0; c1 < alpha; ++c1)
+    for (NodeId c2 = c1 + 1; c2 < alpha; ++c2)
+      g.add_edge(cluster_node(beta, c1, 0), cluster_node(beta, c2, 0), gamma);
+  const Weight intra = beta > 1 ? 1 : 0;
+  const Weight diam = alpha >= 2 ? gamma + 2 * intra : intra;
+  auto oracle = make_formula_oracle(
+      n, diam, [beta, gamma](NodeId u, NodeId v) -> Weight {
+        if (u == v) return 0;
+        const NodeId cu = u / beta, cv = v / beta;
+        if (cu == cv) return 1;
+        const Weight hop_u = (u % beta == 0) ? 0 : 1;
+        const Weight hop_v = (v % beta == 0) ? 0 : 1;
+        return hop_u + gamma + hop_v;
+      });
+  return {TopologyKind::kCluster,
+          "cluster(a=" + std::to_string(alpha) + ",b=" + std::to_string(beta) +
+              ",g=" + std::to_string(gamma) + ")",
+          std::move(g), std::move(oracle)};
+}
+
+Network make_tree(NodeId branching, NodeId depth) {
+  DTM_REQUIRE(branching >= 2, "tree branching " << branching);
+  DTM_REQUIRE(depth >= 0 && depth <= 20, "tree depth " << depth);
+  std::int64_t n64 = 1, level = 1;
+  for (NodeId d = 0; d < depth; ++d) {
+    level *= branching;
+    n64 += level;
+    DTM_REQUIRE(n64 <= (std::int64_t{1} << 30), "tree too large");
+  }
+  const auto n = static_cast<NodeId>(n64);
+  Graph g(n);
+  for (NodeId u = 1; u < n; ++u) g.add_edge(u, (u - 1) / branching, 1);
+  // Closed-form distance: walk both nodes up to their LCA. Depth of node u
+  // in level order: number of parent hops to 0 — O(log n) per query.
+  const NodeId b = branching;
+  auto oracle = make_formula_oracle(
+      n, 2 * static_cast<Weight>(depth), [b](NodeId u, NodeId v) -> Weight {
+        auto node_depth = [b](NodeId x) {
+          Weight d = 0;
+          while (x != 0) {
+            x = (x - 1) / b;
+            ++d;
+          }
+          return d;
+        };
+        Weight du = node_depth(u), dv = node_depth(v), steps = 0;
+        while (du > dv) {
+          u = (u - 1) / b;
+          --du;
+          ++steps;
+        }
+        while (dv > du) {
+          v = (v - 1) / b;
+          --dv;
+          ++steps;
+        }
+        while (u != v) {
+          u = (u - 1) / b;
+          v = (v - 1) / b;
+          steps += 2;
+        }
+        return steps;
+      });
+  return {TopologyKind::kTree,
+          "tree(b=" + std::to_string(branching) + ",d=" +
+              std::to_string(depth) + ")",
+          std::move(g), std::move(oracle)};
+}
+
+Network make_random_connected(NodeId n, std::int64_t extra_edges,
+                              Weight max_weight, Rng& rng) {
+  DTM_REQUIRE(n >= 1, "random graph n=" << n);
+  DTM_REQUIRE(max_weight >= 1, "max_weight=" << max_weight);
+  Graph g(n);
+  std::set<std::pair<NodeId, NodeId>> present;
+  // Random spanning tree: attach each node to a uniformly random earlier one.
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  for (NodeId i = 1; i < n; ++i) {
+    const NodeId u = order[static_cast<std::size_t>(i)];
+    const NodeId v =
+        order[static_cast<std::size_t>(rng.uniform_int(0, i - 1))];
+    g.add_edge(u, v, rng.uniform_int(1, max_weight));
+    present.insert(std::minmax(u, v));
+  }
+  const std::int64_t max_extra =
+      static_cast<std::int64_t>(n) * (n - 1) / 2 - (n - 1);
+  extra_edges = std::min(extra_edges, max_extra);
+  while (extra_edges > 0) {
+    const auto u = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    const auto v = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    if (u == v) continue;
+    if (!present.insert(std::minmax(u, v)).second) continue;
+    g.add_edge(u, v, rng.uniform_int(1, max_weight));
+    --extra_edges;
+  }
+  auto oracle = std::make_shared<ApspOracle>(g);
+  return {TopologyKind::kRandom, "random(n=" + std::to_string(n) + ")",
+          std::move(g), oracle};
+}
+
+}  // namespace dtm

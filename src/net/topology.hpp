@@ -1,0 +1,100 @@
+// Builders for the network topologies studied in the paper (§I, §III, §IV):
+// Clique, Line, Ring, d-dimensional Grid, Hypercube, Butterfly, Star,
+// Cluster, Torus — plus random connected graphs for property tests.
+//
+// Each builder returns a Network bundling the explicit Graph (used by the
+// sparse cover and the message-level distributed simulation) with a
+// DistanceOracle. Named topologies get closed-form O(1) oracles so that
+// experiments scale; the butterfly and random graphs use a cached APSP.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+
+enum class TopologyKind {
+  kClique,
+  kLine,
+  kRing,
+  kGrid,
+  kHypercube,
+  kButterfly,
+  kStar,
+  kCluster,
+  kTorus,
+  kTree,
+  kRandom,
+};
+
+[[nodiscard]] std::string to_string(TopologyKind k);
+
+/// A communication network: explicit graph + shortest-path oracle + the
+/// parameters it was built from (for labeling experiment output).
+struct Network {
+  TopologyKind kind;
+  std::string name;
+  Graph graph;
+  std::shared_ptr<const DistanceOracle> oracle;
+
+  [[nodiscard]] NodeId num_nodes() const { return graph.num_nodes(); }
+  [[nodiscard]] Weight dist(NodeId u, NodeId v) const {
+    return oracle->dist(u, v);
+  }
+  [[nodiscard]] Weight diameter() const { return oracle->diameter(); }
+};
+
+/// Complete graph on n nodes, unit weights. Diameter 1.
+[[nodiscard]] Network make_clique(NodeId n);
+
+/// Path graph 0—1—…—(n-1), unit weights. Diameter n-1.
+[[nodiscard]] Network make_line(NodeId n);
+
+/// Cycle on n >= 3 nodes, unit weights.
+[[nodiscard]] Network make_ring(NodeId n);
+
+/// d-dimensional grid with the given extents (row-major node ids), unit
+/// weights. make_grid({r, c}) is the 2-D mesh; the paper's "log n-dimensional
+/// grid" is make_grid(std::vector<NodeId>(d, 2)) and friends.
+[[nodiscard]] Network make_grid(const std::vector<NodeId>& extents);
+
+/// d-dimensional torus (grid with wraparound edges), unit weights.
+[[nodiscard]] Network make_torus(const std::vector<NodeId>& extents);
+
+/// Hypercube with 2^d nodes; nodes adjacent iff ids differ in one bit.
+[[nodiscard]] Network make_hypercube(int d);
+
+/// d-dimensional butterfly: (d+1) levels of 2^d rows; straight and cross
+/// edges between consecutive levels. n = (d+1) * 2^d.
+[[nodiscard]] Network make_butterfly(int d);
+
+/// Star of alpha rays with beta nodes each around a central node 0.
+/// Node ids: center = 0; ray r position j (0-based, j=0 adjacent to the
+/// center) is 1 + r*beta + j. All edges weight 1. n = 1 + alpha*beta.
+[[nodiscard]] Network make_star(NodeId alpha, NodeId beta);
+[[nodiscard]] NodeId star_node(NodeId alpha, NodeId beta, NodeId ray,
+                               NodeId pos);
+
+/// Cluster graph (§IV-D): alpha cliques of beta nodes (unit-weight edges);
+/// node i=0 of each clique is its bridge node; bridge nodes of distinct
+/// cliques are pairwise connected with edges of weight gamma >= beta.
+/// Node ids: clique c member i is c*beta + i. n = alpha*beta.
+[[nodiscard]] Network make_cluster(NodeId alpha, NodeId beta, Weight gamma);
+[[nodiscard]] NodeId cluster_node(NodeId beta, NodeId clique, NodeId member);
+
+/// Complete b-ary tree of the given depth (root = node 0, level order),
+/// unit weights. n = (b^(depth+1) - 1) / (b - 1). The paper's grid lower
+/// bound "also holds for trees"; trees exercise unique-path routing.
+[[nodiscard]] Network make_tree(NodeId branching, NodeId depth);
+
+/// Connected random graph: a random spanning tree plus `extra_edges`
+/// uniformly random non-parallel edges, weights uniform in [1, max_weight].
+[[nodiscard]] Network make_random_connected(NodeId n,
+                                            std::int64_t extra_edges,
+                                            Weight max_weight, Rng& rng);
+
+}  // namespace dtm

@@ -1,0 +1,114 @@
+#include "sim/adversarial.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace dtm {
+
+std::string to_string(AdversaryKind k) {
+  switch (k) {
+    case AdversaryKind::kFarThenNear: return "far-then-near";
+    case AdversaryKind::kMovingHotspot: return "moving-hotspot";
+    case AdversaryKind::kConvoy: return "convoy";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// The node farthest from `from` (first match).
+NodeId farthest_node(const Network& net, NodeId from) {
+  NodeId best = from;
+  Weight best_d = -1;
+  for (NodeId u = 0; u < net.num_nodes(); ++u) {
+    const Weight d = net.dist(from, u);
+    if (d > best_d) {
+      best_d = d;
+      best = u;
+    }
+  }
+  return best;
+}
+
+/// `count` nodes closest to `center` (excluding it), by distance.
+std::vector<NodeId> nearest_nodes(const Network& net, NodeId center,
+                                  std::int32_t count) {
+  std::vector<NodeId> all;
+  for (NodeId u = 0; u < net.num_nodes(); ++u)
+    if (u != center) all.push_back(u);
+  std::stable_sort(all.begin(), all.end(), [&](NodeId a, NodeId b) {
+    return net.dist(center, a) < net.dist(center, b);
+  });
+  all.resize(std::min<std::size_t>(all.size(),
+                                   static_cast<std::size_t>(count)));
+  return all;
+}
+
+}  // namespace
+
+std::pair<std::vector<ObjectOrigin>, std::vector<Transaction>>
+make_adversarial_instance(const Network& net, const AdversaryOptions& opts) {
+  DTM_REQUIRE(opts.waves >= 1 && opts.burst >= 1,
+              "waves=" << opts.waves << " burst=" << opts.burst);
+  Rng rng(opts.seed);
+  std::vector<ObjectOrigin> origins;
+  std::vector<Transaction> txns;
+  TxnId next_id = 0;
+
+  const Weight d = std::max<Weight>(net.diameter(), 1);
+  const Time gap = opts.wave_gap > 0 ? opts.wave_gap : 3 * d;
+
+  switch (opts.kind) {
+    case AdversaryKind::kFarThenNear: {
+      // One hot object at node h. Each wave: the far transaction arrives
+      // first and pins the object's trajectory; one step later `burst`
+      // transactions near h want the same object.
+      const NodeId h = 0;
+      origins.push_back({0, h, 0});
+      const NodeId far = farthest_node(net, h);
+      const auto near = nearest_nodes(net, h, opts.burst);
+      for (std::int32_t w = 0; w < opts.waves; ++w) {
+        const Time t0 = w * gap;
+        txns.push_back({next_id++, far, t0, write_set({0})});
+        for (const NodeId u : near)
+          txns.push_back({next_id++, u, t0 + 1, write_set({0})});
+      }
+      break;
+    }
+    case AdversaryKind::kMovingHotspot: {
+      // The hot object's users relocate every wave to a fresh random
+      // center's neighborhood.
+      origins.push_back({0, 0, 0});
+      for (std::int32_t w = 0; w < opts.waves; ++w) {
+        const Time t0 = w * gap;
+        const auto center =
+            static_cast<NodeId>(rng.uniform_int(0, net.num_nodes() - 1));
+        txns.push_back({next_id++, center, t0, write_set({0})});
+        for (const NodeId u : nearest_nodes(net, center, opts.burst - 1))
+          txns.push_back({next_id++, u, t0, write_set({0})});
+      }
+      break;
+    }
+    case AdversaryKind::kConvoy: {
+      // Everyone wants the same object, every wave.
+      origins.push_back({0, 0, 0});
+      for (std::int32_t w = 0; w < opts.waves; ++w) {
+        const Time t0 =
+            w * std::max<Time>(gap, net.num_nodes());  // room to serialize
+        for (NodeId u = 0; u < net.num_nodes(); ++u)
+          txns.push_back({next_id++, u, t0, write_set({0})});
+      }
+      break;
+    }
+  }
+  return {std::move(origins), std::move(txns)};
+}
+
+ScriptedWorkload make_adversarial_workload(const Network& net,
+                                           const AdversaryOptions& opts) {
+  auto [origins, txns] = make_adversarial_instance(net, opts);
+  return ScriptedWorkload(std::move(origins), std::move(txns));
+}
+
+}  // namespace dtm

@@ -1,0 +1,50 @@
+// Adversarial arrival patterns for worst-case experiments.
+//
+// The paper's competitive guarantees quantify over ALL arrival sequences;
+// uniform random closed loops (SyntheticWorkload) are friendly to every
+// scheduler. These generators craft the sequences that separate the
+// algorithms:
+//  - kFarThenNear exploits schedule irrevocability: a far transaction grabs
+//    the object's trajectory, then a burst of near transactions arrives one
+//    step later and must wait out the round trip (the greedy scheduler's
+//    weak spot; the bucket scheduler's level separation absorbs it);
+//  - kMovingHotspot drags one hot object's user population across the
+//    graph wave by wave (stresses spread/locality decisions);
+//  - kConvoy sends every node after the same object every wave (maximum
+//    l_max serialization, the Theorem 3 regime).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/workload.hpp"
+
+namespace dtm {
+
+enum class AdversaryKind { kFarThenNear, kMovingHotspot, kConvoy };
+
+[[nodiscard]] std::string to_string(AdversaryKind k);
+
+struct AdversaryOptions {
+  AdversaryKind kind = AdversaryKind::kFarThenNear;
+  std::int32_t waves = 4;
+  /// Near-burst size per wave (kFarThenNear) or users per wave
+  /// (kMovingHotspot); kConvoy uses every node.
+  std::int32_t burst = 8;
+  /// Steps between waves; 0 = auto (diameter-scaled so waves interact but
+  /// do not trivially serialize).
+  Time wave_gap = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Builds the scripted instance: object origins plus a time-stamped
+/// transaction list, ready to wrap in a ScriptedWorkload.
+[[nodiscard]] std::pair<std::vector<ObjectOrigin>, std::vector<Transaction>>
+make_adversarial_instance(const Network& net, const AdversaryOptions& opts);
+
+/// Convenience wrapper.
+[[nodiscard]] ScriptedWorkload make_adversarial_workload(
+    const Network& net, const AdversaryOptions& opts);
+
+}  // namespace dtm

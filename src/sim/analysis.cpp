@@ -1,0 +1,90 @@
+#include "sim/analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dtm {
+
+RunReport analyze_run(const std::vector<ScheduledTxn>& scheduled,
+                      const std::vector<ObjectOrigin>& origins,
+                      const DistanceOracle& oracle) {
+  RunReport r;
+  r.txns = static_cast<std::int64_t>(scheduled.size());
+  if (scheduled.empty()) return r;
+
+  struct Visit {
+    Time exec;
+    TxnId id;
+    NodeId node;
+  };
+  std::map<ObjId, std::vector<Visit>> visits;
+  std::map<NodeId, std::int64_t> node_commits;
+  std::map<Time, std::int64_t> step_commits;
+  for (const auto& s : scheduled) {
+    r.makespan = std::max(r.makespan, s.exec);
+    ++node_commits[s.txn.node];
+    ++step_commits[s.exec];
+    for (const auto& a : s.txn.accesses)
+      visits[a.obj].push_back({s.exec, s.txn.id, s.txn.node});
+  }
+
+  std::map<ObjId, NodeId> origin_of;
+  for (const auto& o : origins) origin_of[o.id] = o.node;
+
+  std::int64_t total_users = 0;
+  for (auto& [obj, vs] : visits) {
+    std::sort(vs.begin(), vs.end(), [](const Visit& a, const Visit& b) {
+      return a.exec < b.exec || (a.exec == b.exec && a.id < b.id);
+    });
+    const auto oit = origin_of.find(obj);
+    DTM_REQUIRE(oit != origin_of.end(), "object " << obj << " lacks origin");
+    NodeId pos = oit->second;
+    std::int64_t travel = 0;
+    for (const auto& v : vs) {
+      travel += oracle.dist(pos, v.node);
+      pos = v.node;
+    }
+    r.total_object_distance += travel;
+    r.max_object_distance = std::max(r.max_object_distance, travel);
+    const auto users = static_cast<std::int64_t>(vs.size());
+    total_users += users;
+    if (users > r.busiest_object_commits) {
+      r.busiest_object_commits = users;
+      r.busiest_object = obj;
+    }
+    r.lmax = std::max(r.lmax, users);
+  }
+  if (!visits.empty())
+    r.mean_users_per_object =
+        static_cast<double>(total_users) / static_cast<double>(visits.size());
+
+  r.active_nodes = static_cast<std::int64_t>(node_commits.size());
+  for (const auto& [_, c] : node_commits)
+    r.max_node_commits = std::max(r.max_node_commits, c);
+  std::int64_t commits = 0;
+  for (const auto& [_, c] : step_commits) {
+    commits += c;
+    r.max_commits_per_step = std::max(r.max_commits_per_step, c);
+  }
+  r.mean_commits_per_busy_step =
+      static_cast<double>(commits) /
+      static_cast<double>(std::max<std::size_t>(step_commits.size(), 1));
+  return r;
+}
+
+std::string to_string(const RunReport& r) {
+  std::ostringstream os;
+  os << "txns: " << r.txns << "\n"
+     << "makespan: " << r.makespan << "\n"
+     << "object distance (total/max): " << r.total_object_distance << "/"
+     << r.max_object_distance << "\n"
+     << "busiest object: " << r.busiest_object << " ("
+     << r.busiest_object_commits << " commits, l_max " << r.lmax << ")\n"
+     << "active nodes: " << r.active_nodes << " (max "
+     << r.max_node_commits << " commits on one node)\n"
+     << "concurrency: " << r.mean_commits_per_busy_step
+     << " commits/busy step (peak " << r.max_commits_per_step << ")\n";
+  return os.str();
+}
+
+}  // namespace dtm

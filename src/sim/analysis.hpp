@@ -1,0 +1,47 @@
+// Post-run analysis: turns a committed schedule into the aggregate view a
+// systems paper's evaluation section would tabulate — object travel,
+// per-node activity, contention profile, concurrency achieved.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "net/graph.hpp"
+
+namespace dtm {
+
+struct RunReport {
+  std::int64_t txns = 0;
+  Time makespan = 0;
+
+  // Object movement.
+  std::int64_t total_object_distance = 0;  ///< sum over per-object chains
+  std::int64_t max_object_distance = 0;
+  ObjId busiest_object = kNoObj;           ///< most commits
+  std::int64_t busiest_object_commits = 0;
+
+  // Node activity.
+  std::int64_t active_nodes = 0;     ///< nodes committing >= 1 txn
+  std::int64_t max_node_commits = 0;
+
+  // Concurrency: commits per step, over the steps with >= 1 commit.
+  double mean_commits_per_busy_step = 0.0;
+  std::int64_t max_commits_per_step = 0;
+
+  // Contention: transactions per object (the paper's l).
+  double mean_users_per_object = 0.0;
+  std::int64_t lmax = 0;
+};
+
+/// Builds the report from a committed schedule. Travel distances follow
+/// each object's execution-order chain from its origin.
+[[nodiscard]] RunReport analyze_run(const std::vector<ScheduledTxn>& scheduled,
+                                    const std::vector<ObjectOrigin>& origins,
+                                    const DistanceOracle& oracle);
+
+/// Renders the report as "key: value" lines for examples and logs.
+[[nodiscard]] std::string to_string(const RunReport& report);
+
+}  // namespace dtm

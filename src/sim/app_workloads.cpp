@@ -1,0 +1,164 @@
+#include "sim/app_workloads.hpp"
+
+#include <functional>
+#include <algorithm>
+#include <queue>
+
+#include "util/rng.hpp"
+
+namespace dtm {
+
+namespace {
+
+/// Shared closed-loop machinery: every node runs `rounds` transactions,
+/// the next generated one think-step after the previous commit; the access
+/// set comes from a sampler functor.
+class ClosedLoopAppWorkload final : public Workload {
+ public:
+  using Sampler = std::function<std::vector<ObjectAccess>(Rng&)>;
+
+  ClosedLoopAppWorkload(const Network& net, std::int32_t num_objects,
+                        std::int32_t rounds, std::uint64_t seed,
+                        Sampler sampler)
+      : rounds_(rounds), rng_(seed), sampler_(std::move(sampler)) {
+    DTM_REQUIRE(num_objects > 0, "app workload needs objects");
+    DTM_REQUIRE(rounds_ >= 1, "rounds " << rounds_);
+    for (ObjId o = 0; o < num_objects; ++o)
+      origins_.push_back(
+          {o, static_cast<NodeId>(rng_.uniform_int(0, net.num_nodes() - 1)),
+           0});
+    issued_.assign(static_cast<std::size_t>(net.num_nodes()), 0);
+    for (NodeId u = 0; u < net.num_nodes(); ++u)
+      queue_.push({0, u});
+  }
+
+  [[nodiscard]] std::vector<ObjectOrigin> objects() override {
+    return origins_;
+  }
+
+  [[nodiscard]] std::vector<Transaction> arrivals_at(Time now) override {
+    std::vector<Transaction> out;
+    while (!queue_.empty() && queue_.top().when <= now) {
+      const Pending p = queue_.top();
+      queue_.pop();
+      DTM_CHECK(p.when == now, "app workload missed arrival at " << p.when);
+      Transaction t;
+      t.id = next_id_++;
+      t.node = p.node;
+      t.gen_time = now;
+      t.accesses = sampler_(rng_);
+      DTM_CHECK(!t.accesses.empty(), "sampler produced empty access set");
+      owner_[t.id] = p.node;
+      ++issued_[static_cast<std::size_t>(p.node)];
+      generated_.push_back(t);
+      out.push_back(std::move(t));
+    }
+    return out;
+  }
+
+  void on_commit(TxnId txn, Time exec) override {
+    const auto it = owner_.find(txn);
+    if (it == owner_.end()) return;
+    const NodeId node = it->second;
+    owner_.erase(it);
+    if (issued_[static_cast<std::size_t>(node)] >= rounds_) return;
+    queue_.push({exec + 1, node});
+  }
+
+  [[nodiscard]] Time next_arrival_time() const override {
+    return queue_.empty() ? kNoTime : queue_.top().when;
+  }
+
+  [[nodiscard]] bool finished() const override {
+    if (!queue_.empty()) return false;
+    return std::all_of(issued_.begin(), issued_.end(),
+                       [this](std::int32_t c) { return c >= rounds_; });
+  }
+
+  [[nodiscard]] const std::vector<Transaction>& generated() const override {
+    return generated_;
+  }
+
+ private:
+  struct Pending {
+    Time when;
+    NodeId node;
+    bool operator>(const Pending& o) const {
+      return when > o.when || (when == o.when && node > o.node);
+    }
+  };
+
+  std::int32_t rounds_;
+  Rng rng_;
+  Sampler sampler_;
+  std::vector<ObjectOrigin> origins_;
+  std::vector<std::int32_t> issued_;
+  std::map<TxnId, NodeId> owner_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue_;
+  std::vector<Transaction> generated_;
+  TxnId next_id_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_bank_workload(const Network& net,
+                                             const BankOptions& opts) {
+  const std::int32_t accounts =
+      opts.accounts > 0 ? opts.accounts : 4 * net.num_nodes();
+  DTM_REQUIRE(accounts >= 2, "bank needs >= 2 accounts");
+  const auto hot = std::max<std::int32_t>(
+      1, static_cast<std::int32_t>(opts.hot_fraction *
+                                   static_cast<double>(accounts)));
+  const double hot_p = opts.hot_probability;
+  auto sampler = [accounts, hot, hot_p](Rng& rng) {
+    auto draw = [&](ObjId avoid) {
+      ObjId a;
+      do {
+        a = rng.bernoulli(hot_p)
+                ? static_cast<ObjId>(rng.uniform_int(0, hot - 1))
+                : static_cast<ObjId>(rng.uniform_int(0, accounts - 1));
+      } while (a == avoid);
+      return a;
+    };
+    const ObjId from = draw(kNoObj);
+    const ObjId to = draw(from);
+    return std::vector<ObjectAccess>{{from, AccessMode::kWrite},
+                                     {to, AccessMode::kWrite}};
+  };
+  return std::make_unique<ClosedLoopAppWorkload>(
+      net, accounts, opts.transfers_per_node, opts.seed, sampler);
+}
+
+std::unique_ptr<Workload> make_social_workload(const Network& net,
+                                               const SocialOptions& opts) {
+  const std::int32_t profiles =
+      opts.profiles > 0 ? opts.profiles : 2 * net.num_nodes();
+  DTM_REQUIRE(opts.fanout >= 1 && opts.fanout <= profiles,
+              "fanout " << opts.fanout << " of " << profiles);
+  auto zipf = std::make_shared<ZipfSampler>(profiles, opts.zipf_s);
+  const double wf = opts.write_fraction;
+  const std::int32_t fanout = opts.fanout;
+  auto sampler = [zipf, wf, fanout, profiles](Rng& rng) {
+    std::vector<ObjectAccess> out;
+    if (rng.bernoulli(wf)) {
+      // A post: write the author's own profile.
+      out.push_back({static_cast<ObjId>(rng.uniform_int(0, profiles - 1)),
+                     AccessMode::kWrite});
+      return out;
+    }
+    // A feed refresh: read `fanout` distinct celebrity-skewed profiles.
+    while (static_cast<std::int32_t>(out.size()) < fanout) {
+      const ObjId p = zipf->draw(rng);
+      const bool dup = std::any_of(out.begin(), out.end(),
+                                   [p](const ObjectAccess& a) {
+                                     return a.obj == p;
+                                   });
+      if (!dup) out.push_back({p, AccessMode::kRead});
+    }
+    return out;
+  };
+  return std::make_unique<ClosedLoopAppWorkload>(
+      net, profiles, opts.actions_per_node, opts.seed, sampler);
+}
+
+}  // namespace dtm

@@ -1,0 +1,49 @@
+// Application-shaped workload generators.
+//
+// SyntheticWorkload sweeps parameter space; these produce the two classic
+// application shapes papers motivate DTM with, in the same Workload
+// interface:
+//  - bank transfers: two-account write transactions over a skewed account
+//    population (the canonical atomic-commitment example);
+//  - social feed: read-dominated fanout over follower-graph hot spots,
+//    with occasional profile writes (exercises the read-write extension).
+#pragma once
+
+#include <memory>
+
+#include "net/topology.hpp"
+#include "sim/workload.hpp"
+
+namespace dtm {
+
+struct BankOptions {
+  std::int32_t accounts = 0;        ///< 0 => 4 * nodes
+  std::int32_t transfers_per_node = 3;
+  double hot_fraction = 0.1;        ///< share of accounts that are "hot"
+  double hot_probability = 0.5;     ///< chance a transfer touches a hot acct
+  std::uint64_t seed = 2026;
+};
+
+/// Closed-loop transfers: every node runs `transfers_per_node` sequential
+/// transactions, each writing two distinct accounts (objects).
+[[nodiscard]] std::unique_ptr<Workload> make_bank_workload(
+    const Network& net, const BankOptions& opts = {});
+
+struct SocialOptions {
+  std::int32_t profiles = 0;     ///< 0 => 2 * nodes
+  std::int32_t actions_per_node = 4;
+  double write_fraction = 0.1;   ///< posts vs reads
+  double zipf_s = 1.1;           ///< celebrity skew
+  std::int32_t fanout = 3;       ///< profiles read per feed refresh
+  std::uint64_t seed = 2027;
+};
+
+/// Closed-loop feed refreshes: mostly multi-profile reads with Zipf
+/// celebrity skew; a small fraction are single-profile posts (writes).
+/// Under the base model all accesses conflict; under core/rw the reads
+/// share — the pair of runs quantifies the sharing win on a realistic
+/// shape.
+[[nodiscard]] std::unique_ptr<Workload> make_social_workload(
+    const Network& net, const SocialOptions& opts = {});
+
+}  // namespace dtm

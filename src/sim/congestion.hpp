@@ -1,0 +1,58 @@
+// Bounded link capacity — the execution-model extension the paper's
+// concluding remarks (§VI) pose as an open question.
+//
+// The baseline model lets any number of objects cross an edge
+// simultaneously. Here, each undirected edge admits at most
+// `edge_capacity` objects per time step; surplus objects queue FIFO at the
+// upstream node. Schedules computed for the congestion-free model are
+// REPLAYED hop-by-hop under this constraint with *eager* execution
+// semantics: each object visits its users in the schedule's execution
+// order, and a transaction commits at the first step at which it is at the
+// head of every requested object's user queue, all those objects have
+// physically arrived, and its generation time has passed. Objects may be
+// pre-positioned toward future users (the replay evaluates a known
+// schedule offline, mirroring the live engine's routing toward scheduled
+// users); only commits are gated on generation times. Because all
+// per-object orders derive from one global (exec time, txn id) order, the
+// waits-for relation is acyclic and the replay is deadlock-free; with
+// unbounded capacity the replay never exceeds the scheduled makespan.
+//
+// The headline metric is the congestion *stretch*: achieved makespan over
+// the congestion-free scheduled makespan.
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+namespace dtm {
+
+struct CongestionOptions {
+  /// Objects admitted per undirected edge per step (0 = unbounded, which
+  /// must reproduce the congestion-free commit times or better).
+  std::int64_t edge_capacity = 1;
+  /// Safety cap on simulated steps.
+  Time max_steps = Time{1} << 32;
+};
+
+struct CongestionResult {
+  Time scheduled_makespan = 0;  ///< congestion-free plan
+  Time achieved_makespan = 0;   ///< hop-by-hop replay under capacity
+  double stretch = 0.0;         ///< achieved / scheduled
+  Time total_queue_wait = 0;    ///< object-steps spent waiting at queues
+  Time max_queue_wait = 0;      ///< worst single wait
+  std::vector<std::pair<TxnId, Time>> commit_times;  ///< achieved commits
+};
+
+/// Replays `scheduled` (any feasible congestion-free schedule) on `net`
+/// under per-edge capacity. Objects follow the routing table's shortest
+/// paths.
+[[nodiscard]] CongestionResult replay_under_congestion(
+    const Network& net, const RoutingTable& routes,
+    const std::vector<ObjectOrigin>& origins,
+    const std::vector<ScheduledTxn>& scheduled,
+    const CongestionOptions& opts = {});
+
+}  // namespace dtm

@@ -1,0 +1,180 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace dtm {
+
+SyncEngine::SyncEngine(std::shared_ptr<const DistanceOracle> oracle,
+                       std::vector<ObjectOrigin> origins, Options opts)
+    : oracle_(std::move(oracle)), opts_(opts), origins_(std::move(origins)) {
+  DTM_REQUIRE(oracle_ != nullptr, "engine needs a distance oracle");
+  DTM_REQUIRE(opts_.latency_factor >= 1,
+              "latency factor " << opts_.latency_factor);
+  for (const auto& o : origins_) {
+    DTM_REQUIRE(o.node >= 0 && o.node < oracle_->num_nodes(),
+                "object " << o.id << " origin node " << o.node);
+    DTM_REQUIRE(o.created <= 0, "objects must exist from the start of the "
+                                "simulation (object " << o.id << ")");
+    const bool inserted =
+        objects_.emplace(o.id, ObjectState(o.id, o.node, o.created)).second;
+    DTM_CHECK(inserted, "duplicate object id " << o.id);
+  }
+}
+
+const ObjectState& SyncEngine::object(ObjId o) const {
+  const auto it = objects_.find(o);
+  DTM_REQUIRE(it != objects_.end(), "unknown object " << o);
+  return it->second;
+}
+
+const Transaction& SyncEngine::txn(TxnId t) const {
+  const auto it = live_.find(t);
+  DTM_REQUIRE(it != live_.end(), "txn " << t << " is not live");
+  return it->second.txn;
+}
+
+Time SyncEngine::assigned_exec(TxnId t) const {
+  const auto it = live_.find(t);
+  DTM_REQUIRE(it != live_.end(), "txn " << t << " is not live");
+  return it->second.exec;
+}
+
+std::vector<TxnId> SyncEngine::live_txns() const {
+  std::vector<TxnId> out;
+  out.reserve(live_.size());
+  for (const auto& [id, _] : live_) out.push_back(id);
+  return out;
+}
+
+std::vector<TxnId> SyncEngine::live_users_of(ObjId o) const {
+  const auto it = users_of_.find(o);
+  if (it == users_of_.end()) return {};
+  return it->second;
+}
+
+void SyncEngine::begin_step(std::span<const Transaction> arrivals) {
+  for (const Transaction& t : arrivals) {
+    DTM_REQUIRE(t.gen_time == now_, "arrival " << t.id << " gen "
+                                               << t.gen_time << " at step "
+                                               << now_);
+    DTM_REQUIRE(t.node >= 0 && t.node < oracle_->num_nodes(),
+                "txn " << t.id << " node " << t.node);
+    DTM_REQUIRE(!t.accesses.empty(), "txn " << t.id << " requests nothing");
+    for (const auto& a : t.accesses)
+      DTM_REQUIRE(objects_.count(a.obj), "txn " << t.id
+                                                << " requests unknown object "
+                                                << a.obj);
+    const bool inserted = live_.emplace(t.id, LiveTxn{t, kNoTime}).second;
+    DTM_CHECK(inserted, "duplicate txn id " << t.id);
+    for (const auto& a : t.accesses) users_of_[a.obj].push_back(t.id);
+  }
+}
+
+void SyncEngine::apply(std::span<const Assignment> assignments) {
+  for (const Assignment& a : assignments) {
+    const auto it = live_.find(a.txn);
+    DTM_REQUIRE(it != live_.end(), "assignment for non-live txn " << a.txn);
+    DTM_REQUIRE(it->second.exec == kNoTime,
+                "txn " << a.txn << " already scheduled (schedules are "
+                       "irrevocable)");
+    DTM_REQUIRE(a.exec >= now_, "txn " << a.txn << " scheduled in the past ("
+                                       << a.exec << " < " << now_ << ")");
+    it->second.exec = a.exec;
+  }
+  // Re-route after all assignments land so each object sees the final
+  // earliest-deadline user of this step.
+  for (const Assignment& a : assignments)
+    for (const auto& acc : live_.at(a.txn).txn.accesses) reroute(acc.obj);
+}
+
+void SyncEngine::reroute(ObjId o) {
+  const auto uit = users_of_.find(o);
+  if (uit == users_of_.end()) return;
+  TxnId best = kNoTxn;
+  Time best_exec = kNoTime;
+  for (const TxnId uid : uit->second) {
+    const Time e = live_.at(uid).exec;
+    if (e == kNoTime) continue;
+    if (best == kNoTxn || e < best_exec ||
+        (e == best_exec && uid < best)) {
+      best = uid;
+      best_exec = e;
+    }
+  }
+  if (best == kNoTxn) return;
+  objects_.at(o).route_to(live_.at(best).txn.node, now_, *oracle_,
+                          opts_.latency_factor);
+}
+
+std::vector<SyncEngine::Commit> SyncEngine::finish_step() {
+  for (auto& [_, obj] : objects_) obj.settle(now_);
+
+  // Collect everyone due now; then fire. Two due transactions sharing an
+  // object would be an invalid schedule — the presence check below can only
+  // pass for one of them, and the engine flags the other.
+  std::vector<TxnId> due;
+  for (const auto& [id, lt] : live_) {
+    DTM_CHECK(lt.exec == kNoTime || lt.exec >= now_,
+              "txn " << id << " missed its execution step " << lt.exec
+                     << " (now " << now_ << ")");
+    if (lt.exec == now_) due.push_back(id);
+  }
+
+  std::vector<Commit> commits;
+  commits.reserve(due.size());
+  std::vector<ObjId> released;
+  std::set<ObjId> consumed_this_step;
+  for (const TxnId id : due) {
+    const LiveTxn lt = live_.at(id);
+    for (const auto& acc : lt.txn.accesses) {
+      // One commit per object per step: even two transactions on the same
+      // node must serialize on a shared object (the model's conflict
+      // semantics; matches validate_schedule's tie rule).
+      DTM_CHECK(consumed_this_step.insert(acc.obj).second,
+                "object " << acc.obj << " used by two transactions at step "
+                          << now_ << " (txn " << id << ")");
+      ObjectState& obj = objects_.at(acc.obj);
+      obj.settle(now_);
+      DTM_CHECK(!obj.in_transit() && obj.at() == lt.txn.node,
+                "txn " << id << " executing at step " << now_ << " on node "
+                       << lt.txn.node << " lacks object " << acc.obj
+                       << (obj.in_transit()
+                               ? " (in transit)"
+                               : " (resting at node " +
+                                     std::to_string(obj.at()) + ")"));
+      obj.set_last_txn(id);
+    }
+    commits.push_back({id, lt.txn.node, lt.txn.gen_time, lt.exec});
+    committed_.push_back({lt.txn, lt.exec});
+    for (const auto& acc : lt.txn.accesses) {
+      auto& users = users_of_.at(acc.obj);
+      users.erase(std::remove(users.begin(), users.end(), id), users.end());
+      released.push_back(acc.obj);
+    }
+    live_.erase(id);
+  }
+  // Forward released objects to their next scheduled user.
+  for (const ObjId o : released) reroute(o);
+  now_ += 1;
+  return commits;
+}
+
+void SyncEngine::advance_to(Time t) {
+  DTM_REQUIRE(t >= now_, "advance_to(" << t << ") before now " << now_);
+  const Time due = next_exec_due();
+  DTM_CHECK(due == kNoTime || due >= t,
+            "advance_to(" << t << ") would skip execution at " << due);
+  now_ = t;
+}
+
+Time SyncEngine::next_exec_due() const {
+  Time due = kNoTime;
+  for (const auto& [_, lt] : live_) {
+    if (lt.exec == kNoTime) continue;
+    due = due == kNoTime ? lt.exec : std::min(due, lt.exec);
+  }
+  return due;
+}
+
+}  // namespace dtm

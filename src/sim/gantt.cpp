@@ -1,0 +1,86 @@
+#include "sim/gantt.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace dtm {
+
+std::string render_gantt(const std::vector<ScheduledTxn>& scheduled,
+                         NodeId num_nodes, const GanttOptions& opts) {
+  DTM_REQUIRE(opts.width >= 8, "gantt width " << opts.width);
+  std::ostringstream os;
+  if (scheduled.empty()) {
+    os << "(empty schedule)\n";
+    return os.str();
+  }
+  Time end = 0;
+  for (const auto& s : scheduled) end = std::max(end, s.exec);
+  const Time cell = std::max<Time>(1, (end + opts.width) / opts.width);
+  const int cols = static_cast<int>(end / cell) + 1;
+
+  std::map<NodeId, std::vector<bool>> rows;
+  for (const auto& s : scheduled) {
+    auto& row = rows.try_emplace(s.txn.node,
+                                 std::vector<bool>(static_cast<std::size_t>(
+                                     cols)))
+                    .first->second;
+    row[static_cast<std::size_t>(s.exec / cell)] = true;
+  }
+  os << "time 0.." << end << ", " << cell << " step(s)/cell\n";
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    const auto it = rows.find(u);
+    if (it == rows.end() && opts.skip_idle_nodes) continue;
+    os << "node " << u << "\t|";
+    for (int c = 0; c < cols; ++c) {
+      const bool mark =
+          it != rows.end() && it->second[static_cast<std::size_t>(c)];
+      os << (mark ? '#' : '.');
+    }
+    os << "|\n";
+  }
+  return os.str();
+}
+
+std::string render_itineraries(const std::vector<ScheduledTxn>& scheduled,
+                               const std::vector<ObjectOrigin>& origins,
+                               const DistanceOracle& oracle) {
+  struct Visit {
+    Time exec;
+    TxnId id;
+    NodeId node;
+  };
+  std::map<ObjId, std::vector<Visit>> visits;
+  for (const auto& s : scheduled)
+    for (const auto& a : s.txn.accesses)
+      visits[a.obj].push_back({s.exec, s.txn.id, s.txn.node});
+
+  std::ostringstream os;
+  for (const auto& o : origins) {
+    const auto it = visits.find(o.id);
+    os << "obj " << o.id << ": " << o.node << "@" << o.created;
+    if (it != visits.end()) {
+      auto& vs = it->second;
+      std::sort(vs.begin(), vs.end(), [](const Visit& a, const Visit& b) {
+        return a.exec < b.exec || (a.exec == b.exec && a.id < b.id);
+      });
+      NodeId pos = o.node;
+      Weight total = 0;
+      for (const auto& v : vs) {
+        const Weight d = oracle.dist(pos, v.node);
+        total += d;
+        os << " -(" << d << ")-> " << v.node << "@" << v.exec;
+        pos = v.node;
+      }
+      os << "  [" << vs.size() << " commits, " << total << " travelled]";
+    } else {
+      os << "  [unused]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dtm

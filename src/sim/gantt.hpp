@@ -1,0 +1,37 @@
+// Text rendering of execution schedules: a per-node Gantt strip of commit
+// marks and per-object itineraries (the trajectory each mobile object
+// follows through its users). Pure post-processing over a committed
+// schedule — used by examples and handy when debugging scheduler changes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "net/graph.hpp"
+
+namespace dtm {
+
+struct GanttOptions {
+  /// Maximum number of character columns for the time axis; longer
+  /// schedules are compressed (each cell covers ceil(makespan/width)
+  /// steps).
+  int width = 72;
+  /// Rows are limited to nodes that commit at least one transaction.
+  bool skip_idle_nodes = true;
+};
+
+/// Per-node strip chart: '#' marks a cell containing >= 1 commit on that
+/// node, '.' an empty cell. Header carries the cell width in steps.
+[[nodiscard]] std::string render_gantt(
+    const std::vector<ScheduledTxn>& scheduled, NodeId num_nodes,
+    const GanttOptions& opts = {});
+
+/// Object itineraries: for each object, the chain
+/// "origin@t -> node@t1 -> node@t2 ..." of the commits it visits, with the
+/// per-hop distance. One line per object.
+[[nodiscard]] std::string render_itineraries(
+    const std::vector<ScheduledTxn>& scheduled,
+    const std::vector<ObjectOrigin>& origins, const DistanceOracle& oracle);
+
+}  // namespace dtm

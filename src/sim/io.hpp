@@ -1,0 +1,52 @@
+// Plain-text serialization of problem instances and schedules.
+//
+// A released experiment needs shareable artifacts: the exact instance
+// (object origins + transaction arrivals) and the schedule a run produced.
+// The format is line-based, versioned, and diff-friendly:
+//
+//   dtm-instance v1
+//   object <id> <node> <created>
+//   txn <id> <node> <gen_time> <obj>:<r|w> [<obj>:<r|w> ...]
+//
+//   dtm-schedule v1
+//   commit <txn_id> <exec>
+//
+// Round-trips are exact; loaders validate eagerly and throw CheckError
+// with line numbers on malformed input.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+
+namespace dtm {
+
+struct Instance {
+  std::vector<ObjectOrigin> origins;
+  std::vector<Transaction> txns;
+};
+
+void save_instance(std::ostream& os, const Instance& inst);
+[[nodiscard]] Instance load_instance(std::istream& is);
+
+void save_instance_file(const std::string& path, const Instance& inst);
+[[nodiscard]] Instance load_instance_file(const std::string& path);
+
+void save_schedule(std::ostream& os,
+                   const std::vector<ScheduledTxn>& scheduled);
+
+/// Loads commit times and re-attaches them to the instance's transactions
+/// (every scheduled id must exist in the instance; instance transactions
+/// missing from the file get kNoTime).
+[[nodiscard]] std::vector<ScheduledTxn> load_schedule(std::istream& is,
+                                                      const Instance& inst);
+
+void save_schedule_file(const std::string& path,
+                        const std::vector<ScheduledTxn>& scheduled);
+[[nodiscard]] std::vector<ScheduledTxn> load_schedule_file(
+    const std::string& path, const Instance& inst);
+
+}  // namespace dtm

@@ -1,0 +1,125 @@
+#include "sim/runner.hpp"
+
+#include <algorithm>
+
+namespace dtm {
+
+namespace {
+
+/// Per-window bookkeeping for the Definition-1 ratio proxy.
+struct WindowTracker {
+  Time window = 0;
+  Time next_boundary = 0;
+  std::vector<std::vector<ObjectOrigin>> snapshots;  ///< per window start
+
+  void maybe_snapshot(const SyncEngine& engine,
+                      const std::vector<ObjectOrigin>& origins) {
+    if (window <= 0) return;
+    while (engine.now() >= next_boundary) {
+      std::vector<ObjectOrigin> snap;
+      snap.reserve(origins.size());
+      for (const auto& o : origins) {
+        const ObjectState& s = engine.object(o.id);
+        // In-transit objects are attributed to their destination — by the
+        // window's end they will be at or past it; a coarser position only
+        // weakens (never invalidates) the lower bound's certificate role.
+        snap.push_back({o.id, s.in_transit() ? s.dest() : s.at(), 0});
+      }
+      snapshots.push_back(std::move(snap));
+      next_boundary += window;
+    }
+  }
+
+  void finalize(RunResult& r, const std::vector<ScheduledTxn>& committed,
+                const DistanceOracle& oracle, std::int64_t latency_factor) {
+    if (window <= 0 || snapshots.empty()) return;
+    std::vector<std::vector<Transaction>> per_window(snapshots.size());
+    std::vector<Time> worst_latency(snapshots.size(), 0);
+    for (const auto& s : committed) {
+      const auto w = static_cast<std::size_t>(
+          std::min<Time>(s.txn.gen_time / window,
+                         static_cast<Time>(snapshots.size()) - 1));
+      per_window[w].push_back(s.txn);
+      worst_latency[w] =
+          std::max(worst_latency[w], s.exec - s.txn.gen_time);
+    }
+    for (std::size_t w = 0; w < snapshots.size(); ++w) {
+      if (per_window[w].empty()) continue;
+      const auto lb = makespan_lower_bound(per_window[w], snapshots[w],
+                                           oracle, latency_factor);
+      r.windowed_ratio = std::max(
+          r.windowed_ratio, static_cast<double>(worst_latency[w]) /
+                                static_cast<double>(lb.best()));
+      ++r.num_windows;
+    }
+  }
+};
+
+}  // namespace
+
+RunResult run_experiment(const Network& net, Workload& workload,
+                         OnlineScheduler& scheduler, const RunOptions& opts) {
+  SyncEngine engine(net.oracle, workload.objects(), opts.engine);
+
+  WindowTracker windows;
+  windows.window = opts.ratio_window;
+
+  std::int64_t iterations = 0;
+  while (true) {
+    windows.maybe_snapshot(engine, engine.origins());
+    const auto arrivals = workload.arrivals_at(engine.now());
+    engine.begin_step(arrivals);
+    const auto assignments = scheduler.on_step(engine, arrivals);
+    engine.apply(assignments);
+    const auto commits = engine.finish_step();
+    for (const auto& c : commits) workload.on_commit(c.txn, c.exec);
+
+    if (workload.finished() && engine.all_done()) break;
+    DTM_CHECK(++iterations < opts.max_steps,
+              "run exceeded " << opts.max_steps << " active steps");
+
+    // Fast-forward to the next step where anything can happen: an arrival,
+    // a due execution, or a scheduler-internal event (bucket activation,
+    // message delivery). Every candidate is a step we must land on exactly.
+    const Time now = engine.now();
+    Time next = kNoTime;
+    auto consider = [&next](Time t) {
+      if (t == kNoTime) return;
+      next = next == kNoTime ? t : std::min(next, t);
+    };
+    consider(workload.next_arrival_time());
+    consider(engine.next_exec_due());
+    consider(scheduler.next_event_hint(now));
+    DTM_CHECK(next != kNoTime,
+              "deadlock: live transactions but no future event (now=" << now
+                                                                      << ")");
+    DTM_CHECK(next >= now, "next event " << next << " in the past");
+    if (next > now) engine.advance_to(next);
+  }
+
+  RunResult r;
+  r.scheduler = scheduler.name();
+  r.network = net.name;
+  r.num_txns = static_cast<std::int64_t>(engine.committed().size());
+  for (const auto& s : engine.committed()) {
+    r.makespan = std::max(r.makespan, s.exec);
+    r.latency.add(static_cast<double>(s.exec - s.txn.gen_time));
+  }
+  if (opts.validate) {
+    const auto err =
+        validate_schedule(engine.committed(), engine.origins(), *net.oracle,
+                          opts.engine.latency_factor);
+    DTM_CHECK(!err.has_value(), "invalid schedule: " << *err);
+  }
+  r.lb = makespan_lower_bound(workload.generated(), engine.origins(),
+                              *net.oracle, opts.engine.latency_factor);
+  r.ratio = static_cast<double>(r.makespan) /
+            static_cast<double>(std::max<Time>(r.lb.best(), 1));
+  windows.finalize(r, engine.committed(), *net.oracle,
+                   opts.engine.latency_factor);
+  r.committed = engine.committed();
+  r.origins = engine.origins();
+  return r;
+}
+
+}  // namespace dtm

@@ -1,0 +1,143 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+
+namespace dtm {
+
+SyntheticWorkload::SyntheticWorkload(const Network& net, SyntheticOptions opts)
+    : net_(net), opts_(opts), rng_(opts.seed) {
+  DTM_REQUIRE(opts_.k >= 1, "k=" << opts_.k);
+  DTM_REQUIRE(opts_.rounds >= 1, "rounds=" << opts_.rounds);
+  DTM_REQUIRE(opts_.gap >= 1, "gap=" << opts_.gap);
+  DTM_REQUIRE(opts_.node_participation > 0.0 &&
+                  opts_.node_participation <= 1.0,
+              "participation=" << opts_.node_participation);
+  if (opts_.num_objects <= 0) opts_.num_objects = net.num_nodes();
+  DTM_REQUIRE(opts_.k <= opts_.num_objects,
+              "k=" << opts_.k << " > objects=" << opts_.num_objects);
+  if (opts_.zipf_s > 0.0)
+    zipf_ = std::make_unique<ZipfSampler>(opts_.num_objects, opts_.zipf_s);
+
+  const NodeId n = net.num_nodes();
+  const auto want = std::max<NodeId>(
+      1, static_cast<NodeId>(static_cast<double>(n) *
+                             opts_.node_participation));
+  if (want >= n) {
+    participants_.resize(static_cast<std::size_t>(n));
+    for (NodeId u = 0; u < n; ++u) participants_[static_cast<std::size_t>(u)] = u;
+  } else {
+    participants_ = rng_.sample_distinct(n, want);
+    std::sort(participants_.begin(), participants_.end());
+  }
+  issued_.assign(participants_.size(), 0);
+  for (std::size_t i = 0; i < participants_.size(); ++i)
+    queue_.push({0, i});
+}
+
+std::vector<ObjectOrigin> SyntheticWorkload::objects() {
+  std::vector<ObjectOrigin> out;
+  out.reserve(static_cast<std::size_t>(opts_.num_objects));
+  for (ObjId o = 0; o < opts_.num_objects; ++o) {
+    const auto node =
+        static_cast<NodeId>(rng_.uniform_int(0, net_.num_nodes() - 1));
+    out.push_back({o, node, 0});
+  }
+  return out;
+}
+
+std::vector<ObjId> SyntheticWorkload::sample_objects() {
+  if (!zipf_) {
+    auto picks = rng_.sample_distinct(opts_.num_objects, opts_.k);
+    return std::vector<ObjId>(picks.begin(), picks.end());
+  }
+  // Zipf-skewed distinct sample: rejection with a cap, then uniform fill.
+  std::vector<ObjId> out;
+  out.reserve(static_cast<std::size_t>(opts_.k));
+  std::int32_t tries = 0;
+  while (static_cast<std::int32_t>(out.size()) < opts_.k &&
+         tries < 64 * opts_.k) {
+    const ObjId o = zipf_->draw(rng_);
+    if (std::find(out.begin(), out.end(), o) == out.end()) out.push_back(o);
+    ++tries;
+  }
+  while (static_cast<std::int32_t>(out.size()) < opts_.k) {
+    const auto o =
+        static_cast<ObjId>(rng_.uniform_int(0, opts_.num_objects - 1));
+    if (std::find(out.begin(), out.end(), o) == out.end()) out.push_back(o);
+  }
+  return out;
+}
+
+std::vector<Transaction> SyntheticWorkload::arrivals_at(Time now) {
+  std::vector<Transaction> out;
+  while (!queue_.empty() && queue_.top().when <= now) {
+    const Pending p = queue_.top();
+    queue_.pop();
+    DTM_CHECK(p.when == now, "workload missed arrival at " << p.when
+                                                           << " (now " << now
+                                                           << ")");
+    Transaction t;
+    t.id = next_id_++;
+    t.node = participants_[p.participant];
+    t.gen_time = now;
+    t.accesses = write_set(sample_objects());
+    if (opts_.write_fraction < 1.0) {
+      for (auto& a : t.accesses)
+        if (!rng_.bernoulli(opts_.write_fraction)) a.mode = AccessMode::kRead;
+    }
+    owner_[t.id] = p.participant;
+    ++issued_[p.participant];
+    generated_.push_back(t);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+void SyntheticWorkload::on_commit(TxnId txn, Time exec) {
+  const auto it = owner_.find(txn);
+  if (it == owner_.end()) return;
+  const std::size_t idx = it->second;
+  owner_.erase(it);
+  if (issued_[idx] >= opts_.rounds) return;
+  Time gap = opts_.gap;
+  if (opts_.arrival_prob > 0.0) gap = rng_.geometric_gap(opts_.arrival_prob);
+  queue_.push({exec + gap, idx});
+}
+
+Time SyntheticWorkload::next_arrival_time() const {
+  return queue_.empty() ? kNoTime : queue_.top().when;
+}
+
+bool SyntheticWorkload::finished() const {
+  if (!queue_.empty()) return false;
+  // Participants with rounds left but no queued arrival are waiting on a
+  // commit callback; the run is only finished when everyone hit the quota.
+  for (std::size_t i = 0; i < issued_.size(); ++i)
+    if (issued_[i] < opts_.rounds) return false;
+  return true;
+}
+
+ScriptedWorkload::ScriptedWorkload(std::vector<ObjectOrigin> origins,
+                                   std::vector<Transaction> txns)
+    : origins_(std::move(origins)), txns_(std::move(txns)) {
+  std::stable_sort(txns_.begin(), txns_.end(),
+                   [](const Transaction& a, const Transaction& b) {
+                     return a.gen_time < b.gen_time;
+                   });
+}
+
+std::vector<Transaction> ScriptedWorkload::arrivals_at(Time now) {
+  std::vector<Transaction> out;
+  while (next_ < txns_.size() && txns_[next_].gen_time == now)
+    out.push_back(txns_[next_++]);
+  DTM_CHECK(next_ >= txns_.size() || txns_[next_].gen_time > now,
+            "scripted arrival at " << txns_[next_].gen_time
+                                   << " missed (now " << now << ")");
+  return out;
+}
+
+Time ScriptedWorkload::next_arrival_time() const {
+  return next_ < txns_.size() ? txns_[next_].gen_time : kNoTime;
+}
+
+}  // namespace dtm

@@ -1,0 +1,123 @@
+// Workload generators: the transaction arrival processes the experiments
+// run against.
+//
+// The paper's scheduling problems (§III-C, §IV-D) have one live transaction
+// per node requesting up to k objects; dynamic arrivals repeat the process
+// ("once a transaction completes execution, the node issues in the next
+// step a new transaction"). SyntheticWorkload generalizes this with object
+// popularity skew (Zipf hotspots) and stochastic think times; Scripted-
+// Workload replays an explicit arrival list for tests and adversarial
+// scenarios.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Objects and their origins; called once before the run.
+  [[nodiscard]] virtual std::vector<ObjectOrigin> objects() = 0;
+
+  /// Transactions generated at step `now` (monotone calls).
+  [[nodiscard]] virtual std::vector<Transaction> arrivals_at(Time now) = 0;
+
+  /// Feedback for closed-loop generators: `txn` committed at `exec`.
+  virtual void on_commit(TxnId /*txn*/, Time /*exec*/) {}
+
+  /// Next step with pending arrivals, kNoTime if none (lets the engine
+  /// fast-forward idle stretches).
+  [[nodiscard]] virtual Time next_arrival_time() const = 0;
+
+  /// True when no further arrivals will ever be produced.
+  [[nodiscard]] virtual bool finished() const = 0;
+
+  /// All transactions generated so far (for lower bounds / validation).
+  [[nodiscard]] virtual const std::vector<Transaction>& generated() const = 0;
+};
+
+struct SyntheticOptions {
+  std::int32_t num_objects = 0;  ///< 0 => one object per node
+  std::int32_t k = 2;            ///< objects requested per transaction
+  double zipf_s = 0.0;           ///< 0 = uniform object popularity
+  std::int32_t rounds = 1;       ///< transactions issued per node
+  /// Think time between a node's commit and its next transaction:
+  /// fixed `gap` steps, or geometric with parameter `arrival_prob` when
+  /// arrival_prob > 0 (stochastic open-ish loop).
+  Time gap = 1;
+  double arrival_prob = 0.0;
+  double node_participation = 1.0;  ///< fraction of nodes issuing txns
+  /// Probability that each access is a write (1.0 = the paper's exclusive
+  /// model; < 1.0 only matters to the read-write extension — the base
+  /// conflict relation ignores modes).
+  double write_fraction = 1.0;
+  std::uint64_t seed = 42;
+};
+
+class SyntheticWorkload final : public Workload {
+ public:
+  SyntheticWorkload(const Network& net, SyntheticOptions opts);
+
+  [[nodiscard]] std::vector<ObjectOrigin> objects() override;
+  [[nodiscard]] std::vector<Transaction> arrivals_at(Time now) override;
+  void on_commit(TxnId txn, Time exec) override;
+  [[nodiscard]] Time next_arrival_time() const override;
+  [[nodiscard]] bool finished() const override;
+  [[nodiscard]] const std::vector<Transaction>& generated() const override {
+    return generated_;
+  }
+
+ private:
+  [[nodiscard]] std::vector<ObjId> sample_objects();
+
+  const Network& net_;
+  SyntheticOptions opts_;
+  Rng rng_;
+  std::unique_ptr<ZipfSampler> zipf_;
+  std::vector<NodeId> participants_;
+  std::vector<std::int32_t> issued_;  ///< per participant index
+  std::map<TxnId, std::size_t> owner_;  ///< txn -> participant index
+
+  struct Pending {
+    Time when;
+    std::size_t participant;
+    bool operator>(const Pending& o) const { return when > o.when; }
+  };
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue_;
+  std::vector<Transaction> generated_;
+  TxnId next_id_ = 0;
+};
+
+/// Replays an explicit arrival list (sorted by gen_time internally).
+class ScriptedWorkload final : public Workload {
+ public:
+  ScriptedWorkload(std::vector<ObjectOrigin> origins,
+                   std::vector<Transaction> txns);
+
+  [[nodiscard]] std::vector<ObjectOrigin> objects() override {
+    return origins_;
+  }
+  [[nodiscard]] std::vector<Transaction> arrivals_at(Time now) override;
+  [[nodiscard]] Time next_arrival_time() const override;
+  [[nodiscard]] bool finished() const override { return next_ == txns_.size(); }
+  [[nodiscard]] const std::vector<Transaction>& generated() const override {
+    return txns_;
+  }
+
+ private:
+  std::vector<ObjectOrigin> origins_;
+  std::vector<Transaction> txns_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace dtm

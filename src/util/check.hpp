@@ -1,0 +1,47 @@
+// Checked-assertion macros used throughout the library.
+//
+// DTM_CHECK fires in every build type: model invariants (schedule validity,
+// coloring validity, cover properties) must hold in release benchmarks too,
+// because a silently-invalid schedule would fabricate results.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dtm {
+
+/// Thrown when a library invariant is violated. Carries the failing
+/// expression, source location, and a caller-supplied message.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DTM_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace dtm
+
+/// Always-on invariant check. `msg` is streamed, e.g.
+///   DTM_CHECK(a < b, "a=" << a << " b=" << b);
+#define DTM_CHECK(cond, ...)                                             \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream dtm_check_os_;                                  \
+      dtm_check_os_ << "" __VA_ARGS__;                                   \
+      ::dtm::detail::check_fail(#cond, __FILE__, __LINE__,               \
+                                dtm_check_os_.str());                    \
+    }                                                                    \
+  } while (0)
+
+/// Cheap precondition check on public API boundaries.
+#define DTM_REQUIRE(cond, ...) DTM_CHECK(cond, __VA_ARGS__)

@@ -1,0 +1,52 @@
+#include "util/parallel.hpp"
+
+#include <exception>
+#include <mutex>
+
+namespace dtm {
+
+void parallel_for(std::int64_t count,
+                  const std::function<void(std::int64_t)>& fn,
+                  unsigned threads) {
+  DTM_REQUIRE(count >= 0, "parallel_for count " << count);
+  if (count == 0) return;
+  unsigned workers = threads ? threads : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  workers = static_cast<unsigned>(
+      std::min<std::int64_t>(workers, count));
+
+  if (workers == 1) {
+    for (std::int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::int64_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+
+  auto worker = [&] {
+    while (true) {
+      const std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count || failed.load(std::memory_order_relaxed)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (!error) error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace dtm

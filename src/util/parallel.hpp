@@ -1,0 +1,39 @@
+// Minimal fork-join parallelism for the experiment harness.
+//
+// Simulations are single-threaded by design (determinism); *sweeps* over
+// independent configurations are embarrassingly parallel. parallel_map runs
+// one task per configuration across a bounded pool of std::threads and
+// returns results in input order, so parallel sweeps stay reproducible.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace dtm {
+
+/// Applies `fn` to indices [0, count) using up to `threads` workers
+/// (0 = hardware concurrency). `fn` must be thread-safe across distinct
+/// indices. Exceptions in workers are rethrown on the caller thread (first
+/// one wins).
+void parallel_for(std::int64_t count,
+                  const std::function<void(std::int64_t)>& fn,
+                  unsigned threads = 0);
+
+/// Maps `fn` over [0, count), collecting results in input order.
+template <typename R>
+std::vector<R> parallel_map(std::int64_t count,
+                            const std::function<R(std::int64_t)>& fn,
+                            unsigned threads = 0) {
+  std::vector<R> out(static_cast<std::size_t>(count));
+  parallel_for(
+      count,
+      [&](std::int64_t i) { out[static_cast<std::size_t>(i)] = fn(i); },
+      threads);
+  return out;
+}
+
+}  // namespace dtm

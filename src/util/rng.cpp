@@ -1,0 +1,49 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace dtm {
+
+std::vector<std::int32_t> Rng::sample_distinct(std::int32_t n,
+                                               std::int32_t k) {
+  DTM_REQUIRE(k >= 0 && k <= n, "sample_distinct k=" << k << " n=" << n);
+  std::vector<std::int32_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+  // Floyd's algorithm: for j = n-k .. n-1, draw t in [0, j]; insert t unless
+  // already chosen, in which case insert j. Guarantees uniform k-subsets.
+  std::unordered_set<std::int32_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(k) * 2);
+  for (std::int32_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::int32_t>(uniform_int(0, j));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+ZipfSampler::ZipfSampler(std::int32_t n, double s) {
+  DTM_REQUIRE(n > 0, "ZipfSampler n=" << n);
+  DTM_REQUIRE(s >= 0.0, "ZipfSampler s=" << s);
+  cdf_.resize(static_cast<std::size_t>(n));
+  double acc = 0.0;
+  for (std::int32_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r) + 1.0, s);
+    cdf_[static_cast<std::size_t>(r)] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+}
+
+std::int32_t ZipfSampler::draw(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const auto idx = static_cast<std::int32_t>(it - cdf_.begin());
+  return std::min(idx, static_cast<std::int32_t>(cdf_.size()) - 1);
+}
+
+}  // namespace dtm

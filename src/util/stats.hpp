@@ -1,0 +1,37 @@
+// Streaming and batch statistics used by experiment harnesses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dtm {
+
+/// Welford streaming accumulator: mean/variance/min/max without storing
+/// samples. Used for per-transaction latency aggregation in long runs.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::int64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set (nearest-rank). Copies + sorts; intended for
+/// end-of-run reporting, not hot paths.
+[[nodiscard]] double percentile(std::vector<double> samples, double p);
+
+}  // namespace dtm

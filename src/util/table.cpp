@@ -1,0 +1,107 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace dtm {
+
+Table::Table(std::vector<std::string> headers, int double_precision)
+    : headers_(std::move(headers)), precision_(double_precision) {
+  DTM_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  if (!rows_.empty()) {
+    DTM_CHECK(rows_.back().size() == headers_.size(),
+              "previous row has " << rows_.back().size() << " cells, expected "
+                                  << headers_.size());
+  }
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(std::string v) {
+  DTM_REQUIRE(!rows_.empty(), "call row() before add()");
+  rows_.back().emplace_back(std::move(v));
+  return *this;
+}
+
+Table& Table::add(const char* v) { return add(std::string(v)); }
+
+Table& Table::add(std::int64_t v) {
+  DTM_REQUIRE(!rows_.empty(), "call row() before add()");
+  rows_.back().emplace_back(v);
+  return *this;
+}
+
+Table& Table::add(double v) {
+  DTM_REQUIRE(!rows_.empty(), "call row() before add()");
+  rows_.back().emplace_back(v);
+  return *this;
+}
+
+std::string Table::render_cell(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&c)) return std::to_string(*i);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_) << std::get<double>(c);
+  return os.str();
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& r : rows_) {
+    DTM_CHECK(r.size() == headers_.size(), "ragged row in table");
+    std::vector<std::string> rr;
+    rr.reserve(r.size());
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      rr.push_back(render_cell(r[c]));
+      width[c] = std::max(width[c], rr.back().size());
+    }
+    rendered.push_back(std::move(rr));
+  }
+  if (!title.empty()) os << "== " << title << " ==\n";
+  auto line = [&] {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << "+" << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "| " << std::setw(static_cast<int>(width[c])) << cells[c] << " ";
+    }
+    os << "|\n";
+  };
+  line();
+  emit(headers_);
+  line();
+  for (const auto& r : rendered) emit(r);
+  line();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ",";
+      os << cells[c];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& r : rows_) {
+    std::vector<std::string> rr;
+    rr.reserve(r.size());
+    for (const auto& c : r) rr.push_back(render_cell(c));
+    emit(rr);
+  }
+}
+
+}  // namespace dtm

@@ -1,0 +1,47 @@
+// Aligned-table and CSV emission for experiment harnesses.
+//
+// Every bench binary prints one (or a few) of these tables; EXPERIMENTS.md
+// quotes them. Keeping the renderer here guarantees uniform formatting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace dtm {
+
+/// Column-oriented table. Cells are strings, integers, or doubles; doubles
+/// render with a fixed precision chosen per table.
+class Table {
+ public:
+  using Cell = std::variant<std::string, std::int64_t, double>;
+
+  explicit Table(std::vector<std::string> headers, int double_precision = 3);
+
+  /// Begin a new row; subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(std::string v);
+  Table& add(const char* v);
+  Table& add(std::int64_t v);
+  Table& add(int v) { return add(static_cast<std::int64_t>(v)); }
+  Table& add(std::size_t v) { return add(static_cast<std::int64_t>(v)); }
+  Table& add(double v);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+  /// Render as an aligned ASCII table.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Render as CSV (for downstream plotting).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  [[nodiscard]] std::string render_cell(const Cell& c) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_;
+};
+
+}  // namespace dtm

@@ -1,0 +1,116 @@
+// Tests for sim/analysis and the exhaustive calibration scheduler.
+#include <gtest/gtest.h>
+
+#include "batch/batch_scheduler.hpp"
+#include "sim/analysis.hpp"
+#include "test_helpers.hpp"
+
+namespace dtm {
+namespace {
+
+using testing::origin;
+using testing::txn;
+
+TEST(Analysis, EmptyRun) {
+  const Network net = make_line(4);
+  const RunReport r = analyze_run({}, {}, *net.oracle);
+  EXPECT_EQ(r.txns, 0);
+  EXPECT_EQ(r.makespan, 0);
+}
+
+TEST(Analysis, CountsTravelAndContention) {
+  const Network net = make_line(10);
+  const std::vector<ObjectOrigin> origins{origin(0, 0), origin(1, 9)};
+  const std::vector<ScheduledTxn> s{
+      {txn(1, 3, 0, {0}), 3},        // obj0 travels 3
+      {txn(2, 7, 0, {0, 1}), 8},     // obj0 +4, obj1 +2
+      {txn(3, 7, 0, {1}), 9},        // obj1 +0 (same node)
+  };
+  const RunReport r = analyze_run(s, origins, *net.oracle);
+  EXPECT_EQ(r.txns, 3);
+  EXPECT_EQ(r.makespan, 9);
+  EXPECT_EQ(r.total_object_distance, (3 + 4) + 2);
+  EXPECT_EQ(r.max_object_distance, 7);
+  EXPECT_EQ(r.lmax, 2);
+  EXPECT_DOUBLE_EQ(r.mean_users_per_object, 2.0);
+  EXPECT_EQ(r.active_nodes, 2);  // nodes 3 and 7
+  EXPECT_EQ(r.max_node_commits, 2);
+  EXPECT_EQ(r.max_commits_per_step, 1);
+}
+
+TEST(Analysis, ConcurrencyCounting) {
+  const Network net = make_clique(6);
+  const std::vector<ObjectOrigin> origins{origin(0, 0), origin(1, 1),
+                                          origin(2, 2)};
+  const std::vector<ScheduledTxn> s{
+      {txn(1, 0, 0, {0}), 1},
+      {txn(2, 1, 0, {1}), 1},
+      {txn(3, 2, 0, {2}), 1},
+      {txn(4, 3, 0, {0}), 4},
+  };
+  const RunReport r = analyze_run(s, origins, *net.oracle);
+  EXPECT_EQ(r.max_commits_per_step, 3);
+  EXPECT_DOUBLE_EQ(r.mean_commits_per_busy_step, 2.0);  // 4 commits / 2 steps
+  const std::string text = to_string(r);
+  EXPECT_NE(text.find("makespan: 4"), std::string::npos);
+  EXPECT_NE(text.find("peak 3"), std::string::npos);
+}
+
+TEST(Exhaustive, RefusesLargeProblems) {
+  const Network net = make_line(6);
+  BatchProblem p;
+  p.oracle = net.oracle.get();
+  p.objects = {{0, 0, 0, false}};
+  for (TxnId i = 0; i < 5; ++i) p.txns.push_back({i, 1, {0}});
+  Rng rng(1);
+  EXPECT_THROW((void)make_exhaustive_batch(4)->schedule(p, rng), CheckError);
+  EXPECT_THROW((void)make_exhaustive_batch(0), CheckError);
+  EXPECT_THROW((void)make_exhaustive_batch(11), CheckError);
+}
+
+TEST(Exhaustive, FindsTheObviousBestOrder) {
+  // Line sweep instance: best chain order is sorted by position.
+  const Network net = make_line(16);
+  BatchProblem p;
+  p.oracle = net.oracle.get();
+  p.objects = {{0, 0, 0, false}};
+  p.txns = {{1, 12, {0}}, {2, 3, {0}}, {3, 8, {0}}, {4, 1, {0}}};
+  Rng rng(1);
+  const BatchResult best = make_exhaustive_batch()->schedule(p, rng);
+  EXPECT_EQ(best.makespan, 12);  // single left-to-right pass
+}
+
+// Calibration property: no heuristic beats the exhaustive chain optimum,
+// and the good ones land close to it on tiny instances.
+class ExhaustiveCalibration : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExhaustiveCalibration, HeuristicsNeverBeatBestChain) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 13);
+  const Network net = make_grid({4, 4});
+  BatchProblem p;
+  p.oracle = net.oracle.get();
+  for (ObjId o = 0; o < 4; ++o)
+    p.objects.push_back(
+        {o, static_cast<NodeId>(rng.uniform_int(0, 15)), 0, false});
+  for (TxnId i = 0; i < 7; ++i) {
+    const auto objs = rng.sample_distinct(4, 2);
+    p.txns.push_back({i, static_cast<NodeId>(rng.uniform_int(0, 15)),
+                      {objs[0], objs[1]}});
+  }
+  Rng r1(1);
+  const Time best = make_exhaustive_batch()->schedule(p, r1).makespan;
+  for (const auto& make : {make_coloring_batch, make_tsp_batch,
+                           make_sequential_batch}) {
+    Rng r2(2);
+    EXPECT_GE(make()->schedule(p, r2).makespan, best);
+  }
+  Rng r3(3);
+  const Time ls = make_local_search_batch(6)->schedule(p, r3).makespan;
+  EXPECT_GE(ls, best);
+  EXPECT_LE(ls, best * 2);  // local search lands in the right ballpark
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExhaustiveCalibration, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace dtm

@@ -1,0 +1,134 @@
+// Tests for sim/app_workloads: the bank and social generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/greedy_scheduler.hpp"
+#include "core/rw.hpp"
+#include "sim/app_workloads.hpp"
+#include "sim/runner.hpp"
+#include "test_helpers.hpp"
+
+namespace dtm {
+namespace {
+
+TEST(BankWorkload, TransfersAreTwoDistinctWrites) {
+  const Network net = make_clique(8);
+  auto wl = make_bank_workload(net);
+  (void)wl->objects();
+  const auto arrivals = wl->arrivals_at(0);
+  EXPECT_EQ(arrivals.size(), 8u);
+  for (const auto& t : arrivals) {
+    ASSERT_EQ(t.accesses.size(), 2u);
+    EXPECT_NE(t.accesses[0].obj, t.accesses[1].obj);
+    EXPECT_EQ(t.accesses[0].mode, AccessMode::kWrite);
+    EXPECT_EQ(t.accesses[1].mode, AccessMode::kWrite);
+  }
+}
+
+TEST(BankWorkload, HotAccountsDominate) {
+  const Network net = make_clique(16);
+  BankOptions o;
+  o.accounts = 100;
+  o.hot_fraction = 0.05;   // accounts 0..4 are hot
+  o.hot_probability = 0.8;
+  o.transfers_per_node = 10;
+  auto wl = make_bank_workload(net, o);
+  (void)wl->objects();
+  Time t = 0;
+  std::int64_t hot_hits = 0, total = 0;
+  while (!wl->finished() && t < 10'000) {
+    for (const auto& tx : wl->arrivals_at(t)) {
+      for (const auto& a : tx.accesses) {
+        ++total;
+        if (a.obj < 5) ++hot_hits;
+      }
+      wl->on_commit(tx.id, t);
+    }
+    ++t;
+  }
+  EXPECT_GT(total, 0);
+  EXPECT_GT(hot_hits * 2, total);  // hot accounts take the majority
+}
+
+TEST(BankWorkload, RunsEndToEndThroughTheEngine) {
+  const Network net = make_cluster(3, 4, 6);
+  BankOptions o;
+  o.transfers_per_node = 3;
+  auto wl = make_bank_workload(net, o);
+  GreedyScheduler sched;
+  const RunResult r = testing::run_and_validate(net, *wl, sched);
+  EXPECT_EQ(r.num_txns, net.num_nodes() * 3);
+  EXPECT_GE(r.ratio, 1.0 - 1e-9);
+}
+
+TEST(SocialWorkload, FeedRefreshShapes) {
+  const Network net = make_clique(8);
+  SocialOptions o;
+  o.write_fraction = 0.0;  // reads only
+  o.fanout = 3;
+  auto wl = make_social_workload(net, o);
+  (void)wl->objects();
+  for (const auto& t : wl->arrivals_at(0)) {
+    EXPECT_EQ(t.accesses.size(), 3u);
+    std::set<ObjId> distinct;
+    for (const auto& a : t.accesses) {
+      EXPECT_EQ(a.mode, AccessMode::kRead);
+      EXPECT_TRUE(distinct.insert(a.obj).second);
+    }
+  }
+}
+
+TEST(SocialWorkload, PostsAreSingleWrites) {
+  const Network net = make_clique(6);
+  SocialOptions o;
+  o.write_fraction = 1.0;  // posts only
+  auto wl = make_social_workload(net, o);
+  (void)wl->objects();
+  for (const auto& t : wl->arrivals_at(0)) {
+    ASSERT_EQ(t.accesses.size(), 1u);
+    EXPECT_EQ(t.accesses[0].mode, AccessMode::kWrite);
+  }
+}
+
+TEST(SocialWorkload, SharingWinsOnTheRealisticShape) {
+  // The social shape through the exclusive model vs snapshot reads: the
+  // read-dominated feed load is where the extension pays.
+  const Network net = make_clique(16);
+  SocialOptions o;
+  o.actions_per_node = 3;
+  o.write_fraction = 0.1;
+  o.seed = 11;
+
+  auto wl_excl = make_social_workload(net, o);
+  GreedyScheduler sched;
+  const RunResult excl = testing::run_and_validate(net, *wl_excl, sched);
+
+  auto wl_rw = make_social_workload(net, o);
+  const RwRunResult rw = run_rw_experiment(net, *wl_rw);
+
+  EXPECT_EQ(excl.num_txns, rw.num_txns);
+  EXPECT_LT(rw.makespan, excl.makespan);
+  EXPECT_GT(rw.copies, 0);
+}
+
+TEST(SocialWorkload, DeterministicForSeed) {
+  const Network net = make_grid({3, 3});
+  SocialOptions o;
+  o.seed = 21;
+  auto a = make_social_workload(net, o);
+  auto b = make_social_workload(net, o);
+  (void)a->objects();
+  (void)b->objects();
+  const auto aa = a->arrivals_at(0);
+  const auto bb = b->arrivals_at(0);
+  ASSERT_EQ(aa.size(), bb.size());
+  for (std::size_t i = 0; i < aa.size(); ++i) {
+    ASSERT_EQ(aa[i].accesses.size(), bb[i].accesses.size());
+    for (std::size_t j = 0; j < aa[i].accesses.size(); ++j)
+      EXPECT_EQ(aa[i].accesses[j].obj, bb[i].accesses[j].obj);
+  }
+}
+
+}  // namespace
+}  // namespace dtm

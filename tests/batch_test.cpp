@@ -1,0 +1,266 @@
+// Tests for batch/: problems, the ordered-chain engine, every per-topology
+// scheduler, F_A estimation, and the baselines.
+#include <gtest/gtest.h>
+
+#include "batch/batch_scheduler.hpp"
+#include "core/lower_bound.hpp"
+#include "net/topology.hpp"
+
+namespace dtm {
+namespace {
+
+BatchProblem line_problem(const Network& net) {
+  BatchProblem p;
+  p.oracle = net.oracle.get();
+  p.now = 0;
+  p.objects = {{0, 0, 0, false}, {1, 9, 0, false}};
+  p.txns = {{1, 2, {0}}, {2, 7, {0, 1}}, {3, 4, {1}}};
+  return p;
+}
+
+TEST(BatchProblem, ObjectLookup) {
+  const Network net = make_line(10);
+  const BatchProblem p = line_problem(net);
+  EXPECT_EQ(p.object(1).node, 9);
+  EXPECT_THROW((void)p.object(7), CheckError);
+  EXPECT_EQ(p.travel(0, 4), 4);
+}
+
+TEST(BatchResult, ExecLookup) {
+  BatchResult r;
+  r.assignments = {{1, 5}, {2, 9}};
+  EXPECT_EQ(r.exec_of(2), 9);
+  EXPECT_THROW((void)r.exec_of(3), CheckError);
+}
+
+TEST(ChainEvaluate, FollowsOrderAndChains) {
+  const Network net = make_line(10);
+  const BatchProblem p = line_problem(net);
+  const BatchResult r = chain_evaluate(p, {0, 1, 2});
+  // txn1@2 gets obj0 after 2 steps; txn2@7: obj0 from node 2 (released at
+  // 2) = 2+5 = 7, obj1 from 9 = 2; exec 7. txn3@4: obj1 from node 7 at 7
+  // -> 7+3 = 10.
+  EXPECT_EQ(r.exec_of(1), 2);
+  EXPECT_EQ(r.exec_of(2), 7);
+  EXPECT_EQ(r.exec_of(3), 10);
+  EXPECT_EQ(r.makespan, 10);
+}
+
+TEST(ChainEvaluate, OrderMatters) {
+  const Network net = make_line(10);
+  const BatchProblem p = line_problem(net);
+  const BatchResult r = chain_evaluate(p, {2, 1, 0});
+  EXPECT_EQ(r.exec_of(3), 5);  // obj1 travels 9 -> 4
+  // txn2 next: obj1 from 4 (at 5) -> 5+3 = 8; obj0 from 0 -> 7. exec 8.
+  EXPECT_EQ(r.exec_of(2), 8);
+  // txn1 last: obj0 from node 7 at 8 -> 8+5 = 13.
+  EXPECT_EQ(r.exec_of(1), 13);
+}
+
+TEST(ChainEvaluate, RespectsReadyTimesAndFromTxn) {
+  const Network net = make_line(10);
+  BatchProblem p;
+  p.oracle = net.oracle.get();
+  p.now = 100;
+  p.objects = {{0, 3, 120, true}};
+  p.txns = {{1, 3, {0}}};
+  const BatchResult r = chain_evaluate(p, {0});
+  EXPECT_EQ(r.exec_of(1), 121);  // from_txn forces +1 at distance zero
+  EXPECT_EQ(r.makespan, 21);
+}
+
+TEST(ChainEvaluate, RejectsBadOrderSize) {
+  const Network net = make_line(10);
+  const BatchProblem p = line_problem(net);
+  EXPECT_THROW((void)chain_evaluate(p, {0, 1}), CheckError);
+}
+
+TEST(EstimateFa, EmptyProblemUsesHorizon) {
+  const Network net = make_line(10);
+  BatchProblem p;
+  p.oracle = net.oracle.get();
+  p.now = 50;
+  p.objects = {{0, 3, 80, true}};
+  Rng rng(1);
+  const auto algo = make_coloring_batch();
+  EXPECT_EQ(estimate_fa(*algo, p, rng), 30);
+}
+
+TEST(EstimateFa, CoversLateAvailability) {
+  const Network net = make_line(10);
+  BatchProblem p;
+  p.oracle = net.oracle.get();
+  p.now = 0;
+  // Object 1 is pinned far in the future but unused by the new txns.
+  p.objects = {{0, 0, 0, false}, {1, 5, 90, true}};
+  p.txns = {{1, 0, {0}}};
+  Rng rng(1);
+  const auto algo = make_coloring_batch();
+  EXPECT_GE(estimate_fa(*algo, p, rng), 90);
+}
+
+// ---- Every scheduler produces feasible schedules on random problems ----
+
+struct SchedulerCase {
+  std::string label;
+  std::function<std::unique_ptr<BatchScheduler>()> make;
+  std::function<Network()> net;
+};
+
+class BatchSchedulerSweep : public ::testing::TestWithParam<int> {
+ public:
+  static std::vector<SchedulerCase> cases() {
+    return {
+        {"coloring-line", make_coloring_batch, [] { return make_line(12); }},
+        {"coloring-clique", make_coloring_batch,
+         [] { return make_clique(10); }},
+        {"line", make_line_batch, [] { return make_line(12); }},
+        {"clique", make_clique_batch, [] { return make_clique(10); }},
+        {"cluster", [] { return make_cluster_batch(3); },
+         [] { return make_cluster(4, 3, 4); }},
+        {"star", [] { return make_star_batch(4); },
+         [] { return make_star(3, 4); }},
+        {"grid", [] { return make_grid_snake_batch({3, 4}); },
+         [] { return make_grid({3, 4}); }},
+        {"hypercube", make_hypercube_gray_batch,
+         [] { return make_hypercube(3); }},
+        {"tsp", make_tsp_batch, [] { return make_grid({3, 4}); }},
+        {"sequential", make_sequential_batch, [] { return make_line(12); }},
+        {"local-search", [] { return make_local_search_batch(3); },
+         [] { return make_grid({3, 4}); }},
+    };
+  }
+};
+
+TEST_P(BatchSchedulerSweep, FeasibleAndAboveLowerBound) {
+  const auto c = cases()[static_cast<std::size_t>(GetParam())];
+  const Network net = c.net();
+  const auto algo = c.make();
+  Rng rng(99);
+  for (int trial = 0; trial < 6; ++trial) {
+    BatchProblem p;
+    p.oracle = net.oracle.get();
+    p.now = trial * 10;
+    const ObjId w = 5;
+    std::vector<ObjectOrigin> origins;
+    for (ObjId o = 0; o < w; ++o) {
+      const auto node =
+          static_cast<NodeId>(rng.uniform_int(0, net.num_nodes() - 1));
+      p.objects.push_back({o, node, p.now, false});
+      origins.push_back({o, node, 0});
+    }
+    std::vector<Transaction> txns;
+    for (TxnId i = 0; i < 8; ++i) {
+      const auto objs = rng.sample_distinct(w, 2);
+      const auto node =
+          static_cast<NodeId>(rng.uniform_int(0, net.num_nodes() - 1));
+      p.txns.push_back({i, node, {objs[0], objs[1]}});
+      Transaction t;
+      t.id = i;
+      t.node = node;
+      t.gen_time = 0;
+      t.accesses = write_set({objs[0], objs[1]});
+      txns.push_back(t);
+    }
+    // schedule() internally runs check_batch_result (feasibility); if it
+    // returns, the schedule is valid.
+    const BatchResult r = algo->schedule(p, rng);
+    EXPECT_EQ(r.assignments.size(), p.txns.size()) << c.label;
+    // Makespan can never beat the certified lower bound.
+    const auto lb = makespan_lower_bound(txns, origins, *net.oracle);
+    EXPECT_GE(r.makespan + 1, lb.best()) << c.label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, BatchSchedulerSweep,
+                         ::testing::Range(0, 11));
+
+TEST(LineBatch, SweepsLeftToRight) {
+  const Network net = make_line(10);
+  BatchProblem p;
+  p.oracle = net.oracle.get();
+  p.objects = {{0, 0, 0, false}};
+  p.txns = {{1, 8, {0}}, {2, 1, {0}}, {3, 5, {0}}};
+  Rng rng(1);
+  const BatchResult r = make_line_batch()->schedule(p, rng);
+  // Sweep order 1, 5, 8: execs 1, 5, 8 — a single pass.
+  EXPECT_EQ(r.exec_of(2), 1);
+  EXPECT_EQ(r.exec_of(3), 5);
+  EXPECT_EQ(r.exec_of(1), 8);
+}
+
+TEST(SequentialBatch, FullySerial) {
+  const Network net = make_clique(6);
+  BatchProblem p;
+  p.oracle = net.oracle.get();
+  p.objects = {{0, 0, 0, false}, {1, 1, 0, false}};
+  p.txns = {{1, 0, {0}}, {2, 1, {1}}, {3, 2, {0}}};
+  Rng rng(1);
+  const BatchResult r = make_sequential_batch()->schedule(p, rng);
+  // Even independent txns never share a step.
+  EXPECT_LT(r.exec_of(1), r.exec_of(2));
+  EXPECT_LT(r.exec_of(2), r.exec_of(3));
+}
+
+TEST(ClusterStarBatch, RandomizedFlagSet) {
+  EXPECT_TRUE(make_cluster_batch(3)->randomized());
+  EXPECT_TRUE(make_star_batch(3)->randomized());
+  EXPECT_FALSE(make_line_batch()->randomized());
+  EXPECT_FALSE(make_coloring_batch()->randomized());
+}
+
+TEST(ColoringBatch, CliqueRespectsLoadBound) {
+  // On the clique with l transactions sharing one object, coloring gives
+  // makespan O(l) — the Theorem 3 structure.
+  const Network net = make_clique(16);
+  BatchProblem p;
+  p.oracle = net.oracle.get();
+  p.objects = {{0, 0, 0, false}};
+  for (TxnId i = 0; i < 12; ++i)
+    p.txns.push_back({i, static_cast<NodeId>(i + 1), {0}});
+  Rng rng(1);
+  const BatchResult r = make_coloring_batch()->schedule(p, rng);
+  EXPECT_LE(r.makespan, 2 * 12);
+  EXPECT_GE(r.makespan, 11);  // 12 commits of one object need 11 gaps
+}
+
+TEST(LocalSearchBatch, ImprovesOnBadSeedOrders) {
+  // A line instance where the natural id order ping-pongs the object; the
+  // best chain order sweeps. Local search must land at (or near) the
+  // sweep's makespan.
+  const Network net = make_line(16);
+  BatchProblem p;
+  p.oracle = net.oracle.get();
+  p.objects = {{0, 0, 0, false}};
+  // Alternating far/near users: id order is terrible.
+  p.txns = {{1, 15, {0}}, {2, 1, {0}}, {3, 14, {0}}, {4, 2, {0}},
+            {5, 13, {0}}, {6, 3, {0}}};
+  Rng rng(5);
+  const Time pingpong = chain_evaluate(p, {0, 1, 2, 3, 4, 5}).makespan;
+  const BatchResult tuned = make_local_search_batch(6)->schedule(p, rng);
+  EXPECT_LT(tuned.makespan, pingpong);
+  // The sweep order (1,2,3 then 13,14,15) costs ~18; allow slack.
+  EXPECT_LE(tuned.makespan, pingpong / 2);
+}
+
+TEST(LocalSearchBatch, RandomizedFlagSet) {
+  EXPECT_TRUE(make_local_search_batch(2)->randomized());
+  EXPECT_EQ(make_local_search_batch(2)->name(), "local-search");
+  EXPECT_THROW((void)make_local_search_batch(0), CheckError);
+}
+
+TEST(HypercubeGray, ConsecutiveRanksOneHop) {
+  const Network net = make_hypercube(4);
+  BatchProblem p;
+  p.oracle = net.oracle.get();
+  p.objects = {{0, 0, 0, false}};
+  for (NodeId u = 0; u < 16; ++u) p.txns.push_back({u, u, {0}});
+  Rng rng(1);
+  const BatchResult r = make_hypercube_gray_batch()->schedule(p, rng);
+  // A Gray walk visits all 16 nodes with unit hops: one object can follow
+  // it in 16 + small steps; far below the naive 16 * diameter.
+  EXPECT_LE(r.makespan, 16 + 4);
+}
+
+}  // namespace
+}  // namespace dtm

@@ -1,0 +1,196 @@
+// Tests for core/bucket_scheduler: Algorithm 2 mechanics — insertion rule,
+// periodic activation, level bounds (Lemma 3), latency traces (Lemma 4).
+#include <gtest/gtest.h>
+
+#include "core/bucket_scheduler.hpp"
+#include "net/topology.hpp"
+#include "sim/runner.hpp"
+#include "test_helpers.hpp"
+
+namespace dtm {
+namespace {
+
+using testing::origin;
+using testing::run_and_validate;
+using testing::txn;
+
+std::shared_ptr<const BatchScheduler> coloring() {
+  return std::shared_ptr<const BatchScheduler>(make_coloring_batch());
+}
+
+TEST(Bucket, RequiresAlgorithm) {
+  EXPECT_THROW(BucketScheduler(nullptr), CheckError);
+}
+
+TEST(Bucket, NameIncludesAlgorithm) {
+  EXPECT_EQ(BucketScheduler(coloring()).name(), "bucket[coloring]");
+}
+
+TEST(Bucket, CheapTxnGoesToLowBucket) {
+  const Network net = make_line(16);
+  ScriptedWorkload wl({origin(0, 3)}, {txn(1, 3, 0, {0})});
+  BucketScheduler sched(coloring());
+  (void)run_and_validate(net, wl, sched);
+  ASSERT_EQ(sched.traces().size(), 1u);
+  // Local object, no conflicts: F_A = 0 <= 2^0.
+  EXPECT_EQ(sched.traces()[0].level, 0);
+}
+
+TEST(Bucket, ExpensiveTxnGoesToHigherBucket) {
+  const Network net = make_line(16);
+  ScriptedWorkload wl({origin(0, 0)}, {txn(1, 15, 0, {0})});
+  BucketScheduler sched(coloring());
+  (void)run_and_validate(net, wl, sched);
+  ASSERT_EQ(sched.traces().size(), 1u);
+  // F_A = 15 (travel) => smallest i with 2^i >= 15 is 4.
+  EXPECT_EQ(sched.traces()[0].level, 4);
+}
+
+TEST(Bucket, ActivationPeriodicity) {
+  const Network net = make_line(16);
+  ScriptedWorkload wl({origin(0, 0)}, {txn(1, 15, 0, {0})});
+  BucketScheduler sched(coloring());
+  (void)run_and_validate(net, wl, sched);
+  const auto& tr = sched.traces()[0];
+  // Level-4 bucket activates at the first multiple of 16 after insertion.
+  EXPECT_EQ(tr.inserted, 0);
+  EXPECT_EQ(tr.scheduled, 16);
+  EXPECT_GE(tr.exec, 16);
+}
+
+TEST(Bucket, Lemma4LatencyBound) {
+  // Every transaction inserted into level i at time t must execute by
+  // t + (i+1) * 2^(i+2) (Lemma 4).
+  const Network net = make_line(32);
+  SyntheticOptions wopts;
+  wopts.num_objects = 8;
+  wopts.k = 2;
+  wopts.rounds = 4;
+  wopts.seed = 3;
+  SyntheticWorkload wl(net, wopts);
+  BucketScheduler sched(coloring());
+  (void)run_and_validate(net, wl, sched);
+  for (const auto& tr : sched.traces()) {
+    ASSERT_NE(tr.exec, kNoTime) << "txn " << tr.txn << " never scheduled";
+    const Time bound =
+        tr.inserted + (tr.level + 1) * (Time{1} << (tr.level + 2));
+    EXPECT_LE(tr.exec, bound)
+        << "Lemma 4 bound violated for txn " << tr.txn << " (level "
+        << tr.level << ")";
+  }
+}
+
+TEST(Bucket, Lemma3LevelBound) {
+  // Max level used stays within log2(n * D) + O(1).
+  const Network net = make_line(32);  // n*D = 32*31
+  SyntheticOptions wopts;
+  wopts.num_objects = 8;
+  wopts.k = 3;
+  wopts.rounds = 4;
+  wopts.seed = 4;
+  SyntheticWorkload wl(net, wopts);
+  BucketScheduler sched(coloring());
+  (void)run_and_validate(net, wl, sched);
+  std::int32_t log_nd = 0;
+  for (std::int64_t p = 1; p < 32 * 31; p <<= 1) ++log_nd;
+  EXPECT_LE(sched.max_level_used(), log_nd + 1);
+  EXPECT_GE(sched.max_level_used(), 0);
+}
+
+TEST(Bucket, NextEventHint) {
+  const Network net = make_line(16);
+  ScriptedWorkload wl({origin(0, 0)}, {txn(1, 15, 0, {0})});
+  BucketScheduler sched(coloring());
+  SyncEngine eng(net.oracle, wl.objects(), {});
+  const auto arrivals = wl.arrivals_at(0);
+  eng.begin_step(arrivals);
+  const auto asg = sched.on_step(eng, arrivals);
+  EXPECT_TRUE(asg.empty());  // level 4 not yet activated
+  EXPECT_EQ(sched.next_event_hint(0), 16);
+  eng.finish_step();
+}
+
+TEST(Bucket, EmptyHintIsNone) {
+  BucketScheduler sched(coloring());
+  EXPECT_EQ(sched.next_event_hint(5), kNoTime);
+}
+
+TEST(Bucket, MultipleArrivalsSameStepAllScheduled) {
+  const Network net = make_clique(8);
+  std::vector<Transaction> ts;
+  for (TxnId i = 0; i < 8; ++i)
+    ts.push_back(txn(i, static_cast<NodeId>(i), 0, {0}));
+  ScriptedWorkload wl({origin(0, 0)}, ts);
+  BucketScheduler sched(coloring());
+  const RunResult r = run_and_validate(net, wl, sched);
+  EXPECT_EQ(r.num_txns, 8);
+}
+
+TEST(Bucket, SuffixWrapperToggle) {
+  const Network net = make_line(16);
+  SyntheticOptions wopts;
+  wopts.num_objects = 6;
+  wopts.k = 2;
+  wopts.rounds = 3;
+  wopts.seed = 6;
+  for (const bool suffix : {true, false}) {
+    SyntheticWorkload wl(net, wopts);
+    BucketOptions bopts;
+    bopts.enforce_suffix_property = suffix;
+    BucketScheduler sched(coloring(), bopts);
+    const RunResult r = run_and_validate(net, wl, sched);
+    EXPECT_EQ(r.num_txns, static_cast<std::int64_t>(wl.generated().size()));
+  }
+}
+
+TEST(Bucket, RandomizedAlgorithmRetries) {
+  const Network net = make_cluster(3, 4, 5);
+  SyntheticOptions wopts;
+  wopts.num_objects = 6;
+  wopts.k = 2;
+  wopts.rounds = 2;
+  wopts.seed = 7;
+  SyntheticWorkload wl(net, wopts);
+  BucketScheduler sched{
+      std::shared_ptr<const BatchScheduler>(make_cluster_batch(4))};
+  const RunResult r = run_and_validate(net, wl, sched);
+  EXPECT_EQ(r.num_txns, static_cast<std::int64_t>(wl.generated().size()));
+}
+
+TEST(Bucket, DynamicArrivalsOverTime) {
+  const Network net = make_line(24);
+  SyntheticOptions wopts;
+  wopts.num_objects = 6;
+  wopts.k = 2;
+  wopts.rounds = 3;
+  wopts.arrival_prob = 0.2;  // geometric think times
+  wopts.seed = 8;
+  SyntheticWorkload wl(net, wopts);
+  BucketScheduler sched{
+      std::shared_ptr<const BatchScheduler>(make_line_batch())};
+  const RunResult r = run_and_validate(net, wl, sched);
+  EXPECT_EQ(r.num_txns, static_cast<std::int64_t>(wl.generated().size()));
+  EXPECT_GE(r.ratio, 1.0 - 1e-9);
+}
+
+// Validity sweep across topology/batch-algorithm pairs.
+class BucketSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BucketSweep, ValidOnAllTopologies) {
+  const auto nets = testing::small_networks();
+  const Network& net = nets[static_cast<std::size_t>(GetParam())];
+  SyntheticOptions wopts;
+  wopts.num_objects = std::max<std::int32_t>(4, net.num_nodes() / 2);
+  wopts.k = 2;
+  wopts.rounds = 2;
+  wopts.seed = 99;
+  SyntheticWorkload wl(net, wopts);
+  BucketScheduler sched(coloring());
+  const RunResult r = run_and_validate(net, wl, sched);
+  EXPECT_EQ(r.num_txns, static_cast<std::int64_t>(wl.generated().size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, BucketSweep, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace dtm

@@ -1,0 +1,145 @@
+// Tests for core/coloring: the Lemma 1 / Lemma 2 machinery.
+#include <gtest/gtest.h>
+
+#include "core/coloring.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+namespace {
+
+TEST(Coloring, NoConstraintsGivesMin) {
+  EXPECT_EQ(min_feasible_color({}, 0), 0);
+  EXPECT_EQ(min_feasible_color({}, 7), 7);
+}
+
+TEST(Coloring, AvoidsSingleInterval) {
+  const std::vector<ColorConstraint> cs{{5, 3}};  // forbidden (2, 8)
+  EXPECT_EQ(min_feasible_color(cs, 0), 0);
+  EXPECT_EQ(min_feasible_color(cs, 3), 8);  // 3..7 forbidden
+  EXPECT_EQ(min_feasible_color(cs, 2), 2);  // |2-5| = 3 ok
+}
+
+TEST(Coloring, MergesOverlappingIntervals) {
+  const std::vector<ColorConstraint> cs{{2, 2}, {4, 2}, {9, 1}};
+  // Forbidden: (0,4) u (2,6) u {9} -> integers 1..5 and 9.
+  EXPECT_EQ(min_feasible_color(cs, 1), 6);
+}
+
+TEST(Coloring, GapZeroIgnored) {
+  const std::vector<ColorConstraint> cs{{0, 0}, {1, 0}};
+  EXPECT_EQ(min_feasible_color(cs, 0), 0);
+}
+
+TEST(Coloring, MultipleOfRestriction) {
+  const std::vector<ColorConstraint> cs{{0, 1}};  // forbids exactly 0
+  EXPECT_EQ(min_feasible_color(cs, 0, 5), 5);
+  const std::vector<ColorConstraint> cs2{{5, 5}};  // forbids 1..9
+  EXPECT_EQ(min_feasible_color(cs2, 0, 5), 0);
+  EXPECT_EQ(min_feasible_color(cs2, 5, 5), 10);
+}
+
+TEST(Coloring, SatisfiesChecker) {
+  const std::vector<ColorConstraint> cs{{3, 2}, {10, 4}};
+  EXPECT_TRUE(color_satisfies(1, cs));
+  EXPECT_FALSE(color_satisfies(4, cs));
+  EXPECT_FALSE(color_satisfies(8, cs));
+  EXPECT_TRUE(color_satisfies(14, cs));
+}
+
+TEST(Coloring, Lemma1BoundFormula) {
+  const std::vector<ColorConstraint> cs{{0, 2}, {5, 3}, {9, 1}};
+  EXPECT_EQ(lemma1_bound(cs), 2 * 6 - 3);
+}
+
+// Property sweep: for random constraint sets with min_color = 0 the chosen
+// color is valid and within Lemma 1's 2*Gamma - Delta bound.
+class Lemma1Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma1Property, GreedyWithinBound) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 50; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(1, 20));
+    std::vector<ColorConstraint> cs;
+    for (int i = 0; i < m; ++i)
+      cs.push_back({rng.uniform_int(0, 30), rng.uniform_int(1, 6)});
+    const Time c = min_feasible_color(cs, 0);
+    EXPECT_TRUE(color_satisfies(c, cs));
+    EXPECT_LE(c, lemma1_bound(cs));
+    EXPECT_GE(c, 0);
+    // Minimality: no smaller valid color exists.
+    for (Time x = 0; x < c; ++x) EXPECT_FALSE(color_satisfies(x, cs));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma1Property, ::testing::Range(1, 9));
+
+// Lemma 2 property: uniform gaps beta, neighbor colors multiples of beta,
+// at least one neighbor at color 0 (the holder) => chosen color is a
+// positive multiple of beta and <= Gamma.
+class Lemma2Property : public ::testing::TestWithParam<Weight> {};
+
+TEST_P(Lemma2Property, UniformWithinGamma) {
+  const Weight beta = GetParam();
+  Rng rng(static_cast<std::uint64_t>(beta) * 1000 + 17);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(1, 15));
+    std::vector<ColorConstraint> cs{{0, beta}};  // the holder
+    // Valid existing coloring: multiples of beta (distinct per neighbor not
+    // required — only that the *existing* coloring is valid among itself,
+    // which we don't need for the new node's bound).
+    for (int i = 1; i < m; ++i)
+      cs.push_back({beta * rng.uniform_int(0, m), beta});
+    const Time c = min_feasible_color(cs, beta, beta);
+    EXPECT_TRUE(color_satisfies(c, cs));
+    EXPECT_EQ(c % beta, 0);
+    EXPECT_GE(c, beta);
+    EXPECT_LE(c, lemma2_bound(cs));
+    EXPECT_LE(lemma2_bound(cs), beta * m);  // Gamma with a 0-neighbor
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, Lemma2Property,
+                         ::testing::Values<Weight>(1, 2, 3, 5, 8));
+
+TEST(Coloring, Lemma2BoundWithoutZeroNeighborWeakens) {
+  const std::vector<ColorConstraint> with_zero{{0, 4}, {4, 4}};
+  const std::vector<ColorConstraint> without_zero{{4, 4}, {8, 4}};
+  EXPECT_EQ(lemma2_bound(with_zero), 8);
+  EXPECT_EQ(lemma2_bound(without_zero), 12);  // Gamma + beta
+}
+
+TEST(Coloring, UniformDynamicBoundFormula) {
+  const std::vector<ColorConstraint> cs{{7, 3}, {11, 6}};  // beta = 4
+  // ceil(3/4)=1, ceil(6/4)=2 -> forbidden <= 2*(1+2)=6 -> bound 4*7=28.
+  EXPECT_EQ(uniform_dynamic_bound(cs, 4), 28);
+}
+
+// Property: arbitrary (unaligned) constraints — a beta-multiple color
+// exists within uniform_dynamic_bound.
+class UniformDynamicProperty : public ::testing::TestWithParam<Weight> {};
+
+TEST_P(UniformDynamicProperty, GreedyWithinBound) {
+  const Weight beta = GetParam();
+  Rng rng(static_cast<std::uint64_t>(beta) * 31 + 5);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(1, 12));
+    std::vector<ColorConstraint> cs;
+    for (int i = 0; i < m; ++i)
+      cs.push_back({rng.uniform_int(0, 40), rng.uniform_int(1, 3 * beta)});
+    const Time c = min_feasible_color(cs, beta, beta);
+    EXPECT_TRUE(color_satisfies(c, cs));
+    EXPECT_EQ(c % beta, 0);
+    EXPECT_LE(c, uniform_dynamic_bound(cs, beta));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, UniformDynamicProperty,
+                         ::testing::Values<Weight>(1, 2, 4, 7));
+
+TEST(Coloring, RejectsBadArguments) {
+  EXPECT_THROW((void)min_feasible_color({}, -1), CheckError);
+  EXPECT_THROW((void)min_feasible_color({}, 0, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace dtm

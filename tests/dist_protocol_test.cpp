@@ -1,0 +1,127 @@
+// Tests for dist/bus and dist/tracking: the message substrate and the
+// forwarding-pointer object-tracking protocol of §V.
+#include <gtest/gtest.h>
+
+#include "dist/bus.hpp"
+#include "dist/tracking.hpp"
+#include "net/topology.hpp"
+
+namespace dtm {
+namespace {
+
+TEST(MessageBus, DeliversAtDistance) {
+  const Network net = make_line(10);
+  MessageBus bus(*net.oracle);
+  bus.send(0, 7, 5, ReportMsg{1});
+  EXPECT_EQ(bus.next_delivery(), 12);
+  EXPECT_TRUE(bus.drain(11).empty());
+  const auto msgs = bus.drain(12);
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].from, 0);
+  EXPECT_EQ(msgs[0].to, 7);
+  EXPECT_EQ(msgs[0].sent, 5);
+  EXPECT_TRUE(std::holds_alternative<ReportMsg>(msgs[0].payload));
+  EXPECT_EQ(bus.next_delivery(), kNoTime);
+}
+
+TEST(MessageBus, DrainOrderAndFifoTies) {
+  const Network net = make_line(10);
+  MessageBus bus(*net.oracle);
+  bus.send(0, 2, 0, ReportMsg{1});  // deliver 2
+  bus.send(0, 1, 0, ReportMsg{2});  // deliver 1
+  bus.send(3, 1, 0, ReportMsg{3});  // deliver 2 (tie with first, later seq)
+  const auto msgs = bus.drain(10);
+  ASSERT_EQ(msgs.size(), 3u);
+  EXPECT_EQ(std::get<ReportMsg>(msgs[0].payload).txn, 2);
+  EXPECT_EQ(std::get<ReportMsg>(msgs[1].payload).txn, 1);
+  EXPECT_EQ(std::get<ReportMsg>(msgs[2].payload).txn, 3);
+}
+
+TEST(MessageBus, StatsAccumulate) {
+  const Network net = make_line(10);
+  MessageBus bus(*net.oracle);
+  bus.send(0, 4, 0, ReportMsg{1});
+  bus.send(4, 9, 0, ReportMsg{2});
+  EXPECT_EQ(bus.messages_sent(), 2);
+  EXPECT_EQ(bus.total_distance(), 4 + 5);
+}
+
+TEST(MessageBus, ZeroDistanceDeliversSameStep) {
+  const Network net = make_line(4);
+  MessageBus bus(*net.oracle);
+  bus.send(2, 2, 7, ReportMsg{9});
+  const auto msgs = bus.drain(7);
+  ASSERT_EQ(msgs.size(), 1u);
+}
+
+class TrackingTest : public ::testing::Test {
+ protected:
+  Network net_ = make_line(12);
+};
+
+TEST_F(TrackingTest, RegisterAndBirth) {
+  ObjectTrailDirectory dir;
+  dir.register_object(0, 3);
+  EXPECT_EQ(dir.birth_node(0), 3);
+  EXPECT_EQ(dir.current_terminus(0), 3);
+  EXPECT_THROW((void)dir.register_object(0, 4), CheckError);
+  EXPECT_THROW((void)dir.birth_node(9), CheckError);
+}
+
+TEST_F(TrackingTest, PointerLaidOnDeparture) {
+  ObjectTrailDirectory dir;
+  ObjectState obj(0, 3, 0);
+  dir.register_object(0, 3);
+  dir.observe(obj, 0);
+  // No departure yet: lookups find nothing to follow.
+  EXPECT_FALSE(dir.lookup(0, 3, 5).departed);
+
+  obj.route_to(9, 4, *net_.oracle);
+  dir.observe(obj, 4);
+  EXPECT_EQ(dir.current_terminus(0), 9);
+  // A probe arriving at node 3 before the departure time sees the object
+  // as still present.
+  EXPECT_FALSE(dir.lookup(0, 3, 3).departed);
+  const auto hop = dir.lookup(0, 3, 4);
+  EXPECT_TRUE(hop.departed);
+  EXPECT_EQ(hop.next, 9);
+  EXPECT_EQ(hop.depart_time, 4);
+}
+
+TEST_F(TrackingTest, ChainOfHops) {
+  ObjectTrailDirectory dir;
+  ObjectState obj(0, 0, 0);
+  dir.register_object(0, 0);
+  dir.observe(obj, 0);
+  obj.route_to(5, 0, *net_.oracle);
+  dir.observe(obj, 0);
+  obj.settle(5);
+  dir.observe(obj, 5);
+  obj.route_to(11, 6, *net_.oracle);
+  dir.observe(obj, 6);
+  // Probe path: 0 -> 5 -> 11.
+  const auto h0 = dir.lookup(0, 0, 100);
+  ASSERT_TRUE(h0.departed);
+  EXPECT_EQ(h0.next, 5);
+  const auto h1 = dir.lookup(0, 5, 100);
+  ASSERT_TRUE(h1.departed);
+  EXPECT_EQ(h1.next, 11);
+  EXPECT_FALSE(dir.lookup(0, 11, 100).departed);
+  EXPECT_EQ(dir.current_terminus(0), 11);
+}
+
+TEST_F(TrackingTest, ObserveIsIdempotentPerLeg) {
+  ObjectTrailDirectory dir;
+  ObjectState obj(0, 2, 0);
+  dir.register_object(0, 2);
+  obj.route_to(8, 1, *net_.oracle);
+  dir.observe(obj, 1);
+  dir.observe(obj, 2);
+  dir.observe(obj, 3);
+  const auto hop = dir.lookup(0, 2, 10);
+  EXPECT_TRUE(hop.departed);
+  EXPECT_EQ(hop.depart_time, 1);  // not overwritten by later observations
+}
+
+}  // namespace
+}  // namespace dtm

@@ -1,0 +1,139 @@
+// Deeper engine coverage: view accessors, latency-factor interplay with
+// redirects, multi-commit steps, and workload/engine integration edges.
+#include <gtest/gtest.h>
+
+#include "core/greedy_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "sim/gantt.hpp"
+#include "sim/runner.hpp"
+#include "test_helpers.hpp"
+
+namespace dtm {
+namespace {
+
+using testing::origin;
+using testing::txn;
+
+TEST(EngineDepth, LiveTxnsAccessor) {
+  const Network net = make_line(8);
+  SyncEngine e(net.oracle, {origin(0, 0)}, {});
+  EXPECT_TRUE(e.live_txns().empty());
+  e.begin_step({{txn(3, 1, 0, {0}), txn(1, 2, 0, {0})}});
+  const auto live = e.live_txns();
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[0], 1);  // id order
+  EXPECT_EQ(live[1], 3);
+  EXPECT_THROW((void)e.txn(99), CheckError);
+  EXPECT_THROW((void)e.assigned_exec(99), CheckError);
+  EXPECT_THROW((void)e.object(42), CheckError);
+}
+
+TEST(EngineDepth, SameObjectTwoCommitsSameStepRejected) {
+  const Network net = make_line(8);
+  SyncEngine e(net.oracle, {origin(0, 3)}, {});
+  // Both transactions sit at node 3 with the object local: the engine must
+  // refuse to fire both at the same step.
+  e.begin_step({{txn(1, 3, 0, {0}), txn(2, 3, 0, {0})}});
+  e.apply({{Assignment{1, 1}, Assignment{2, 1}}});
+  e.finish_step();  // t=0, nothing due
+  e.begin_step({});
+  EXPECT_THROW((void)e.finish_step(), CheckError);
+}
+
+TEST(EngineDepth, IndependentCommitsShareAStep) {
+  const Network net = make_line(8);
+  SyncEngine e(net.oracle, {origin(0, 1), origin(1, 5)}, {});
+  e.begin_step({{txn(1, 1, 0, {0}), txn(2, 5, 0, {1})}});
+  e.apply({{Assignment{1, 0}, Assignment{2, 0}}});
+  const auto commits = e.finish_step();
+  EXPECT_EQ(commits.size(), 2u);
+}
+
+TEST(EngineDepth, RedirectUnderLatencyFactorMeetsPromise) {
+  // The two-route bound must hold with half-speed objects too.
+  const Network net = make_line(12);
+  SyncEngine e(net.oracle, {origin(0, 0)}, EngineOptions{2});
+  e.begin_step({{txn(1, 11, 0, {0})}});
+  // Far deadline with slack: the minimum would be 22 (11 hops at factor
+  // 2); 42 leaves room for the detour the pairwise gap rule requires
+  // (|e1 - e2| >= 2 * dist(1, 11) = 20).
+  e.apply({{Assignment{1, 42}}});
+  e.finish_step();
+  for (int i = 0; i < 3; ++i) {
+    e.begin_step({});
+    e.finish_step();
+  }
+  // t=4: object 2 hops along (half speed). A new txn at node 1 arrives.
+  ASSERT_EQ(e.now(), 4);
+  const Time promised = e.object(0).time_to(1, 4, *net.oracle, 2);
+  EXPECT_EQ(promised, 6);  // backtrack: covered 4 + 2 * dist(0, 1)
+  e.begin_step({{txn(2, 1, 4, {0})}});
+  e.apply({{Assignment{2, 4 + promised}}});  // 10; 42 - 10 >= 20 feasible
+  while (e.num_live() > 1) {
+    e.begin_step({});
+    e.finish_step();
+  }
+  // txn2 committed exactly at its promise; txn1 still on time afterwards.
+  EXPECT_EQ(e.committed().back().exec, 4 + promised);
+  while (!e.all_done()) {
+    e.begin_step({});
+    e.finish_step();
+  }
+  EXPECT_EQ(e.committed().back().exec, 42);
+}
+
+TEST(EngineDepth, OriginsAccessorReflectsConstruction) {
+  const Network net = make_line(8);
+  SyncEngine e(net.oracle, {origin(0, 3), origin(7, 5)}, {});
+  ASSERT_EQ(e.origins().size(), 2u);
+  EXPECT_EQ(e.origins()[1].id, 7);
+  EXPECT_EQ(e.origins()[1].node, 5);
+}
+
+TEST(EngineDepth, ZeroLatencyFactorRejected) {
+  const Network net = make_line(4);
+  EXPECT_THROW((void)SyncEngine(net.oracle, {origin(0, 0)}, EngineOptions{0}),
+               CheckError);
+}
+
+TEST(EngineDepth, AssignmentAtCurrentStepWithRemoteObjectFails) {
+  const Network net = make_line(8);
+  SyncEngine e(net.oracle, {origin(0, 0)}, {});
+  e.begin_step({{txn(1, 5, 0, {0})}});
+  e.apply({{Assignment{1, 0}}});  // object 5 hops away, due immediately
+  EXPECT_THROW((void)e.finish_step(), CheckError);
+}
+
+TEST(EngineDepth, ClosedLoopRunStopsExactlyAtRounds) {
+  const Network net = make_clique(5);
+  SyntheticOptions w;
+  w.num_objects = 5;
+  w.k = 1;
+  w.rounds = 4;
+  w.seed = 77;
+  SyntheticWorkload wl(net, w);
+  GreedyScheduler sched;
+  const RunResult r = testing::run_and_validate(net, wl, sched);
+  EXPECT_EQ(r.num_txns, 5 * 4);
+}
+
+TEST(EngineDepth, GanttRendersRealRun) {
+  const Network net = make_line(10);
+  SyntheticOptions w;
+  w.num_objects = 5;
+  w.k = 2;
+  w.rounds = 2;
+  w.seed = 31;
+  SyntheticWorkload wl(net, w);
+  GreedyScheduler sched;
+  const RunResult r = testing::run_and_validate(net, wl, sched);
+  // Smoke the renderers against a genuine committed schedule.
+  const std::string g = render_gantt(r.committed, net.num_nodes());
+  EXPECT_NE(g.find("node"), std::string::npos);
+  const std::string it =
+      render_itineraries(r.committed, r.origins, *net.oracle);
+  EXPECT_NE(it.find("obj 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dtm

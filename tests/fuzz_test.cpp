@@ -1,0 +1,113 @@
+// Randomized end-to-end fuzzing: random topology x random workload shape x
+// random scheduler configuration, everything validated (engine presence
+// checks + post-hoc chain validation + certified-LB sanity). The point is
+// robustness over breadth: any invariant violation anywhere throws.
+#include <gtest/gtest.h>
+
+#include "core/bucket_scheduler.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "dist/dist_bucket.hpp"
+#include "sim/runner.hpp"
+#include "test_helpers.hpp"
+
+namespace dtm {
+namespace {
+
+Network random_topology(Rng& rng) {
+  switch (rng.uniform_int(0, 9)) {
+    case 0: return make_clique(static_cast<NodeId>(rng.uniform_int(2, 24)));
+    case 1: return make_line(static_cast<NodeId>(rng.uniform_int(2, 40)));
+    case 2: return make_ring(static_cast<NodeId>(rng.uniform_int(3, 30)));
+    case 3:
+      return make_grid({static_cast<NodeId>(rng.uniform_int(2, 6)),
+                        static_cast<NodeId>(rng.uniform_int(2, 6))});
+    case 4: return make_hypercube(static_cast<int>(rng.uniform_int(1, 5)));
+    case 5: return make_butterfly(static_cast<int>(rng.uniform_int(1, 3)));
+    case 6:
+      return make_star(static_cast<NodeId>(rng.uniform_int(1, 6)),
+                       static_cast<NodeId>(rng.uniform_int(1, 6)));
+    case 7: {
+      const auto beta = static_cast<NodeId>(rng.uniform_int(1, 5));
+      return make_cluster(static_cast<NodeId>(rng.uniform_int(1, 5)), beta,
+                          beta + rng.uniform_int(0, 6));
+    }
+    case 8:
+      return make_tree(static_cast<NodeId>(rng.uniform_int(2, 3)),
+                       static_cast<NodeId>(rng.uniform_int(1, 4)));
+    default: {
+      const auto n = static_cast<NodeId>(rng.uniform_int(2, 30));
+      return make_random_connected(n, rng.uniform_int(0, 2 * n), 4, rng);
+    }
+  }
+}
+
+SyntheticOptions random_workload(const Network& net, Rng& rng) {
+  SyntheticOptions w;
+  w.num_objects = static_cast<std::int32_t>(
+      rng.uniform_int(1, std::max<NodeId>(net.num_nodes(), 2)));
+  w.k = static_cast<std::int32_t>(
+      rng.uniform_int(1, std::min<std::int32_t>(3, w.num_objects)));
+  w.rounds = static_cast<std::int32_t>(rng.uniform_int(1, 3));
+  w.zipf_s = rng.bernoulli(0.5) ? rng.uniform01() * 1.5 : 0.0;
+  w.arrival_prob = rng.bernoulli(0.3) ? 0.2 : 0.0;
+  w.node_participation = rng.bernoulli(0.3) ? 0.5 : 1.0;
+  w.seed = rng();
+  return w;
+}
+
+class Fuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(Fuzz, GreedyNeverProducesInvalidState) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1013904223ULL + 1);
+  for (int iter = 0; iter < 6; ++iter) {
+    const Network net = random_topology(rng);
+    SyntheticWorkload wl(net, random_workload(net, rng));
+    GreedyOptions g;
+    if (rng.bernoulli(0.25)) g.coordination_delay = rng.uniform_int(1, 5);
+    if (rng.bernoulli(0.25)) g.congestion_padding = rng.uniform01() * 0.5;
+    GreedyScheduler sched(g);
+    const RunResult r = testing::run_and_validate(net, wl, sched);
+    EXPECT_EQ(r.num_txns, static_cast<std::int64_t>(wl.generated().size()));
+  }
+}
+
+TEST_P(Fuzz, BucketNeverProducesInvalidState) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ULL + 7);
+  for (int iter = 0; iter < 4; ++iter) {
+    const Network net = random_topology(rng);
+    SyntheticWorkload wl(net, random_workload(net, rng));
+    BucketOptions o;
+    o.enforce_suffix_property = rng.bernoulli(0.5);
+    o.randomized_retries = static_cast<std::int32_t>(rng.uniform_int(1, 3));
+    if (rng.bernoulli(0.2))
+      o.force_level = static_cast<std::int32_t>(rng.uniform_int(0, 6));
+    std::shared_ptr<const BatchScheduler> algo;
+    switch (rng.uniform_int(0, 3)) {
+      case 0: algo = make_coloring_batch(); break;
+      case 1: algo = make_tsp_batch(); break;
+      case 2: algo = make_local_search_batch(2); break;
+      default: algo = make_sequential_batch(); break;
+    }
+    BucketScheduler sched(algo, o);
+    const RunResult r = testing::run_and_validate(net, wl, sched);
+    EXPECT_EQ(r.num_txns, static_cast<std::int64_t>(wl.generated().size()));
+  }
+}
+
+TEST_P(Fuzz, DistributedNeverProducesInvalidState) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 40503ULL + 11);
+  for (int iter = 0; iter < 2; ++iter) {
+    const Network net = random_topology(rng);
+    SyntheticWorkload wl(net, random_workload(net, rng));
+    DistBucketOptions o;
+    o.cover.seed = rng();
+    DistributedBucketScheduler sched(net, make_coloring_batch(), o);
+    const RunResult r = testing::run_and_validate(net, wl, sched, 2);
+    EXPECT_EQ(r.num_txns, static_cast<std::int64_t>(wl.generated().size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace dtm

@@ -1,0 +1,80 @@
+// Tests for sim/gantt: schedule rendering.
+#include <gtest/gtest.h>
+
+#include "sim/gantt.hpp"
+#include "test_helpers.hpp"
+
+namespace dtm {
+namespace {
+
+using testing::origin;
+using testing::txn;
+
+TEST(Gantt, EmptySchedule) {
+  EXPECT_NE(render_gantt({}, 4).find("empty"), std::string::npos);
+}
+
+TEST(Gantt, MarksCommitCells) {
+  const std::vector<ScheduledTxn> s{{txn(1, 0, 0, {0}), 0},
+                                    {txn(2, 2, 0, {0}), 5}};
+  GanttOptions o;
+  o.width = 10;
+  const std::string g = render_gantt(s, 4, o);
+  // Cell width 1 (makespan 5 < width): node 0 commits in cell 0, node 2 in
+  // cell 5; node 1/3 idle and skipped.
+  EXPECT_NE(g.find("node 0\t|#"), std::string::npos);
+  EXPECT_NE(g.find("node 2\t|.....#"), std::string::npos);
+  EXPECT_EQ(g.find("node 1"), std::string::npos);
+  EXPECT_EQ(g.find("node 3"), std::string::npos);
+}
+
+TEST(Gantt, IncludesIdleNodesWhenAsked) {
+  const std::vector<ScheduledTxn> s{{txn(1, 0, 0, {0}), 0}};
+  GanttOptions o;
+  o.skip_idle_nodes = false;
+  const std::string g = render_gantt(s, 3, o);
+  EXPECT_NE(g.find("node 1"), std::string::npos);
+  EXPECT_NE(g.find("node 2"), std::string::npos);
+}
+
+TEST(Gantt, CompressesLongSchedules) {
+  std::vector<ScheduledTxn> s;
+  s.push_back({txn(1, 0, 0, {0}), 0});
+  s.push_back({txn(2, 0, 0, {0}), 999});
+  GanttOptions o;
+  o.width = 10;
+  const std::string g = render_gantt(s, 1, o);
+  EXPECT_NE(g.find("step(s)/cell"), std::string::npos);
+  // Row length bounded by the width budget (plus decorations).
+  const auto row_start = g.find("node 0\t|");
+  ASSERT_NE(row_start, std::string::npos);
+  const auto row_end = g.find('\n', row_start);
+  EXPECT_LE(row_end - row_start, 8u + 12u + 2u);
+}
+
+TEST(Gantt, WidthGuard) {
+  GanttOptions o;
+  o.width = 2;
+  EXPECT_THROW(render_gantt({{txn(1, 0, 0, {0}), 0}}, 1, o), CheckError);
+}
+
+TEST(Itineraries, ChainsAndTotals) {
+  const Network net = make_line(10);
+  const std::vector<ObjectOrigin> origins{origin(0, 0), origin(1, 9)};
+  const std::vector<ScheduledTxn> s{{txn(1, 3, 0, {0}), 3},
+                                    {txn(2, 7, 0, {0, 1}), 8}};
+  const std::string it = render_itineraries(s, origins, *net.oracle);
+  EXPECT_NE(it.find("obj 0: 0@0 -(3)-> 3@3 -(4)-> 7@8"), std::string::npos);
+  EXPECT_NE(it.find("[2 commits, 7 travelled]"), std::string::npos);
+  EXPECT_NE(it.find("obj 1: 9@0 -(2)-> 7@8"), std::string::npos);
+}
+
+TEST(Itineraries, UnusedObjectMarked) {
+  const Network net = make_line(4);
+  const std::string it =
+      render_itineraries({}, {origin(5, 2)}, *net.oracle);
+  EXPECT_NE(it.find("obj 5: 2@0  [unused]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dtm

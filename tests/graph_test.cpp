@@ -1,0 +1,109 @@
+// Tests for net/graph: construction, Dijkstra, APSP oracle.
+#include <gtest/gtest.h>
+
+#include "net/graph.hpp"
+#include "util/check.hpp"
+
+namespace dtm {
+namespace {
+
+Graph weighted_path() {
+  // 0 -2- 1 -3- 2 -1- 3, plus shortcut 0 -5- 3.
+  Graph g(4);
+  g.add_edge(0, 1, 2);
+  g.add_edge(1, 2, 3);
+  g.add_edge(2, 3, 1);
+  g.add_edge(0, 3, 5);
+  return g;
+}
+
+TEST(Graph, BasicShape) {
+  const Graph g = weighted_path();
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.neighbors(1).size(), 2u);
+}
+
+TEST(Graph, RejectsBadEdges) {
+  Graph g(3);
+  EXPECT_THROW((void)g.add_edge(0, 0, 1), CheckError);   // self loop
+  EXPECT_THROW((void)g.add_edge(0, 1, 0), CheckError);   // non-positive weight
+  EXPECT_THROW((void)g.add_edge(0, 3, 1), CheckError);   // out of range
+  EXPECT_THROW((void)g.add_edge(-1, 1, 1), CheckError);  // negative node
+}
+
+TEST(Graph, RejectsEmpty) { EXPECT_THROW((void)Graph(0), CheckError); }
+
+TEST(Graph, SsspWeighted) {
+  const Graph g = weighted_path();
+  const auto d = g.sssp(0);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[1], 2);
+  EXPECT_EQ(d[2], 5);
+  EXPECT_EQ(d[3], 5);  // shortcut ties the path 0-1-2-3 = 6, direct = 5
+}
+
+TEST(Graph, SsspWithinTruncates) {
+  const Graph g = weighted_path();
+  const auto d = g.sssp_within(0, 2);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[1], 2);
+  EXPECT_EQ(d[2], kInfWeight);
+  EXPECT_EQ(d[3], kInfWeight);
+}
+
+TEST(Graph, SsspWithinZeroRadius) {
+  const Graph g = weighted_path();
+  const auto d = g.sssp_within(2, 0);
+  EXPECT_EQ(d[2], 0);
+  EXPECT_EQ(d[0], kInfWeight);
+  EXPECT_EQ(d[1], kInfWeight);
+  EXPECT_EQ(d[3], kInfWeight);
+}
+
+TEST(Graph, ConnectedDetection) {
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(2, 3, 1);
+  EXPECT_FALSE(g.connected());
+  g.add_edge(1, 2, 1);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(ApspOracle, MatchesSssp) {
+  const Graph g = weighted_path();
+  const ApspOracle oracle(g);
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    const auto d = g.sssp(s);
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      EXPECT_EQ(oracle.dist(s, t), d[static_cast<std::size_t>(t)]);
+      EXPECT_EQ(oracle.dist(s, t), oracle.dist(t, s)) << "symmetry";
+    }
+  }
+  EXPECT_EQ(oracle.diameter(), 5);
+  EXPECT_EQ(oracle.num_nodes(), 4);
+}
+
+TEST(ApspOracle, RejectsDisconnected) {
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  EXPECT_THROW(ApspOracle oracle(g), CheckError);
+}
+
+TEST(ApspOracle, TriangleInequalityHolds) {
+  Graph g(5);
+  g.add_edge(0, 1, 4);
+  g.add_edge(1, 2, 2);
+  g.add_edge(2, 3, 7);
+  g.add_edge(3, 4, 1);
+  g.add_edge(4, 0, 3);
+  g.add_edge(1, 3, 2);
+  const ApspOracle o(g);
+  for (NodeId a = 0; a < 5; ++a)
+    for (NodeId b = 0; b < 5; ++b)
+      for (NodeId c = 0; c < 5; ++c)
+        EXPECT_LE(o.dist(a, c), o.dist(a, b) + o.dist(b, c));
+}
+
+}  // namespace
+}  // namespace dtm

@@ -1,0 +1,186 @@
+// Tests for core/greedy_scheduler: Algorithm 1 and Theorems 1-3.
+#include <gtest/gtest.h>
+
+#include "core/greedy_scheduler.hpp"
+#include "net/topology.hpp"
+#include "sim/runner.hpp"
+#include "test_helpers.hpp"
+
+namespace dtm {
+namespace {
+
+using testing::origin;
+using testing::run_and_validate;
+using testing::txn;
+
+TEST(Greedy, LocalUncontendedExecutesImmediately) {
+  const Network net = make_line(8);
+  ScriptedWorkload wl({origin(0, 3)}, {txn(1, 3, 0, {0})});
+  GreedyScheduler sched;
+  const RunResult r = run_and_validate(net, wl, sched);
+  EXPECT_EQ(r.makespan, 0);  // color 0: commits at its generation step
+}
+
+TEST(Greedy, WaitsForObjectTravel) {
+  const Network net = make_line(8);
+  ScriptedWorkload wl({origin(0, 0)}, {txn(1, 6, 0, {0})});
+  GreedyScheduler sched;
+  const RunResult r = run_and_validate(net, wl, sched);
+  EXPECT_EQ(r.makespan, 6);
+}
+
+TEST(Greedy, ConflictingPairSerializedByDistance) {
+  const Network net = make_line(10);
+  ScriptedWorkload wl({origin(0, 0)},
+                      {txn(1, 0, 0, {0}), txn(2, 9, 0, {0})});
+  GreedyScheduler sched;
+  const RunResult r = run_and_validate(net, wl, sched);
+  // txn1 commits at 0, object travels 9: makespan exactly 9 (optimal).
+  EXPECT_EQ(r.makespan, 9);
+}
+
+TEST(Greedy, LateNearbyArrivalCannotPreemptIrrevocableSchedule) {
+  const Network net = make_line(10);
+  // Far transaction irrevocably scheduled at t=9; a nearby transaction
+  // arriving at t=1 cannot slot in before it (the object could divert to
+  // node 1 by t=3, but then could not reach node 9 by the fixed t=9), so
+  // greedy must place it after: color >= 16, commit at 17. This is the
+  // price of never revising earlier decisions (§II).
+  ScriptedWorkload wl({origin(0, 0)},
+                      {txn(1, 9, 0, {0}), txn(2, 1, 1, {0})});
+  GreedyScheduler sched;
+  const RunResult r = run_and_validate(net, wl, sched);
+  EXPECT_EQ(r.makespan, 17);
+}
+
+TEST(Greedy, LateNearbyArrivalSlotsInWhenSlackAllows) {
+  const Network net = make_line(10);
+  // Object A (id 0) at node 0; object B (id 1) at node 0. Three local
+  // transactions serialize B (colors 0,1,2); the far transaction at node 9
+  // uses A and B and lands at t=11, leaving slack on A's chain (A could
+  // reach node 9 by t=9). A transaction at node 1 arriving at t=1 exploits
+  // the slack: A diverts to it by t=3 and still reaches node 9 by
+  // 3 + 8 = 11. Greedy finds exactly this slot.
+  ScriptedWorkload wl(
+      {origin(0, 0), origin(1, 0)},
+      {txn(1, 0, 0, {1}), txn(2, 0, 0, {1}), txn(3, 0, 0, {1}),
+       txn(4, 9, 0, {0, 1}), txn(5, 1, 1, {0})});
+  GreedyScheduler sched;
+  const RunResult r = run_and_validate(net, wl, sched);
+  EXPECT_EQ(r.makespan, 11);  // the far transaction, unchanged
+}
+
+TEST(Greedy, Theorem1BoundHolds) {
+  const Network net = make_grid({4, 4});
+  SyntheticOptions wopts;
+  wopts.num_objects = 6;
+  wopts.k = 3;
+  wopts.rounds = 3;
+  wopts.seed = 5;
+  SyntheticWorkload wl(net, wopts);
+  GreedyScheduler sched;
+  // Run manually to inspect per-arrival bounds.
+  SyncEngine eng(net.oracle, wl.objects(), {});
+  while (!(wl.finished() && eng.all_done())) {
+    const auto arrivals = wl.arrivals_at(eng.now());
+    eng.begin_step(arrivals);
+    const auto asg = sched.on_step(eng, arrivals);
+    for (const auto& b : sched.last_bounds()) {
+      EXPECT_LE(b.color, b.bound)
+          << "Theorem 1 violated for txn " << b.txn;
+    }
+    eng.apply(asg);
+    for (const auto& c : eng.finish_step()) wl.on_commit(c.txn, c.exec);
+  }
+}
+
+TEST(Greedy, UniformModeMultiplesOfBeta) {
+  // Hypercube treated as a uniform-weight complete graph with beta = log n
+  // (§III-D): all colors must be multiples of beta.
+  const Network net = make_hypercube(3);
+  const Weight beta = 3;
+  SyntheticOptions wopts;
+  wopts.num_objects = 4;
+  wopts.k = 2;
+  wopts.rounds = 2;
+  wopts.seed = 8;
+  SyntheticWorkload wl(net, wopts);
+  GreedyOptions gopts;
+  gopts.uniform_beta = beta;
+  GreedyScheduler sched(gopts);
+  SyncEngine eng(net.oracle, wl.objects(), {});
+  int checked = 0;
+  while (!(wl.finished() && eng.all_done())) {
+    const auto arrivals = wl.arrivals_at(eng.now());
+    eng.begin_step(arrivals);
+    const auto asg = sched.on_step(eng, arrivals);
+    for (const auto& b : sched.last_bounds()) {
+      EXPECT_EQ(b.color % beta, 0);
+      EXPECT_GE(b.color, beta);
+      ++checked;
+    }
+    eng.apply(asg);
+    for (const auto& c : eng.finish_step()) wl.on_commit(c.txn, c.exec);
+  }
+  EXPECT_GT(checked, 0);
+  const auto err = validate_schedule(eng.committed(), eng.origins(),
+                                     *net.oracle);
+  EXPECT_FALSE(err.has_value()) << *err;
+}
+
+TEST(Greedy, CliqueLoadBound) {
+  // Theorem 3's structure: k objects, l_max users per object => commit by
+  // t + k * l_max on the clique.
+  const NodeId n = 12;
+  const Network net = make_clique(n);
+  // All 12 transactions request the same 2 objects: l_max = 12, k = 2.
+  std::vector<Transaction> ts;
+  for (TxnId i = 0; i < n; ++i)
+    ts.push_back(txn(i, static_cast<NodeId>(i), 0, {0, 1}));
+  ScriptedWorkload wl({origin(0, 0), origin(1, 1)}, ts);
+  GreedyScheduler sched;
+  const RunResult r = run_and_validate(net, wl, sched);
+  EXPECT_LE(r.makespan, 2 * 12);  // k * l_max
+  EXPECT_GE(r.makespan, 11);      // 12 sequential commits of object 0
+}
+
+TEST(Greedy, CoordinationDelayFloorsColors) {
+  const Network net = make_clique(8);
+  GreedyOptions opts;
+  opts.coordination_delay = 5;
+  GreedyScheduler sched(opts);
+  ScriptedWorkload wl({origin(0, 0)}, {txn(1, 0, 0, {0})});
+  const RunResult r = run_and_validate(net, wl, sched);
+  EXPECT_EQ(r.makespan, 5);
+}
+
+TEST(Greedy, NameReflectsMode) {
+  EXPECT_EQ(GreedyScheduler().name(), "greedy");
+  GreedyOptions opts;
+  opts.uniform_beta = 4;
+  EXPECT_EQ(GreedyScheduler(opts).name(), "greedy-uniform");
+}
+
+// Validity sweep across topologies and workloads.
+class GreedySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedySweep, ProducesValidSchedulesEverywhere) {
+  const auto nets = testing::small_networks();
+  const Network& net = nets[static_cast<std::size_t>(GetParam())];
+  SyntheticOptions wopts;
+  wopts.num_objects = std::max<std::int32_t>(4, net.num_nodes() / 2);
+  wopts.k = 2;
+  wopts.rounds = 3;
+  wopts.zipf_s = 0.8;
+  wopts.seed = 1234;
+  SyntheticWorkload wl(net, wopts);
+  GreedyScheduler sched;
+  const RunResult r = run_and_validate(net, wl, sched);
+  EXPECT_EQ(r.num_txns, static_cast<std::int64_t>(wl.generated().size()));
+  EXPECT_GE(r.ratio, 1.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, GreedySweep, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace dtm

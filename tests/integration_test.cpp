@@ -1,0 +1,159 @@
+// Cross-module integration: every scheduler family × every topology ×
+// dynamic workloads, end-to-end through the engine with validation on.
+// These are the "does the whole paper fit together" tests.
+#include <gtest/gtest.h>
+
+#include "core/bucket_scheduler.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "dist/dist_bucket.hpp"
+#include "sim/runner.hpp"
+#include "test_helpers.hpp"
+
+namespace dtm {
+namespace {
+
+struct IntegrationCase {
+  std::string label;
+  std::function<Network()> net;
+  std::function<std::shared_ptr<const BatchScheduler>(const Network&)> algo;
+};
+
+std::vector<IntegrationCase> integration_cases() {
+  return {
+      {"clique", [] { return make_clique(12); },
+       [](const Network&) {
+         return std::shared_ptr<const BatchScheduler>(make_coloring_batch());
+       }},
+      {"line", [] { return make_line(24); },
+       [](const Network&) {
+         return std::shared_ptr<const BatchScheduler>(make_line_batch());
+       }},
+      {"grid", [] { return make_grid({4, 5}); },
+       [](const Network&) {
+         return std::shared_ptr<const BatchScheduler>(
+             make_grid_snake_batch({4, 5}));
+       }},
+      {"hypercube", [] { return make_hypercube(4); },
+       [](const Network&) {
+         return std::shared_ptr<const BatchScheduler>(
+             make_hypercube_gray_batch());
+       }},
+      {"star", [] { return make_star(4, 4); },
+       [](const Network&) {
+         return std::shared_ptr<const BatchScheduler>(make_star_batch(4));
+       }},
+      {"cluster", [] { return make_cluster(4, 4, 6); },
+       [](const Network&) {
+         return std::shared_ptr<const BatchScheduler>(make_cluster_batch(4));
+       }},
+      {"butterfly", [] { return make_butterfly(3); },
+       [](const Network&) {
+         return std::shared_ptr<const BatchScheduler>(make_coloring_batch());
+       }},
+  };
+}
+
+SyntheticOptions dynamic_workload(const Network& net, std::uint64_t seed) {
+  SyntheticOptions opts;
+  opts.num_objects = std::max<std::int32_t>(4, net.num_nodes() / 2);
+  opts.k = 2;
+  opts.rounds = 3;
+  opts.arrival_prob = 0.5;
+  opts.zipf_s = 0.7;
+  opts.seed = seed;
+  return opts;
+}
+
+class IntegrationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntegrationSweep, GreedyEndToEnd) {
+  const auto c = integration_cases()[static_cast<std::size_t>(GetParam())];
+  const Network net = c.net();
+  SyntheticWorkload wl(net, dynamic_workload(net, 1000 + GetParam()));
+  GreedyScheduler sched;
+  const RunResult r = testing::run_and_validate(net, wl, sched);
+  EXPECT_EQ(r.num_txns, static_cast<std::int64_t>(wl.generated().size()))
+      << c.label;
+  EXPECT_GE(r.ratio, 1.0 - 1e-9) << c.label;
+}
+
+TEST_P(IntegrationSweep, BucketEndToEnd) {
+  const auto c = integration_cases()[static_cast<std::size_t>(GetParam())];
+  const Network net = c.net();
+  SyntheticWorkload wl(net, dynamic_workload(net, 2000 + GetParam()));
+  BucketScheduler sched(c.algo(net));
+  const RunResult r = testing::run_and_validate(net, wl, sched);
+  EXPECT_EQ(r.num_txns, static_cast<std::int64_t>(wl.generated().size()))
+      << c.label;
+}
+
+TEST_P(IntegrationSweep, DistributedEndToEnd) {
+  const auto c = integration_cases()[static_cast<std::size_t>(GetParam())];
+  const Network net = c.net();
+  SyntheticWorkload wl(net, dynamic_workload(net, 3000 + GetParam()));
+  DistributedBucketScheduler sched(net, c.algo(net));
+  const RunResult r = testing::run_and_validate(net, wl, sched, 2);
+  EXPECT_EQ(r.num_txns, static_cast<std::int64_t>(wl.generated().size()))
+      << c.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, IntegrationSweep,
+                         ::testing::Range(0, 7));
+
+TEST(Integration, SchedulersAgreeOnTxnCountsAndValidity) {
+  // Same workload, three schedulers: all must commit everything; the
+  // greedy schedule should be the most aggressive on a low-diameter graph.
+  const Network net = make_clique(10);
+  SyntheticOptions wopts;
+  wopts.num_objects = 6;
+  wopts.k = 2;
+  wopts.rounds = 3;
+  wopts.seed = 77;
+
+  SyntheticWorkload wl_g(net, wopts);
+  GreedyScheduler greedy;
+  const RunResult rg = testing::run_and_validate(net, wl_g, greedy);
+
+  SyntheticWorkload wl_b(net, wopts);
+  BucketScheduler bucket{
+      std::shared_ptr<const BatchScheduler>(make_coloring_batch())};
+  const RunResult rb = testing::run_and_validate(net, wl_b, bucket);
+
+  EXPECT_EQ(rg.num_txns, rb.num_txns);
+  // The direct method should win on the clique (paper §III-E discussion).
+  EXPECT_LE(rg.makespan, rb.makespan);
+}
+
+TEST(Integration, HotspotStress) {
+  // Every transaction hits one hot object: the worst-case serialization
+  // chain. Ratio should stay modest on the clique (Theorem 3: O(k)).
+  const Network net = make_clique(16);
+  std::vector<Transaction> ts;
+  Time gen = 0;
+  for (TxnId i = 0; i < 48; ++i) {
+    ts.push_back(testing::txn(i, static_cast<NodeId>(i % 16), gen, {0}));
+    if (i % 16 == 15) gen += 2;
+  }
+  ScriptedWorkload wl({testing::origin(0, 0)}, ts);
+  GreedyScheduler sched;
+  const RunResult r = testing::run_and_validate(net, wl, sched);
+  EXPECT_EQ(r.num_txns, 48);
+  EXPECT_LE(r.ratio, 4.0);  // k = 1: constant-competitive
+}
+
+TEST(Integration, MultiRoundLineWithBucketLineAlgo) {
+  const Network net = make_line(48);
+  SyntheticOptions wopts;
+  wopts.num_objects = 10;
+  wopts.k = 2;
+  wopts.rounds = 4;
+  wopts.seed = 88;
+  SyntheticWorkload wl(net, wopts);
+  BucketScheduler sched{
+      std::shared_ptr<const BatchScheduler>(make_line_batch())};
+  const RunResult r = testing::run_and_validate(net, wl, sched);
+  EXPECT_EQ(r.num_txns, static_cast<std::int64_t>(wl.generated().size()));
+}
+
+}  // namespace
+}  // namespace dtm

@@ -1,0 +1,108 @@
+// Tests for core/lower_bound: the certificates must be correct (<= the
+// makespan of any feasible schedule) and tight on crafted instances.
+#include <gtest/gtest.h>
+
+#include "core/lower_bound.hpp"
+#include "net/topology.hpp"
+#include "test_helpers.hpp"
+
+namespace dtm {
+namespace {
+
+using testing::origin;
+using testing::txn;
+
+TEST(LowerBound, SingleLocalTxn) {
+  const Network net = make_line(8);
+  const auto lb = makespan_lower_bound({txn(1, 3, 0, {0})}, {origin(0, 3)},
+                                       *net.oracle);
+  EXPECT_EQ(lb.reach, 0);
+  EXPECT_EQ(lb.load, 0);
+  EXPECT_EQ(lb.lmax, 1);
+  EXPECT_EQ(lb.best(), 1);  // floor of 1: any txn takes a step to observe
+}
+
+TEST(LowerBound, ReachDominatesForFarObject) {
+  const Network net = make_line(16);
+  const auto lb = makespan_lower_bound({txn(1, 15, 0, {0})}, {origin(0, 0)},
+                                       *net.oracle);
+  EXPECT_EQ(lb.reach, 15);
+  EXPECT_EQ(lb.best(), 15);
+}
+
+TEST(LowerBound, LoadCountsUsers) {
+  const Network net = make_clique(8);
+  // 5 txns all share object 0 which starts at node 0 (a user's node).
+  std::vector<Transaction> ts;
+  for (int i = 0; i < 5; ++i)
+    ts.push_back(txn(i, static_cast<NodeId>(i), 0, {0}));
+  const auto lb = makespan_lower_bound(ts, {origin(0, 0)}, *net.oracle);
+  EXPECT_EQ(lb.lmax, 5);
+  EXPECT_EQ(lb.load, 0 + 4);  // nearest user distance 0, then 4 more commits
+  EXPECT_EQ(lb.spread, 1);
+  EXPECT_EQ(lb.best(), 4);
+}
+
+TEST(LowerBound, SpreadOnLine) {
+  const Network net = make_line(20);
+  const std::vector<Transaction> ts{txn(1, 2, 0, {0}), txn(2, 18, 0, {0})};
+  const auto lb = makespan_lower_bound(ts, {origin(0, 10)}, *net.oracle);
+  EXPECT_EQ(lb.spread, 16);
+  EXPECT_EQ(lb.reach, 8);
+  EXPECT_EQ(lb.best(), 16);
+}
+
+TEST(LowerBound, LatencyFactorScalesCertificates) {
+  const Network net = make_line(16);
+  const auto lb = makespan_lower_bound({txn(1, 15, 0, {0})}, {origin(0, 0)},
+                                       *net.oracle, 2);
+  EXPECT_EQ(lb.reach, 30);
+}
+
+TEST(LowerBound, CreationTimeShifts) {
+  const Network net = make_line(16);
+  const auto lb = makespan_lower_bound({txn(1, 10, 0, {0})},
+                                       {origin(0, 0, 0)}, *net.oracle);
+  EXPECT_EQ(lb.reach, 10);
+}
+
+TEST(LowerBound, MissingOriginThrows) {
+  const Network net = make_line(4);
+  EXPECT_THROW((void)makespan_lower_bound({txn(1, 0, 0, {9})}, {}, *net.oracle),
+               CheckError);
+}
+
+// Soundness sweep: on random instances, LB <= makespan of an actual valid
+// schedule produced by a real scheduler (via the sequential chain).
+class LowerBoundSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(LowerBoundSoundness, NeverExceedsAchievedMakespan) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 1);
+  const Network net = make_grid({4, 4});
+  std::vector<ObjectOrigin> origins;
+  for (ObjId o = 0; o < 6; ++o)
+    origins.push_back(
+        {o, static_cast<NodeId>(rng.uniform_int(0, 15)), 0});
+  std::vector<Transaction> ts;
+  for (TxnId i = 0; i < 10; ++i) {
+    const auto objs = rng.sample_distinct(6, 2);
+    ts.push_back(txn(i, static_cast<NodeId>(rng.uniform_int(0, 15)), 0,
+                     {objs[0], objs[1]}));
+  }
+  // Build an obviously feasible schedule: fully sequential with generous
+  // slack (each commit D later than the previous plus travel).
+  std::vector<ScheduledTxn> sched;
+  Time t = 0;
+  for (const auto& tx : ts) {
+    t += 2 * net.diameter() + 1;
+    sched.push_back({tx, t});
+  }
+  ASSERT_FALSE(validate_schedule(sched, origins, *net.oracle).has_value());
+  const auto lb = makespan_lower_bound(ts, origins, *net.oracle);
+  EXPECT_LE(lb.best(), makespan(sched));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LowerBoundSoundness, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace dtm

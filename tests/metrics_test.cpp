@@ -1,0 +1,113 @@
+// Tests for the Definition-1 windowed competitive-ratio proxy and the
+// bucket ablation knob.
+#include <gtest/gtest.h>
+
+#include "core/bucket_scheduler.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "sim/runner.hpp"
+#include "test_helpers.hpp"
+
+namespace dtm {
+namespace {
+
+using testing::origin;
+using testing::txn;
+
+TEST(WindowedRatio, DisabledByDefault) {
+  const Network net = make_line(8);
+  ScriptedWorkload wl({origin(0, 0)}, {txn(1, 4, 0, {0})});
+  GreedyScheduler sched;
+  const RunResult r = run_experiment(net, wl, sched);
+  EXPECT_EQ(r.windowed_ratio, 0.0);
+  EXPECT_EQ(r.num_windows, 0);
+}
+
+TEST(WindowedRatio, SingleWindowMatchesLatencyOverLb) {
+  const Network net = make_line(10);
+  ScriptedWorkload wl({origin(0, 0)}, {txn(1, 9, 0, {0})});
+  GreedyScheduler sched;
+  RunOptions opts;
+  opts.ratio_window = 1000;  // everything in one window
+  const RunResult r = run_experiment(net, wl, sched, opts);
+  EXPECT_EQ(r.num_windows, 1);
+  // Latency 9, window LB = reach 9 => ratio 1.
+  EXPECT_DOUBLE_EQ(r.windowed_ratio, 1.0);
+}
+
+TEST(WindowedRatio, LateWindowUsesCurrentPositions) {
+  // Two txns far apart in time at the SAME node as the object will then
+  // be: the second window's LB is computed against the object's position
+  // at that window (node 9), so its ratio stays ~1 even though the object
+  // started far away at node 0.
+  const Network net = make_line(10);
+  ScriptedWorkload wl({origin(0, 0)},
+                      {txn(1, 9, 0, {0}), txn(2, 9, 100, {0})});
+  GreedyScheduler sched;
+  RunOptions opts;
+  opts.ratio_window = 50;
+  const RunResult r = run_experiment(net, wl, sched, opts);
+  EXPECT_GE(r.num_windows, 2);
+  EXPECT_LE(r.windowed_ratio, 1.5);
+}
+
+TEST(WindowedRatio, DetectsPerWindowStarvation) {
+  // An irrevocability trap (cf. greedy's 17-step example): the per-window
+  // ratio of the trapped transaction's window exceeds the whole-run ratio.
+  const Network net = make_line(10);
+  ScriptedWorkload wl({origin(0, 0)},
+                      {txn(1, 9, 0, {0}), txn(2, 1, 1, {0})});
+  GreedyScheduler sched;
+  RunOptions opts;
+  opts.ratio_window = 1;  // txn2 gets its own window
+  const RunResult r = run_experiment(net, wl, sched, opts);
+  // txn2: latency 16 vs window LB 8 (object attributed to node 9) -> 2.0;
+  // whole-run ratio is 17/9.
+  EXPECT_NEAR(r.windowed_ratio, 2.0, 1e-9);
+  EXPECT_GT(r.windowed_ratio, r.ratio);
+}
+
+TEST(BucketAblation, ForcedLevelZeroSchedulesImmediately) {
+  const Network net = make_line(16);
+  ScriptedWorkload wl({origin(0, 0)}, {txn(1, 15, 0, {0})});
+  BucketOptions o;
+  o.force_level = 0;
+  BucketScheduler sched{
+      std::shared_ptr<const BatchScheduler>(make_line_batch()), o};
+  testing::run_and_validate(net, wl, sched);
+  ASSERT_EQ(sched.traces().size(), 1u);
+  EXPECT_EQ(sched.traces()[0].level, 0);
+  EXPECT_EQ(sched.traces()[0].scheduled, 1);  // next level-0 activation
+}
+
+TEST(BucketAblation, ForcedLevelClampedToTop) {
+  const Network net = make_line(16);
+  ScriptedWorkload wl({origin(0, 0)}, {txn(1, 15, 0, {0})});
+  BucketOptions o;
+  o.force_level = 1'000;
+  o.max_level = 5;
+  BucketScheduler sched{
+      std::shared_ptr<const BatchScheduler>(make_line_batch()), o};
+  testing::run_and_validate(net, wl, sched);
+  EXPECT_EQ(sched.traces()[0].level, 5);
+}
+
+TEST(BucketAblation, ForcedLevelStillValidUnderLoad) {
+  const Network net = make_line(32);
+  SyntheticOptions w;
+  w.num_objects = 16;
+  w.k = 2;
+  w.rounds = 3;
+  w.seed = 15;
+  for (const std::int32_t lvl : {0, 3, 7}) {
+    SyntheticWorkload wl(net, w);
+    BucketOptions o;
+    o.force_level = lvl;
+    BucketScheduler sched{
+        std::shared_ptr<const BatchScheduler>(make_line_batch()), o};
+    const RunResult r = testing::run_and_validate(net, wl, sched);
+    EXPECT_EQ(r.num_txns, static_cast<std::int64_t>(wl.generated().size()));
+  }
+}
+
+}  // namespace
+}  // namespace dtm

@@ -1,0 +1,149 @@
+// Tests for core/object_state: the mobile-object position abstraction,
+// including mid-flight redirects (the engine relies on time_to() never
+// under-estimating what route_to() can deliver).
+#include <gtest/gtest.h>
+
+#include "core/object_state.hpp"
+#include "net/topology.hpp"
+
+namespace dtm {
+namespace {
+
+class ObjectStateTest : public ::testing::Test {
+ protected:
+  Network net_ = make_line(10);
+  const DistanceOracle& oracle() { return *net_.oracle; }
+};
+
+TEST_F(ObjectStateTest, RestsAtOrigin) {
+  const ObjectState o(1, 3, 0);
+  EXPECT_FALSE(o.in_transit());
+  EXPECT_EQ(o.at(), 3);
+  EXPECT_EQ(o.time_to(7, 0, oracle()), 4);
+  EXPECT_EQ(o.time_to(3, 0, oracle()), 0);
+}
+
+TEST_F(ObjectStateTest, LatencyFactorScales) {
+  const ObjectState o(1, 2, 0);
+  EXPECT_EQ(o.time_to(6, 0, oracle(), 2), 8);
+}
+
+TEST_F(ObjectStateTest, RouteAndArrive) {
+  ObjectState o(1, 2, 0);
+  o.route_to(8, 5, oracle());
+  EXPECT_TRUE(o.in_transit());
+  EXPECT_EQ(o.dest(), 8);
+  EXPECT_EQ(o.arrive_time(), 5 + 6);
+  o.settle(10);  // not there yet
+  EXPECT_TRUE(o.in_transit());
+  o.settle(11);
+  EXPECT_FALSE(o.in_transit());
+  EXPECT_EQ(o.at(), 8);
+}
+
+TEST_F(ObjectStateTest, RouteToSelfIsNoop) {
+  ObjectState o(1, 4, 0);
+  o.route_to(4, 3, oracle());
+  EXPECT_FALSE(o.in_transit());
+  EXPECT_EQ(o.at(), 4);
+}
+
+TEST_F(ObjectStateTest, TimeToMidFlightTwoRouteBound) {
+  ObjectState o(1, 0, 0);
+  o.route_to(9, 0, oracle());  // arrives at 9
+  // At t=4 the object is "4 along"; to node 2: back-route = 4 + 2 = 6,
+  // forward-route = 5 + 7 = 12.
+  EXPECT_EQ(o.time_to(2, 4, oracle()), 6);
+  // To node 9 (its destination): remaining 5.
+  EXPECT_EQ(o.time_to(9, 4, oracle()), 5);
+  // To node 0: back-route 4.
+  EXPECT_EQ(o.time_to(0, 4, oracle()), 4);
+}
+
+TEST_F(ObjectStateTest, RedirectBackward) {
+  ObjectState o(1, 0, 0);
+  o.route_to(9, 0, oracle());
+  const Time promised = o.time_to(2, 4, oracle());  // 6
+  o.route_to(2, 4, oracle());
+  EXPECT_TRUE(o.in_transit());
+  EXPECT_EQ(o.dest(), 2);
+  EXPECT_EQ(o.arrive_time(), 4 + promised);
+  // Pre-leg transient: at t=5 it is still heading back toward node 0.
+  EXPECT_LE(o.time_to(2, 5, oracle()), promised - 1);
+  o.settle(10);
+  EXPECT_FALSE(o.in_transit());
+  EXPECT_EQ(o.at(), 2);
+}
+
+TEST_F(ObjectStateTest, RedirectForwardWhenCheaper) {
+  ObjectState o(1, 0, 0);
+  o.route_to(5, 0, oracle());
+  // At t=4, remaining 1; node 7 via forward = 1 + 2 = 3, via back = 4 + 7.
+  const Time promised = o.time_to(7, 4, oracle());
+  EXPECT_EQ(promised, 3);
+  o.route_to(7, 4, oracle());
+  EXPECT_EQ(o.dest(), 7);
+  EXPECT_EQ(o.arrive_time(), 7);
+}
+
+TEST_F(ObjectStateTest, RedirectToCurrentDestinationIsNoop) {
+  ObjectState o(1, 0, 0);
+  o.route_to(6, 0, oracle());
+  o.route_to(6, 3, oracle());
+  EXPECT_EQ(o.arrive_time(), 6);
+}
+
+TEST_F(ObjectStateTest, RedirectNeverBeatsPromise) {
+  // Property: for any redirect time and target, the new arrival equals the
+  // time_to() bound quoted just before the redirect — schedules built on
+  // the bound stay feasible.
+  for (Time redirect_at = 1; redirect_at <= 8; ++redirect_at) {
+    for (NodeId target = 0; target < 10; ++target) {
+      ObjectState o(1, 0, 0);
+      o.route_to(9, 0, oracle());
+      const Time promised = o.time_to(target, redirect_at, oracle());
+      o.route_to(target, redirect_at, oracle());
+      if (o.in_transit()) {
+        EXPECT_EQ(o.arrive_time(), redirect_at + promised);
+        EXPECT_EQ(o.dest(), target);
+      } else {
+        EXPECT_EQ(promised, 0);
+        EXPECT_EQ(o.at(), target);
+      }
+    }
+  }
+}
+
+TEST_F(ObjectStateTest, RouteAfterArrivalUsesRestingNode) {
+  ObjectState o(1, 0, 0);
+  o.route_to(4, 0, oracle());
+  o.route_to(7, 10, oracle());  // long past arrival at t=4
+  EXPECT_EQ(o.arrive_time(), 10 + 3);
+}
+
+TEST_F(ObjectStateTest, HalfSpeedTransit) {
+  ObjectState o(1, 0, 0);
+  o.route_to(4, 0, oracle(), 2);
+  EXPECT_EQ(o.arrive_time(), 8);
+  // Mid-flight at t=4 (2 distance covered at half speed): to node 0
+  // back-route costs the covered time 4 plus scaled distance 0.
+  EXPECT_EQ(o.time_to(0, 4, oracle(), 2), 4);
+}
+
+TEST_F(ObjectStateTest, LastTxnTracking) {
+  ObjectState o(1, 0, 0);
+  EXPECT_EQ(o.last_txn(), kNoTxn);
+  o.set_last_txn(42);
+  EXPECT_EQ(o.last_txn(), 42);
+}
+
+TEST_F(ObjectStateTest, AccessorsGuardState) {
+  ObjectState o(1, 0, 0);
+  EXPECT_THROW((void)o.dest(), CheckError);
+  EXPECT_THROW((void)o.arrive_time(), CheckError);
+  o.route_to(5, 0, oracle());
+  EXPECT_THROW((void)o.at(), CheckError);
+}
+
+}  // namespace
+}  // namespace dtm

@@ -1,0 +1,121 @@
+// Tests for core/optimistic: the speculative abort/retry baseline.
+#include <gtest/gtest.h>
+
+#include "core/greedy_scheduler.hpp"
+#include "core/optimistic.hpp"
+#include "sim/runner.hpp"
+#include "test_helpers.hpp"
+
+namespace dtm {
+namespace {
+
+using testing::origin;
+using testing::txn;
+
+TEST(Optimistic, SingleTxnCommitsAfterTravel) {
+  const Network net = make_line(10);
+  ScriptedWorkload wl({origin(0, 0)}, {txn(1, 6, 0, {0})});
+  const OptimisticResult r = run_optimistic(net, wl);
+  ASSERT_EQ(r.num_txns, 1);
+  EXPECT_EQ(r.committed[0].exec, 6);
+  EXPECT_EQ(r.aborts, 0);
+  EXPECT_EQ(r.wasted_distance, 0);
+}
+
+TEST(Optimistic, LocalObjectCommitsNextStep) {
+  const Network net = make_line(4);
+  ScriptedWorkload wl({origin(0, 2)}, {txn(1, 2, 0, {0})});
+  const OptimisticResult r = run_optimistic(net, wl);
+  // Zero-distance grant at t=0, commit fires one step later.
+  EXPECT_EQ(r.committed[0].exec, 1);
+}
+
+TEST(Optimistic, FifoHotspotSerializes) {
+  const Network net = make_clique(8);
+  std::vector<Transaction> ts;
+  for (TxnId i = 0; i < 6; ++i)
+    ts.push_back(txn(i, static_cast<NodeId>(i + 1), 0, {0}));
+  ScriptedWorkload wl({origin(0, 0)}, ts);
+  const OptimisticResult r = run_optimistic(net, wl);
+  EXPECT_EQ(r.num_txns, 6);
+  EXPECT_EQ(r.aborts, 0);  // single-object sets never deadlock
+  // Commits strictly ordered.
+  for (std::size_t i = 1; i < r.committed.size(); ++i)
+    EXPECT_GT(r.committed[i].exec, r.committed[i - 1].exec);
+}
+
+TEST(Optimistic, CrossingRequestsAbortAndRecover) {
+  // Classic deadlock: T1 wants {A, B}, T2 wants {B, A}; A starts at T1's
+  // node and B at T2's node, so each grabs its local object and waits for
+  // the other's. Patience must break the cycle; both eventually commit.
+  const Network net = make_line(10);
+  ScriptedWorkload wl({origin(0, 0), origin(1, 9)},
+                      {txn(1, 0, 0, {0, 1}), txn(2, 9, 0, {0, 1})});
+  OptimisticOptions o;
+  o.patience = 8;
+  o.seed = 5;
+  const OptimisticResult r = run_optimistic(net, wl, o);
+  EXPECT_EQ(r.num_txns, 2);
+  EXPECT_GE(r.aborts, 1);
+  EXPECT_GT(r.wasted_distance, 0);
+}
+
+TEST(Optimistic, CompletesRandomWorkloads) {
+  for (const auto& net : testing::small_networks()) {
+    SyntheticOptions w;
+    w.num_objects = std::max<std::int32_t>(4, net.num_nodes() / 2);
+    w.k = 2;
+    w.rounds = 2;
+    w.seed = 888;
+    SyntheticWorkload wl(net, w);
+    const OptimisticResult r = run_optimistic(net, wl);
+    EXPECT_EQ(r.num_txns, static_cast<std::int64_t>(wl.generated().size()))
+        << net.name;
+  }
+}
+
+TEST(Optimistic, SchedulingBeatsSpeculationUnderContention) {
+  // The paper's motivation quantified: same contended workload, greedy
+  // schedule vs optimistic execution. Scheduling should win makespan and
+  // never waste shipping.
+  const Network net = make_grid({5, 5});
+  SyntheticOptions w;
+  w.num_objects = 6;  // heavy conflicts
+  w.k = 2;
+  w.rounds = 3;
+  w.zipf_s = 1.0;
+  w.seed = 999;
+
+  SyntheticWorkload wl_o(net, w);
+  const OptimisticResult opt = run_optimistic(net, wl_o);
+
+  SyntheticWorkload wl_g(net, w);
+  GreedyScheduler sched;
+  const RunResult g = testing::run_and_validate(net, wl_g, sched);
+
+  EXPECT_EQ(opt.num_txns, g.num_txns);
+  EXPECT_LE(g.makespan, opt.makespan);
+}
+
+TEST(Optimistic, DeterministicForSeed) {
+  const Network net = make_clique(10);
+  auto run_once = [&] {
+    SyntheticOptions w;
+    w.num_objects = 4;
+    w.k = 2;
+    w.rounds = 2;
+    w.seed = 4242;
+    SyntheticWorkload wl(net, w);
+    OptimisticOptions o;
+    o.seed = 7;
+    return run_optimistic(net, wl, o);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.aborts, b.aborts);
+  EXPECT_EQ(a.wasted_distance, b.wasted_distance);
+}
+
+}  // namespace
+}  // namespace dtm

@@ -1,0 +1,63 @@
+// Tests for util/parallel: the fork-join sweep helper.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "util/parallel.hpp"
+
+namespace dtm {
+namespace {
+
+TEST(Parallel, VisitsEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(100, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ZeroAndOneCounts) {
+  int calls = 0;
+  parallel_for(0, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Parallel, SingleThreadFallback) {
+  std::vector<int> order;
+  parallel_for(5, [&](std::int64_t i) {
+    order.push_back(static_cast<int>(i));
+  }, 1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Parallel, MapPreservesOrder) {
+  const auto out = parallel_map<std::int64_t>(
+      64, [](std::int64_t i) { return i * i; }, 4);
+  for (std::int64_t i = 0; i < 64; ++i)
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(Parallel, ExceptionsPropagate) {
+  EXPECT_THROW(
+      parallel_for(16, [](std::int64_t i) {
+        if (i == 7) throw std::runtime_error("boom");
+      }, 4),
+      std::runtime_error);
+}
+
+TEST(Parallel, NegativeCountRejected) {
+  EXPECT_THROW((void)parallel_for(-1, [](std::int64_t) {}), CheckError);
+}
+
+TEST(Parallel, DeterministicResultsAcrossThreadCounts) {
+  auto square = [](std::int64_t i) { return (i * 2654435761LL) % 1000; };
+  const auto a = parallel_map<std::int64_t>(200, square, 1);
+  const auto b = parallel_map<std::int64_t>(200, square, 8);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace dtm

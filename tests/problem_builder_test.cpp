@@ -1,0 +1,106 @@
+// Tests for batch/problem_builder: folding live system state into batch
+// problems (the paper's first basic modification of A).
+#include <gtest/gtest.h>
+
+#include "batch/problem_builder.hpp"
+#include "sim/engine.hpp"
+#include "test_helpers.hpp"
+
+namespace dtm {
+namespace {
+
+using testing::origin;
+using testing::txn;
+
+TEST(ProblemBuilder, RestingUnpinnedObject) {
+  const Network net = make_line(10);
+  SyncEngine eng(net.oracle, {origin(0, 4)}, {});
+  eng.begin_step({{txn(1, 7, 0, {0})}});
+  const std::vector<TxnId> batch{1};
+  const BatchProblem p = build_batch_problem(eng, batch, {});
+  ASSERT_EQ(p.txns.size(), 1u);
+  ASSERT_EQ(p.objects.size(), 1u);
+  EXPECT_EQ(p.objects[0].node, 4);
+  EXPECT_EQ(p.objects[0].ready, 0);
+  EXPECT_FALSE(p.objects[0].from_txn);  // never acquired by a txn
+  EXPECT_EQ(p.now, 0);
+}
+
+TEST(ProblemBuilder, PinnedByScheduledUser) {
+  const Network net = make_line(10);
+  SyncEngine eng(net.oracle, {origin(0, 0)}, {});
+  eng.begin_step({{txn(1, 5, 0, {0}), txn(2, 8, 0, {0})}});
+  eng.apply({{Assignment{1, 5}}});  // txn1 pins the object until t=5
+  const std::vector<TxnId> batch{2};
+  const BatchProblem p = build_batch_problem(eng, batch, {});
+  ASSERT_EQ(p.objects.size(), 1u);
+  EXPECT_EQ(p.objects[0].node, 5);   // txn1's node
+  EXPECT_EQ(p.objects[0].ready, 5);  // txn1's exec
+  EXPECT_TRUE(p.objects[0].from_txn);
+}
+
+TEST(ProblemBuilder, ExtraAssignmentsVisible) {
+  const Network net = make_line(10);
+  SyncEngine eng(net.oracle, {origin(0, 0)}, {});
+  eng.begin_step({{txn(1, 5, 0, {0}), txn(2, 8, 0, {0})}});
+  // txn1 scheduled earlier in the same step, not yet applied to the
+  // engine: passed through the extra map.
+  const std::map<TxnId, Time> extra{{1, 7}};
+  const std::vector<TxnId> batch{2};
+  const BatchProblem p = build_batch_problem(eng, batch, extra);
+  EXPECT_EQ(p.objects[0].ready, 7);
+  EXPECT_EQ(p.objects[0].node, 5);
+}
+
+TEST(ProblemBuilder, LatestPinWins) {
+  const Network net = make_line(12);
+  SyncEngine eng(net.oracle, {origin(0, 0)}, {});
+  eng.begin_step({{txn(1, 2, 0, {0}), txn(2, 6, 0, {0}),
+                   txn(3, 11, 0, {0})}});
+  eng.apply({{Assignment{1, 2}, Assignment{2, 6}}});
+  const std::vector<TxnId> batch{3};
+  const BatchProblem p = build_batch_problem(eng, batch, {});
+  EXPECT_EQ(p.objects[0].node, 6);  // txn2 is the later pin
+  EXPECT_EQ(p.objects[0].ready, 6);
+}
+
+TEST(ProblemBuilder, UnscheduledStrangersAreNotCommitments) {
+  const Network net = make_line(10);
+  SyncEngine eng(net.oracle, {origin(0, 3)}, {});
+  // txn1 unscheduled (another bucket), txn2 is ours.
+  eng.begin_step({{txn(1, 9, 0, {0}), txn(2, 5, 0, {0})}});
+  const std::vector<TxnId> batch{2};
+  const BatchProblem p = build_batch_problem(eng, batch, {});
+  EXPECT_EQ(p.objects[0].node, 3);  // the object's own position
+  EXPECT_EQ(p.objects[0].ready, 0);
+}
+
+TEST(ProblemBuilder, DeduplicatesObjectsInTxn) {
+  const Network net = make_line(10);
+  SyncEngine eng(net.oracle, {origin(0, 0)}, {});
+  Transaction t = txn(1, 5, 0, {0, 0, 0});
+  eng.begin_step({{t}});
+  const std::vector<TxnId> batch{1};
+  const BatchProblem p = build_batch_problem(eng, batch, {});
+  ASSERT_EQ(p.txns.size(), 1u);
+  EXPECT_EQ(p.txns[0].objects.size(), 1u);
+  EXPECT_EQ(p.objects.size(), 1u);
+}
+
+TEST(ProblemBuilder, InTransitObjectUsesDestination) {
+  const Network net = make_line(10);
+  SyncEngine eng(net.oracle, {origin(0, 0)}, {});
+  eng.begin_step({{txn(1, 6, 0, {0})}});
+  eng.apply({{Assignment{1, 6}}});
+  eng.finish_step();  // object departs toward node 6
+  eng.begin_step({{txn(2, 2, 1, {0})}});
+  const std::vector<TxnId> batch{2};
+  const BatchProblem p = build_batch_problem(eng, batch, {});
+  // txn1 still pins the object (live scheduled user).
+  EXPECT_EQ(p.objects[0].node, 6);
+  EXPECT_EQ(p.objects[0].ready, 6);
+  eng.finish_step();
+}
+
+}  // namespace
+}  // namespace dtm

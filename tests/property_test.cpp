@@ -1,0 +1,159 @@
+// Cross-cutting property tests: monotonicity and agreement laws that tie
+// the subsystems together.
+#include <gtest/gtest.h>
+
+#include "core/bucket_scheduler.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "core/rw.hpp"
+#include "dist/dist_bucket.hpp"
+#include "net/routing.hpp"
+#include "sim/congestion.hpp"
+#include "sim/runner.hpp"
+#include "test_helpers.hpp"
+
+namespace dtm {
+namespace {
+
+// Capacity monotonicity: more link capacity never hurts the replayed
+// makespan, and unbounded capacity never exceeds the scheduled makespan...
+// it may only beat it (eager execution).
+class CongestionMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(CongestionMonotonicity, StretchDecreasesWithCapacity) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 3);
+  const auto nets = testing::small_networks();
+  const Network& net = nets[static_cast<std::size_t>(GetParam()) % nets.size()];
+  const RoutingTable routes(net.graph);
+  SyntheticOptions w;
+  w.num_objects = std::max<std::int32_t>(4, net.num_nodes() / 2);
+  w.k = 2;
+  w.rounds = 2;
+  w.seed = rng();
+  SyntheticWorkload wl(net, w);
+  GreedyScheduler sched;
+  const RunResult r = testing::run_and_validate(net, wl, sched);
+
+  Time prev = kNoTime;
+  for (const std::int64_t cap : {1, 2, 4, 8, 0}) {
+    CongestionOptions copts;
+    copts.edge_capacity = cap;
+    const auto cr = replay_under_congestion(net, routes, r.origins,
+                                            r.committed, copts);
+    EXPECT_EQ(cr.commit_times.size(), r.committed.size());
+    if (prev != kNoTime) {
+      EXPECT_LE(cr.achieved_makespan, prev) << net.name;
+    }
+    prev = cr.achieved_makespan;
+    if (cap == 0) {
+      EXPECT_EQ(cr.total_queue_wait, 0);
+      EXPECT_LE(cr.achieved_makespan, cr.scheduled_makespan);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, CongestionMonotonicity,
+                         ::testing::Range(0, 8));
+
+// Distributed scheduler: analytic and message-level discovery are two
+// realizations of the same protocol — both must complete every workload
+// validly (message mode typically reports earlier because the 4x charge is
+// a worst-case bound on the real chase).
+class DistModeAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistModeAgreement, BothModesCompleteValidly) {
+  const auto nets = testing::small_networks();
+  const Network& net = nets[static_cast<std::size_t>(GetParam())];
+  SyntheticOptions w;
+  w.num_objects = std::max<std::int32_t>(4, net.num_nodes() / 2);
+  w.k = 2;
+  w.rounds = 2;
+  w.seed = 9000 + GetParam();
+
+  std::map<bool, Time> makespan;
+  for (const bool message_mode : {false, true}) {
+    SyntheticWorkload wl(net, w);
+    DistBucketOptions o;
+    o.message_level_discovery = message_mode;
+    DistributedBucketScheduler sched(net, make_coloring_batch(), o);
+    const RunResult r = testing::run_and_validate(net, wl, sched, 2);
+    EXPECT_EQ(r.num_txns, static_cast<std::int64_t>(wl.generated().size()));
+    makespan[message_mode] = r.makespan;
+  }
+  // No hard dominance claim (bucket boundaries can flip), but both finish.
+  EXPECT_GT(makespan[false], 0);
+  EXPECT_GT(makespan[true], 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, DistModeAgreement,
+                         ::testing::Range(0, 10));
+
+// Read-write: with every access a write, the rw validator and the
+// exclusive validator accept exactly the same schedules.
+class RwDegeneracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(RwDegeneracy, AllWriteSchedulesAgreeAcrossValidators) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 11);
+  const Network net = make_grid({4, 4});
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<ObjectOrigin> origins;
+    for (ObjId o = 0; o < 4; ++o)
+      origins.push_back(
+          {o, static_cast<NodeId>(rng.uniform_int(0, 15)), 0});
+    std::vector<ScheduledTxn> sched;
+    for (TxnId i = 0; i < 6; ++i) {
+      const auto objs = rng.sample_distinct(4, 2);
+      sched.push_back(
+          {testing::txn(i, static_cast<NodeId>(rng.uniform_int(0, 15)), 0,
+                        {objs[0], objs[1]}),
+           rng.uniform_int(0, 40)});
+    }
+    const auto exclusive = validate_schedule(sched, origins, *net.oracle);
+    const auto rw = validate_rw_schedule(sched, origins, *net.oracle);
+    EXPECT_EQ(exclusive.has_value(), rw.has_value())
+        << "exclusive: " << exclusive.value_or("ok")
+        << " rw: " << rw.value_or("ok");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RwDegeneracy, ::testing::Range(0, 6));
+
+// Engine/validator agreement: schedules the engine executes to completion
+// always pass the validator, and schedules rejected by the validator make
+// the engine throw. (The positive direction is exercised everywhere; here
+// we fuzz the negative direction.)
+TEST(EngineValidatorAgreement, EngineRejectsWhatValidatorRejects) {
+  Rng rng(77);
+  const Network net = make_line(12);
+  int rejected = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const NodeId a = static_cast<NodeId>(rng.uniform_int(0, 11));
+    const NodeId b = static_cast<NodeId>(rng.uniform_int(0, 11));
+    const Time ea = rng.uniform_int(0, 10);
+    const Time eb = rng.uniform_int(0, 10);
+    const std::vector<ObjectOrigin> origins{testing::origin(0, 0)};
+    const std::vector<ScheduledTxn> sched{
+        {testing::txn(1, a, 0, {0}), ea}, {testing::txn(2, b, 0, {0}), eb}};
+    const bool valid =
+        !validate_schedule(sched, origins, *net.oracle).has_value();
+
+    SyncEngine eng(net.oracle, origins, {});
+    bool engine_ok = true;
+    try {
+      eng.begin_step({{sched[0].txn, sched[1].txn}});
+      eng.apply({{Assignment{1, ea}, Assignment{2, eb}}});
+      while (!eng.all_done()) {
+        eng.begin_step({});
+        eng.finish_step();
+      }
+    } catch (const CheckError&) {
+      engine_ok = false;
+    }
+    EXPECT_EQ(engine_ok, valid) << "a=" << a << " ea=" << ea << " b=" << b
+                                << " eb=" << eb;
+    if (!valid) ++rejected;
+  }
+  EXPECT_GT(rejected, 5);  // the fuzz actually hit infeasible schedules
+}
+
+}  // namespace
+}  // namespace dtm

@@ -1,0 +1,73 @@
+// Tests for net/routing: next-hop tables must realize shortest paths.
+#include <gtest/gtest.h>
+
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+namespace dtm {
+namespace {
+
+TEST(Routing, LineNextHops) {
+  const Network net = make_line(8);
+  const RoutingTable rt(net.graph);
+  EXPECT_EQ(rt.next_hop(0, 7), 1);
+  EXPECT_EQ(rt.next_hop(7, 0), 6);
+  EXPECT_EQ(rt.next_hop(3, 3), 3);
+  EXPECT_EQ(rt.dist(0, 7), 7);
+}
+
+TEST(Routing, PathEndsAtDestination) {
+  const Network net = make_grid({4, 4});
+  const RoutingTable rt(net.graph);
+  for (NodeId u = 0; u < 16; ++u)
+    for (NodeId v = 0; v < 16; ++v) {
+      const auto p = rt.path(u, v);
+      ASSERT_FALSE(p.empty());
+      EXPECT_EQ(p.front(), u);
+      EXPECT_EQ(p.back(), v);
+      // Path length (in weight) equals the shortest distance.
+      Weight total = 0;
+      for (std::size_t i = 0; i + 1 < p.size(); ++i)
+        total += rt.edge_weight(p[i], p[i + 1]);
+      EXPECT_EQ(total, net.dist(u, v));
+    }
+}
+
+TEST(Routing, MatchesOracleOnWeightedGraph) {
+  Rng rng(3);
+  const Network net = make_random_connected(24, 30, 5, rng);
+  const RoutingTable rt(net.graph);
+  for (NodeId u = 0; u < net.num_nodes(); ++u)
+    for (NodeId v = 0; v < net.num_nodes(); ++v)
+      EXPECT_EQ(rt.dist(u, v), net.dist(u, v));
+}
+
+TEST(Routing, EveryHopIsAnEdgeTowardDest) {
+  const Network net = make_hypercube(4);
+  const RoutingTable rt(net.graph);
+  for (NodeId u = 0; u < 16; ++u)
+    for (NodeId v = 0; v < 16; ++v) {
+      if (u == v) continue;
+      const NodeId h = rt.next_hop(u, v);
+      // Hop must be adjacent and strictly closer.
+      EXPECT_EQ(rt.edge_weight(u, h), 1);
+      EXPECT_LT(rt.dist(h, v), rt.dist(u, v));
+    }
+}
+
+TEST(Routing, EdgeWeightGuard) {
+  const Network net = make_line(5);
+  const RoutingTable rt(net.graph);
+  EXPECT_THROW((void)rt.edge_weight(0, 3), CheckError);  // not adjacent
+}
+
+TEST(Routing, Deterministic) {
+  const Network net = make_grid({3, 3});
+  const RoutingTable a(net.graph), b(net.graph);
+  for (NodeId u = 0; u < 9; ++u)
+    for (NodeId v = 0; v < 9; ++v)
+      EXPECT_EQ(a.next_hop(u, v), b.next_hop(u, v));
+}
+
+}  // namespace
+}  // namespace dtm

@@ -1,0 +1,114 @@
+// Tests for core/schedule: the independent chain-feasibility validator.
+#include <gtest/gtest.h>
+
+#include "core/schedule.hpp"
+#include "net/topology.hpp"
+#include "test_helpers.hpp"
+
+namespace dtm {
+namespace {
+
+using testing::origin;
+using testing::txn;
+
+class ScheduleTest : public ::testing::Test {
+ protected:
+  Network net_ = make_line(10);
+};
+
+TEST_F(ScheduleTest, EmptyScheduleValid) {
+  EXPECT_FALSE(validate_schedule({}, {}, *net_.oracle).has_value());
+}
+
+TEST_F(ScheduleTest, SingleTxnNeedsTravel) {
+  const std::vector<ObjectOrigin> origins{origin(0, 0)};
+  std::vector<ScheduledTxn> s{{txn(1, 5, 0, {0}), 5}};
+  EXPECT_FALSE(validate_schedule(s, origins, *net_.oracle).has_value());
+  s[0].exec = 4;  // object cannot arrive
+  const auto err = validate_schedule(s, origins, *net_.oracle);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("cannot arrive"), std::string::npos);
+}
+
+TEST_F(ScheduleTest, LatencyFactorDoublesTravel) {
+  const std::vector<ObjectOrigin> origins{origin(0, 0)};
+  std::vector<ScheduledTxn> s{{txn(1, 5, 0, {0}), 9}};
+  EXPECT_TRUE(validate_schedule(s, origins, *net_.oracle, 2).has_value());
+  s[0].exec = 10;
+  EXPECT_FALSE(validate_schedule(s, origins, *net_.oracle, 2).has_value());
+}
+
+TEST_F(ScheduleTest, ChainBetweenUsers) {
+  const std::vector<ObjectOrigin> origins{origin(0, 2)};
+  // Object at node 2: txn A at node 2 (t=1 invalid: before gen is fine but
+  // chain...), then B at node 6 needs 4 more steps.
+  std::vector<ScheduledTxn> s{{txn(1, 2, 0, {0}), 1},
+                              {txn(2, 6, 0, {0}), 5}};  // 1 + dist(2,6) = 5
+  EXPECT_FALSE(validate_schedule(s, origins, *net_.oracle).has_value());
+  s[1].exec = 4;  // object released at 1 cannot cover 4 hops by then
+  EXPECT_TRUE(validate_schedule(s, origins, *net_.oracle).has_value());
+}
+
+TEST_F(ScheduleTest, SameNodeUsersNeedOneStep) {
+  const std::vector<ObjectOrigin> origins{origin(0, 3)};
+  std::vector<ScheduledTxn> s{{txn(1, 3, 0, {0}), 2},
+                              {txn(2, 3, 0, {0}), 2}};
+  EXPECT_TRUE(validate_schedule(s, origins, *net_.oracle).has_value());
+  s[1].exec = 3;
+  EXPECT_FALSE(validate_schedule(s, origins, *net_.oracle).has_value());
+}
+
+TEST_F(ScheduleTest, ExecBeforeGenRejected) {
+  const std::vector<ObjectOrigin> origins{origin(0, 3)};
+  const std::vector<ScheduledTxn> s{{txn(1, 3, 5, {0}), 4}};
+  const auto err = validate_schedule(s, origins, *net_.oracle);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("generation"), std::string::npos);
+}
+
+TEST_F(ScheduleTest, UnassignedRejected) {
+  const std::vector<ObjectOrigin> origins{origin(0, 3)};
+  const std::vector<ScheduledTxn> s{{txn(1, 3, 0, {0}), kNoTime}};
+  EXPECT_TRUE(validate_schedule(s, origins, *net_.oracle).has_value());
+}
+
+TEST_F(ScheduleTest, MissingOriginRejected) {
+  const std::vector<ScheduledTxn> s{{txn(1, 3, 0, {7}), 5}};
+  const auto err = validate_schedule(s, {}, *net_.oracle);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("no origin"), std::string::npos);
+}
+
+TEST_F(ScheduleTest, MultiObjectTxnChecksEveryChain) {
+  const std::vector<ObjectOrigin> origins{origin(0, 0), origin(1, 9)};
+  // Txn at node 5 needs object 0 (5 away) and object 1 (4 away).
+  std::vector<ScheduledTxn> s{{txn(1, 5, 0, {0, 1}), 5}};
+  EXPECT_FALSE(validate_schedule(s, origins, *net_.oracle).has_value());
+  s[0].exec = 4;  // object 1 arrives by 4 but object 0 cannot
+  EXPECT_TRUE(validate_schedule(s, origins, *net_.oracle).has_value());
+}
+
+TEST_F(ScheduleTest, InterleavedChains) {
+  // Two objects ping-ponging between three txns; the validator must follow
+  // each object independently in execution order.
+  const std::vector<ObjectOrigin> origins{origin(0, 0), origin(1, 5)};
+  std::vector<ScheduledTxn> s{
+      {txn(1, 0, 0, {0}), 0},       // obj0 at 0 immediately
+      {txn(2, 5, 0, {0, 1}), 5},    // obj0 travels 5; obj1 local
+      {txn(3, 2, 0, {1}), 7},       // obj1 released at 5 needs 3 steps
+  };
+  EXPECT_TRUE(validate_schedule(s, origins, *net_.oracle).has_value());
+  s[2].exec = 8;  // 5 + dist(5,2) = 8
+  EXPECT_FALSE(validate_schedule(s, origins, *net_.oracle).has_value());
+}
+
+TEST_F(ScheduleTest, MakespanFromStart) {
+  const std::vector<ScheduledTxn> s{{txn(1, 0, 0, {0}), 4},
+                                    {txn(2, 1, 0, {0}), 9}};
+  EXPECT_EQ(makespan(s), 9);
+  EXPECT_EQ(makespan(s, 3), 6);
+  EXPECT_EQ(makespan({}), 0);
+}
+
+}  // namespace
+}  // namespace dtm

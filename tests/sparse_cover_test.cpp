@@ -1,0 +1,132 @@
+// Tests for net/sparse_cover: the §V hierarchy properties the distributed
+// bucket scheduler depends on.
+//  - every sub-layer is a partition of V;
+//  - cluster weak diameter <= 4 * 2^l at layer l;
+//  - every node's home cluster at layer l contains its (2^l - 1)-
+//    neighborhood;
+//  - leaders are members of their clusters.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/sparse_cover.hpp"
+#include "net/topology.hpp"
+
+namespace dtm {
+namespace {
+
+void expect_cover_properties(const Network& net, std::uint64_t seed) {
+  SparseCoverOptions opts;
+  opts.seed = seed;
+  const SparseCover cover(net.graph, *net.oracle, opts);
+  const NodeId n = net.num_nodes();
+
+  // H1 = ceil(log2 D) + 1 layers.
+  Weight d = std::max<Weight>(net.diameter(), 1);
+  std::int32_t h1 = 1;
+  for (Weight p = 1; p < d; p <<= 1) ++h1;
+  EXPECT_EQ(cover.num_layers(), h1) << net.name;
+
+  for (std::int32_t l = 0; l < cover.num_layers(); ++l) {
+    const CoverLayer& layer = cover.layer(l);
+    const Weight r = Weight{1} << l;
+    EXPECT_EQ(layer.radius, r);
+    ASSERT_FALSE(layer.sublayers.empty());
+    for (const auto& sub : layer.sublayers) {
+      // Partition: every node in exactly one cluster.
+      std::set<NodeId> covered;
+      for (std::size_t ci = 0; ci < sub.clusters.size(); ++ci) {
+        const auto& cl = sub.clusters[ci];
+        EXPECT_FALSE(cl.nodes.empty());
+        // Leader is a member.
+        EXPECT_NE(std::find(cl.nodes.begin(), cl.nodes.end(), cl.leader),
+                  cl.nodes.end());
+        for (const NodeId u : cl.nodes) {
+          EXPECT_TRUE(covered.insert(u).second) << "node in two clusters";
+          EXPECT_EQ(sub.cluster_of[static_cast<std::size_t>(u)],
+                    static_cast<std::int32_t>(ci));
+        }
+        // Weak diameter bound (the field is an upper bound; verify both the
+        // field's bound and the true pairwise diameter).
+        EXPECT_LE(cl.weak_diameter, 4 * r) << net.name << " layer " << l;
+        for (const NodeId a : cl.nodes)
+          for (const NodeId b : cl.nodes)
+            EXPECT_LE(net.dist(a, b), cl.weak_diameter);
+      }
+      EXPECT_EQ(static_cast<NodeId>(covered.size()), n);
+    }
+    // Home cluster contains the (2^l - 1)-neighborhood.
+    for (NodeId u = 0; u < n; ++u) {
+      const ClusterRef ref = cover.home_cluster(u, l);
+      ASSERT_TRUE(ref.valid());
+      EXPECT_EQ(ref.layer, l);
+      const CoverCluster& cl = cover.cluster(ref);
+      const std::set<NodeId> members(cl.nodes.begin(), cl.nodes.end());
+      EXPECT_TRUE(members.count(u));
+      for (NodeId v = 0; v < n; ++v) {
+        if (net.dist(u, v) <= r - 1) {
+          EXPECT_TRUE(members.count(v))
+              << net.name << ": node " << v << " within " << r - 1 << " of "
+              << u << " missing from home cluster at layer " << l;
+        }
+      }
+    }
+  }
+}
+
+TEST(SparseCover, Line) { expect_cover_properties(make_line(24), 1); }
+TEST(SparseCover, Clique) { expect_cover_properties(make_clique(12), 2); }
+TEST(SparseCover, Grid) { expect_cover_properties(make_grid({5, 5}), 3); }
+TEST(SparseCover, Hypercube) {
+  expect_cover_properties(make_hypercube(4), 4);
+}
+TEST(SparseCover, Star) { expect_cover_properties(make_star(4, 4), 5); }
+TEST(SparseCover, Cluster) {
+  expect_cover_properties(make_cluster(3, 4, 5), 6);
+}
+TEST(SparseCover, Butterfly) {
+  expect_cover_properties(make_butterfly(2), 7);
+}
+TEST(SparseCover, Random) {
+  Rng rng(8);
+  expect_cover_properties(make_random_connected(18, 14, 3, rng), 9);
+}
+TEST(SparseCover, SingleNode) {
+  expect_cover_properties(make_clique(1), 10);
+}
+
+TEST(SparseCover, LowestLayerCovering) {
+  const Network net = make_line(32);
+  const SparseCover cover(net.graph, *net.oracle, {});
+  EXPECT_EQ(cover.lowest_layer_covering(0), 0);  // 2^0 - 1 = 0 >= 0
+  EXPECT_EQ(cover.lowest_layer_covering(1), 1);  // 2^1 - 1 = 1 >= 1
+  EXPECT_EQ(cover.lowest_layer_covering(2), 2);  // needs 2^2 - 1 = 3
+  EXPECT_EQ(cover.lowest_layer_covering(3), 2);
+  EXPECT_EQ(cover.lowest_layer_covering(4), 3);
+  // Clamped to the top layer.
+  EXPECT_EQ(cover.lowest_layer_covering(10'000), cover.num_layers() - 1);
+}
+
+TEST(SparseCover, SublayerCountModest) {
+  // The overlap g(l) = number of sub-layers should stay near O(log n).
+  const Network net = make_grid({8, 8});
+  const SparseCover cover(net.graph, *net.oracle, {});
+  EXPECT_LE(cover.max_sublayers(), 30) << "overlap blow-up";
+}
+
+TEST(SparseCover, DeterministicForSeed) {
+  const Network net = make_line(16);
+  SparseCoverOptions opts;
+  opts.seed = 99;
+  const SparseCover a(net.graph, *net.oracle, opts);
+  const SparseCover b(net.graph, *net.oracle, opts);
+  ASSERT_EQ(a.num_layers(), b.num_layers());
+  for (std::int32_t l = 0; l < a.num_layers(); ++l) {
+    ASSERT_EQ(a.layer(l).sublayers.size(), b.layer(l).sublayers.size());
+    for (NodeId u = 0; u < net.num_nodes(); ++u)
+      EXPECT_EQ(a.home_cluster(u, l), b.home_cluster(u, l));
+  }
+}
+
+}  // namespace
+}  // namespace dtm

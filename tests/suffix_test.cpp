@@ -1,0 +1,132 @@
+// Tests for batch/suffix_wrapper: the §IV-A suffix property.
+#include <gtest/gtest.h>
+
+#include "batch/suffix_wrapper.hpp"
+#include "net/topology.hpp"
+
+namespace dtm {
+namespace {
+
+BatchProblem random_problem(const Network& net, Rng& rng, int txns,
+                            int objects) {
+  BatchProblem p;
+  p.oracle = net.oracle.get();
+  p.now = 0;
+  for (ObjId o = 0; o < objects; ++o)
+    p.objects.push_back(
+        {o, static_cast<NodeId>(rng.uniform_int(0, net.num_nodes() - 1)), 0,
+         false});
+  for (TxnId i = 0; i < txns; ++i) {
+    const auto objs = rng.sample_distinct(objects, 2);
+    p.txns.push_back(
+        {i, static_cast<NodeId>(rng.uniform_int(0, net.num_nodes() - 1)),
+         {objs[0], objs[1]}});
+  }
+  return p;
+}
+
+TEST(SuffixWrapper, RequiresInner) {
+  EXPECT_THROW((void)SuffixWrapper(nullptr), CheckError);
+}
+
+TEST(SuffixWrapper, NameAndRandomizedForwarding) {
+  const SuffixWrapper w(make_coloring_batch());
+  EXPECT_EQ(w.name(), "coloring+suffix");
+  EXPECT_FALSE(w.randomized());
+  const SuffixWrapper wr(make_cluster_batch(3));
+  EXPECT_TRUE(wr.randomized());
+}
+
+TEST(SuffixWrapper, NeverWorseThanInner) {
+  const Network net = make_line(16);
+  const auto inner = std::shared_ptr<const BatchScheduler>(make_tsp_batch());
+  const SuffixWrapper wrapped(inner);
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const BatchProblem p = random_problem(net, rng, 10, 5);
+    Rng r1(7), r2(7);
+    const BatchResult base = inner->schedule(p, r1);
+    const BatchResult tight = wrapped.schedule(p, r2);
+    EXPECT_LE(tight.makespan, base.makespan);
+  }
+}
+
+TEST(SuffixWrapper, AvailabilityAfterPrefix) {
+  const Network net = make_line(12);
+  BatchProblem p;
+  p.oracle = net.oracle.get();
+  p.now = 0;
+  p.objects = {{0, 0, 0, false}, {1, 11, 0, false}};
+  p.txns = {{1, 3, {0}}, {2, 8, {0, 1}}};
+  BatchResult r;
+  r.assignments = {{1, 3}, {2, 8}};
+  r.makespan = 8;
+  // Prefix of length 1 = txn 1 only: object 0 moved to node 3 at time 3,
+  // object 1 untouched.
+  const auto avail = SuffixWrapper::availability_after_prefix(p, r, 1);
+  ASSERT_EQ(avail.size(), 2u);
+  const auto find = [&](ObjId id) {
+    for (const auto& o : avail)
+      if (o.id == id) return o;
+    ADD_FAILURE() << "object " << id << " missing";
+    return BatchObject{};
+  };
+  const auto o0 = find(0);
+  EXPECT_EQ(o0.node, 3);
+  EXPECT_EQ(o0.ready, 3);
+  EXPECT_TRUE(o0.from_txn);
+  const auto o1 = find(1);
+  EXPECT_EQ(o1.node, 11);
+  EXPECT_EQ(o1.ready, 0);
+  EXPECT_FALSE(o1.from_txn);
+}
+
+TEST(SuffixWrapper, EstablishesSuffixProperty) {
+  // After wrapping, every suffix of the schedule must execute within the
+  // inner algorithm's own time for that suffix (paper's definition).
+  const Network net = make_line(16);
+  const auto inner =
+      std::shared_ptr<const BatchScheduler>(make_sequential_batch());
+  const SuffixWrapper wrapped(inner);
+  Rng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    const BatchProblem p = random_problem(net, rng, 8, 4);
+    Rng r1(5);
+    const BatchResult tight = wrapped.schedule(p, r1);
+    // Order by exec; for each suffix compare span to a fresh inner run.
+    std::vector<std::pair<Time, std::size_t>> order;
+    for (std::size_t i = 0; i < p.txns.size(); ++i)
+      order.emplace_back(tight.exec_of(p.txns[i].id), i);
+    std::sort(order.begin(), order.end());
+    for (std::size_t start = 1; start < p.txns.size(); ++start) {
+      BatchProblem sub;
+      sub.oracle = p.oracle;
+      sub.now = p.now;
+      sub.objects = SuffixWrapper::availability_after_prefix(p, tight, start);
+      Time span = 0;
+      for (std::size_t i = start; i < order.size(); ++i) {
+        sub.txns.push_back(p.txns[order[i].second]);
+        span = std::max(span, order[i].first - p.now);
+      }
+      Rng r2(5);
+      const BatchResult redo = inner->schedule(sub, r2);
+      EXPECT_LE(span, redo.makespan)
+          << "suffix of length " << p.txns.size() - start
+          << " violates the suffix property";
+    }
+  }
+}
+
+TEST(SuffixWrapper, SingleTxnPassThrough) {
+  const Network net = make_line(8);
+  BatchProblem p;
+  p.oracle = net.oracle.get();
+  p.objects = {{0, 0, 0, false}};
+  p.txns = {{1, 5, {0}}};
+  Rng rng(1);
+  const SuffixWrapper w(make_coloring_batch());
+  EXPECT_EQ(w.schedule(p, rng).exec_of(1), 5);
+}
+
+}  // namespace
+}  // namespace dtm

@@ -1,0 +1,61 @@
+// Shared fixtures and builders for the dtm test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+#include "net/topology.hpp"
+#include "sim/runner.hpp"
+#include "sim/workload.hpp"
+
+namespace dtm::testing {
+
+/// A transaction literal for hand-built scenarios.
+inline Transaction txn(TxnId id, NodeId node, Time gen,
+                       std::vector<ObjId> objs) {
+  Transaction t;
+  t.id = id;
+  t.node = node;
+  t.gen_time = gen;
+  t.accesses = write_set(objs);
+  return t;
+}
+
+inline ObjectOrigin origin(ObjId id, NodeId node, Time created = 0) {
+  return {id, node, created};
+}
+
+/// Small representative networks used by parameterized sweeps.
+inline std::vector<Network> small_networks() {
+  Rng rng(7);
+  std::vector<Network> nets;
+  nets.push_back(make_clique(8));
+  nets.push_back(make_line(12));
+  nets.push_back(make_ring(9));
+  nets.push_back(make_grid({3, 4}));
+  nets.push_back(make_hypercube(3));
+  nets.push_back(make_butterfly(2));
+  nets.push_back(make_star(3, 3));
+  nets.push_back(make_cluster(3, 3, 4));
+  nets.push_back(make_torus({3, 3}));
+  nets.push_back(make_random_connected(10, 12, 3, rng));
+  return nets;
+}
+
+/// Runs and validates; returns the result (gtest-fails on any invalidity
+/// because run_experiment throws CheckError).
+inline RunResult run_and_validate(const Network& net, Workload& wl,
+                                  OnlineScheduler& sched,
+                                  std::int64_t latency_factor = 1) {
+  RunOptions opts;
+  opts.engine.latency_factor = latency_factor;
+  opts.validate = true;
+  return run_experiment(net, wl, sched, opts);
+}
+
+}  // namespace dtm::testing

@@ -1,0 +1,155 @@
+// Tests for net/topology: every closed-form oracle must agree with an APSP
+// oracle computed over the explicit graph — the cross-check that lets the
+// experiments trust O(1) distances at large n.
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace dtm {
+namespace {
+
+void expect_oracle_matches_graph(const Network& net) {
+  const ApspOracle ref(net.graph);
+  ASSERT_EQ(net.oracle->num_nodes(), net.graph.num_nodes());
+  for (NodeId u = 0; u < net.num_nodes(); ++u)
+    for (NodeId v = 0; v < net.num_nodes(); ++v)
+      ASSERT_EQ(net.dist(u, v), ref.dist(u, v))
+          << net.name << " dist(" << u << "," << v << ")";
+  EXPECT_EQ(net.diameter(), ref.diameter()) << net.name;
+}
+
+class OracleCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST(Topology, CliqueOracle) { expect_oracle_matches_graph(make_clique(9)); }
+TEST(Topology, LineOracle) { expect_oracle_matches_graph(make_line(11)); }
+TEST(Topology, RingOracleOdd) { expect_oracle_matches_graph(make_ring(9)); }
+TEST(Topology, RingOracleEven) { expect_oracle_matches_graph(make_ring(10)); }
+TEST(Topology, Grid2dOracle) {
+  expect_oracle_matches_graph(make_grid({4, 5}));
+}
+TEST(Topology, Grid3dOracle) {
+  expect_oracle_matches_graph(make_grid({3, 2, 4}));
+}
+TEST(Topology, GridDegenerateOracle) {
+  expect_oracle_matches_graph(make_grid({1, 7}));
+}
+TEST(Topology, Torus2dOracle) {
+  expect_oracle_matches_graph(make_torus({4, 5}));
+}
+TEST(Topology, Torus3dOracle) {
+  expect_oracle_matches_graph(make_torus({3, 3, 2}));
+}
+TEST(Topology, HypercubeOracle) {
+  expect_oracle_matches_graph(make_hypercube(4));
+}
+TEST(Topology, StarOracle) { expect_oracle_matches_graph(make_star(4, 3)); }
+TEST(Topology, StarSingleRayOracle) {
+  expect_oracle_matches_graph(make_star(1, 5));
+}
+TEST(Topology, ClusterOracle) {
+  expect_oracle_matches_graph(make_cluster(3, 4, 6));
+}
+TEST(Topology, ClusterMinGammaOracle) {
+  expect_oracle_matches_graph(make_cluster(4, 2, 2));
+}
+TEST(Topology, ButterflySelfConsistent) {
+  // Butterfly uses APSP already; sanity-check structure instead.
+  const Network net = make_butterfly(3);
+  EXPECT_EQ(net.num_nodes(), 4 * 8);
+  EXPECT_EQ(net.graph.num_edges(), 3 * 8 * 2);
+  // Level-0 row r connects to level-1 rows r and r^1.
+  const auto nb = net.graph.neighbors(0);
+  EXPECT_EQ(nb.size(), 2u);
+}
+
+TEST(Topology, RandomConnected) {
+  Rng rng(5);
+  const Network net = make_random_connected(20, 15, 4, rng);
+  EXPECT_TRUE(net.graph.connected());
+  EXPECT_EQ(net.graph.num_edges(), 19 + 15);
+  expect_oracle_matches_graph(net);  // APSP vs APSP: trivially equal sizes
+}
+
+TEST(Topology, CliqueSizesAndDiameter) {
+  EXPECT_EQ(make_clique(1).diameter(), 0);
+  const Network c = make_clique(6);
+  EXPECT_EQ(c.num_nodes(), 6);
+  EXPECT_EQ(c.graph.num_edges(), 15);
+  EXPECT_EQ(c.diameter(), 1);
+}
+
+TEST(Topology, HypercubeStructure) {
+  const Network h = make_hypercube(5);
+  EXPECT_EQ(h.num_nodes(), 32);
+  EXPECT_EQ(h.graph.num_edges(), 32 * 5 / 2);
+  EXPECT_EQ(h.diameter(), 5);
+  EXPECT_EQ(h.dist(0b00000, 0b10101), 3);
+}
+
+TEST(Topology, StarDistances) {
+  const NodeId a = 3, b = 4;
+  const Network s = make_star(a, b);
+  EXPECT_EQ(s.num_nodes(), 1 + a * b);
+  // Center to ray tip.
+  EXPECT_EQ(s.dist(0, star_node(a, b, 2, b - 1)), b);
+  // Tip to tip through the center.
+  EXPECT_EQ(s.dist(star_node(a, b, 0, b - 1), star_node(a, b, 1, b - 1)),
+            2 * b);
+  // Same ray.
+  EXPECT_EQ(s.dist(star_node(a, b, 1, 0), star_node(a, b, 1, 3)), 3);
+  EXPECT_EQ(s.diameter(), 2 * b);
+}
+
+TEST(Topology, ClusterDistances) {
+  const Network c = make_cluster(3, 4, 7);
+  // Within a clique.
+  EXPECT_EQ(c.dist(cluster_node(4, 1, 1), cluster_node(4, 1, 3)), 1);
+  // Bridge to bridge.
+  EXPECT_EQ(c.dist(cluster_node(4, 0, 0), cluster_node(4, 2, 0)), 7);
+  // Member to member across cliques: 1 + gamma + 1.
+  EXPECT_EQ(c.dist(cluster_node(4, 0, 2), cluster_node(4, 2, 3)), 9);
+  EXPECT_EQ(c.diameter(), 9);
+}
+
+TEST(Topology, ClusterRequiresGammaAtLeastBeta) {
+  EXPECT_THROW((void)make_cluster(2, 4, 3), CheckError);
+}
+
+TEST(Topology, GridCoordinatesRowMajor) {
+  const Network g = make_grid({3, 4});
+  // Node 5 = (1, 1); node 11 = (2, 3).
+  EXPECT_EQ(g.dist(5, 11), 1 + 2);
+  EXPECT_EQ(g.diameter(), 2 + 3);
+}
+
+TEST(Topology, LogDimensionalGrid) {
+  // The paper's "log n-dimensional grid": extents 2^d with d dims.
+  const Network g = make_grid(std::vector<NodeId>(4, 2));
+  EXPECT_EQ(g.num_nodes(), 16);
+  EXPECT_EQ(g.diameter(), 4);
+  // Isomorphic to the hypercube: distances are Hamming distances.
+  EXPECT_EQ(g.dist(0, 15), 4);
+}
+
+TEST(Topology, TreeOracle) {
+  expect_oracle_matches_graph(make_tree(2, 3));
+  expect_oracle_matches_graph(make_tree(3, 2));
+}
+
+TEST(Topology, TreeStructure) {
+  const Network t = make_tree(2, 3);
+  EXPECT_EQ(t.num_nodes(), 15);
+  EXPECT_EQ(t.graph.num_edges(), 14);
+  EXPECT_EQ(t.diameter(), 6);
+  EXPECT_EQ(t.dist(0, 14), 3);   // root to a leaf
+  EXPECT_EQ(t.dist(7, 14), 6);   // leftmost to rightmost leaf
+  EXPECT_EQ(t.dist(7, 8), 2);    // sibling leaves
+}
+
+TEST(Topology, Names) {
+  EXPECT_EQ(make_clique(4).name, "clique(n=4)");
+  EXPECT_EQ(to_string(TopologyKind::kButterfly), "butterfly");
+}
+
+}  // namespace
+}  // namespace dtm

@@ -1,0 +1,174 @@
+// Tests for sim/workload: generators and their closed-loop semantics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/workload.hpp"
+#include "test_helpers.hpp"
+
+namespace dtm {
+namespace {
+
+using testing::origin;
+using testing::txn;
+
+TEST(SyntheticWorkload, BatchModeOneTxnPerNode) {
+  const Network net = make_clique(10);
+  SyntheticOptions opts;
+  opts.k = 2;
+  opts.num_objects = 6;
+  opts.seed = 1;
+  SyntheticWorkload wl(net, opts);
+  const auto objs = wl.objects();
+  EXPECT_EQ(objs.size(), 6u);
+  const auto arrivals = wl.arrivals_at(0);
+  EXPECT_EQ(arrivals.size(), 10u);
+  std::set<NodeId> nodes;
+  for (const auto& t : arrivals) {
+    nodes.insert(t.node);
+    EXPECT_EQ(t.accesses.size(), 2u);
+    EXPECT_NE(t.accesses[0].obj, t.accesses[1].obj);
+    EXPECT_EQ(t.gen_time, 0);
+  }
+  EXPECT_EQ(nodes.size(), 10u);  // one per node
+  EXPECT_TRUE(wl.finished());    // rounds = 1, all issued
+  EXPECT_EQ(wl.next_arrival_time(), kNoTime);
+}
+
+TEST(SyntheticWorkload, DefaultObjectsOnePerNode) {
+  const Network net = make_line(7);
+  SyntheticOptions opts;
+  opts.k = 1;
+  opts.seed = 2;
+  SyntheticWorkload wl(net, opts);
+  EXPECT_EQ(wl.objects().size(), 7u);
+}
+
+TEST(SyntheticWorkload, ClosedLoopRounds) {
+  const Network net = make_clique(4);
+  SyntheticOptions opts;
+  opts.k = 1;
+  opts.num_objects = 4;
+  opts.rounds = 3;
+  opts.seed = 3;
+  SyntheticWorkload wl(net, opts);
+  auto a0 = wl.arrivals_at(0);
+  EXPECT_EQ(a0.size(), 4u);
+  EXPECT_FALSE(wl.finished());
+  // Commit everything at t=5: next round due at 6.
+  for (const auto& t : a0) wl.on_commit(t.id, 5);
+  EXPECT_EQ(wl.next_arrival_time(), 6);
+  const auto a6 = wl.arrivals_at(6);
+  EXPECT_EQ(a6.size(), 4u);
+  for (const auto& t : a6) wl.on_commit(t.id, 9);
+  const auto a10 = wl.arrivals_at(10);
+  EXPECT_EQ(a10.size(), 4u);
+  for (const auto& t : a10) wl.on_commit(t.id, 12);
+  EXPECT_TRUE(wl.finished());
+  EXPECT_EQ(wl.generated().size(), 12u);
+}
+
+TEST(SyntheticWorkload, UnknownCommitIgnored) {
+  const Network net = make_clique(4);
+  SyntheticOptions opts;
+  opts.seed = 4;
+  SyntheticWorkload wl(net, opts);
+  (void)wl.arrivals_at(0);
+  wl.on_commit(999, 3);  // not ours: no crash, no new arrivals
+  EXPECT_EQ(wl.next_arrival_time(), kNoTime);
+}
+
+TEST(SyntheticWorkload, ParticipationSubset) {
+  const Network net = make_line(20);
+  SyntheticOptions opts;
+  opts.node_participation = 0.25;
+  opts.seed = 5;
+  SyntheticWorkload wl(net, opts);
+  const auto arrivals = wl.arrivals_at(0);
+  EXPECT_EQ(arrivals.size(), 5u);
+}
+
+TEST(SyntheticWorkload, ZipfSkewsObjectChoice) {
+  const Network net = make_clique(16);
+  SyntheticOptions opts;
+  opts.num_objects = 32;
+  opts.k = 1;
+  opts.rounds = 20;
+  opts.zipf_s = 1.5;
+  opts.seed = 6;
+  SyntheticWorkload wl(net, opts);
+  std::vector<int> count(32, 0);
+  Time t = 0;
+  while (!wl.finished()) {
+    for (const auto& tx : wl.arrivals_at(t)) {
+      ++count[static_cast<std::size_t>(tx.accesses[0].obj)];
+      wl.on_commit(tx.id, t);
+    }
+    ++t;
+  }
+  // Hot objects dominate the tail.
+  int head = count[0] + count[1] + count[2];
+  int tail = count[29] + count[30] + count[31];
+  EXPECT_GT(head, 3 * tail);
+}
+
+TEST(SyntheticWorkload, GeometricGapsVary) {
+  const Network net = make_clique(2);
+  SyntheticOptions opts;
+  opts.rounds = 30;
+  opts.arrival_prob = 0.3;
+  opts.num_objects = 2;
+  opts.k = 1;
+  opts.seed = 7;
+  SyntheticWorkload wl(net, opts);
+  std::set<Time> gaps;
+  Time t = 0;
+  Time last_commit = 0;
+  while (!wl.finished() && t < 10'000) {
+    for (const auto& tx : wl.arrivals_at(t)) {
+      if (tx.gen_time > 0) gaps.insert(tx.gen_time - last_commit);
+      wl.on_commit(tx.id, t);
+      last_commit = t;
+    }
+    ++t;
+  }
+  EXPECT_GT(gaps.size(), 1u);  // not all think times identical
+}
+
+TEST(SyntheticWorkload, RejectsBadOptions) {
+  const Network net = make_clique(4);
+  SyntheticOptions opts;
+  opts.k = 0;
+  EXPECT_THROW((void)SyntheticWorkload(net, opts), CheckError);
+  opts.k = 10;
+  opts.num_objects = 5;
+  EXPECT_THROW((void)SyntheticWorkload(net, opts), CheckError);
+  opts.k = 1;
+  opts.rounds = 0;
+  EXPECT_THROW((void)SyntheticWorkload(net, opts), CheckError);
+}
+
+TEST(ScriptedWorkload, SortsAndReplays) {
+  ScriptedWorkload wl({origin(0, 0)},
+                      {txn(2, 1, 5, {0}), txn(1, 0, 2, {0})});
+  EXPECT_EQ(wl.next_arrival_time(), 2);
+  EXPECT_TRUE(wl.arrivals_at(0).empty());
+  EXPECT_TRUE(wl.arrivals_at(1).empty());
+  const auto a2 = wl.arrivals_at(2);
+  ASSERT_EQ(a2.size(), 1u);
+  EXPECT_EQ(a2[0].id, 1);
+  EXPECT_FALSE(wl.finished());
+  (void)wl.arrivals_at(3);
+  (void)wl.arrivals_at(4);
+  const auto a5 = wl.arrivals_at(5);
+  ASSERT_EQ(a5.size(), 1u);
+  EXPECT_TRUE(wl.finished());
+}
+
+TEST(ScriptedWorkload, MissedArrivalFlagged) {
+  ScriptedWorkload wl({origin(0, 0)}, {txn(1, 0, 2, {0})});
+  EXPECT_THROW((void)wl.arrivals_at(3), CheckError);
+}
+
+}  // namespace
+}  // namespace dtm
