@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds Release and runs the fast-path benchmark (docs/PERF.md).
+# Usage: scripts/run_bench.sh [--quick] [build-dir] [out-json]
+set -euo pipefail
+
+QUICK=""
+if [ "${1:-}" = "--quick" ]; then
+  QUICK="--quick"
+  shift
+fi
+BUILD="${1:-build-release}"
+OUT="${2:-BENCH_fastpath.json}"
+
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+  cmake -B "$BUILD" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD" --target bench_fastpath -j "$(nproc)"
+
+"$BUILD/bench/bench_fastpath" $QUICK --out "$OUT"
+echo "results in $OUT"

@@ -1,7 +1,6 @@
 #include "core/conflict_graph.hpp"
 
 #include <algorithm>
-#include <set>
 
 #include "core/coloring.hpp"
 
@@ -11,29 +10,38 @@ DependencyGraph DependencyGraph::build(const SystemView& view) {
   DependencyGraph g;
   const Time now = view.now();
 
-  const auto live = view.live_txns();
-  std::set<ObjId> objects;
+  const auto live = view.live_txns();  // id-ordered
+  std::vector<ObjId> objects;
+  g.nodes_.reserve(live.size());
+  g.txn_index_.reserve(live.size());
   for (const TxnId id : live) {
     const Transaction& t = view.txn(id);
-    g.txn_index_[id] = static_cast<std::int32_t>(g.nodes_.size());
+    g.txn_index_.emplace_back(id, static_cast<std::int32_t>(g.nodes_.size()));
     DependencyNode n;
     n.kind = DependencyNode::Kind::kLiveTxn;
     n.txn = id;
     const Time exec = view.assigned_exec(id);
     n.color = exec == kNoTime ? kNoTime : exec - now;
     g.nodes_.push_back(n);
-    for (const auto& a : t.accesses) objects.insert(a.obj);
+    for (const auto& a : t.accesses) objects.push_back(a.obj);
   }
-  // Holder nodes Z_t(o) for every object in play.
-  std::map<ObjId, std::int32_t> holder_index;
+  std::sort(objects.begin(), objects.end());
+  objects.erase(std::unique(objects.begin(), objects.end()), objects.end());
+  // Holder nodes Z_t(o) for every object in play, in object-id order right
+  // after the transaction nodes — a holder's index is holder_base + its
+  // rank among the sorted object ids.
+  const auto holder_base = static_cast<std::int32_t>(g.nodes_.size());
   for (const ObjId o : objects) {
-    holder_index[o] = static_cast<std::int32_t>(g.nodes_.size());
     DependencyNode n;
     n.kind = DependencyNode::Kind::kHolder;
     n.holder_of = o;
     n.color = 0;  // the holder "executes at time t" (paper §III-B)
     g.nodes_.push_back(n);
   }
+  const auto holder_index = [&](ObjId o) {
+    const auto it = std::lower_bound(objects.begin(), objects.end(), o);
+    return holder_base + static_cast<std::int32_t>(it - objects.begin());
+  };
   g.incident_.resize(g.nodes_.size());
 
   auto add_edge = [&g](std::int32_t a, std::int32_t b, Weight w) {
@@ -43,16 +51,32 @@ DependencyGraph DependencyGraph::build(const SystemView& view) {
     g.incident_[static_cast<std::size_t>(b)].push_back(e);
   };
 
-  // Conflict edges (H_t): object intersection; weight = travel time
-  // between the transactions' nodes (>= 1 between distinct transactions).
-  for (std::size_t i = 0; i < live.size(); ++i) {
-    const Transaction& a = view.txn(live[i]);
-    for (std::size_t j = i + 1; j < live.size(); ++j) {
-      const Transaction& b = view.txn(live[j]);
-      if (!a.conflicts_with(b)) continue;
-      add_edge(static_cast<std::int32_t>(i), static_cast<std::int32_t>(j),
-               std::max<Weight>(1, view.travel(a.node, b.node)));
+  // Conflict edges (H_t) from the object -> live-users inverted index: the
+  // users of one object pairwise conflict, and a pair sharing several
+  // objects gets one edge. Costs sum over objects of degree^2 instead of
+  // the all-pairs |live|^2 conflicts_with sweep; sorting the packed pairs
+  // reproduces the all-pairs (i, j) emission order exactly.
+  std::vector<std::uint64_t> pairs;
+  for (const ObjId o : objects) {
+    const auto users = view.live_users_of(o);
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      const auto a = static_cast<std::uint32_t>(g.index_of(users[i]));
+      for (std::size_t j = i + 1; j < users.size(); ++j) {
+        const auto b = static_cast<std::uint32_t>(g.index_of(users[j]));
+        const auto lo = std::min(a, b);
+        const auto hi = std::max(a, b);
+        pairs.push_back((static_cast<std::uint64_t>(lo) << 32) | hi);
+      }
     }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  for (const std::uint64_t key : pairs) {
+    const auto i = static_cast<std::int32_t>(key >> 32);
+    const auto j = static_cast<std::int32_t>(key & 0xffffffffu);
+    const Transaction& a = view.txn(g.nodes_[static_cast<std::size_t>(i)].txn);
+    const Transaction& b = view.txn(g.nodes_[static_cast<std::size_t>(j)].txn);
+    add_edge(i, j, std::max<Weight>(1, view.travel(a.node, b.node)));
   }
   // Holder edges (the H'_t extension): each user of o depends on Z_t(o)
   // with weight = the object's current travel time to the user.
@@ -61,7 +85,7 @@ DependencyGraph DependencyGraph::build(const SystemView& view) {
       const Transaction& u = view.txn(uid);
       const Weight w = view.object(o).time_to(u.node, now, view.oracle(),
                                               view.latency_factor());
-      add_edge(g.txn_index_.at(uid), holder_index.at(o), w);
+      add_edge(g.index_of(uid), holder_index(o), w);
     }
   }
   return g;
@@ -104,8 +128,12 @@ Weight DependencyGraph::txn_weighted_degree(std::int32_t node) const {
 }
 
 std::int32_t DependencyGraph::index_of(TxnId t) const {
-  const auto it = txn_index_.find(t);
-  return it == txn_index_.end() ? -1 : it->second;
+  const auto it = std::lower_bound(
+      txn_index_.begin(), txn_index_.end(), t,
+      [](const std::pair<TxnId, std::int32_t>& e, TxnId id) {
+        return e.first < id;
+      });
+  return it == txn_index_.end() || it->first != t ? -1 : it->second;
 }
 
 bool DependencyGraph::valid_partial_coloring() const {

@@ -8,7 +8,7 @@
 // Theorems 1 and 2 are stated in).
 #pragma once
 
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "core/scheduler.hpp"
@@ -78,7 +78,8 @@ class DependencyGraph {
   std::vector<DependencyNode> nodes_;
   std::vector<DependencyEdge> edges_;
   std::vector<std::vector<std::int32_t>> incident_;  ///< node -> edge idx
-  std::map<TxnId, std::int32_t> txn_index_;
+  /// (txn, node index), sorted by txn id — binary-searched by index_of.
+  std::vector<std::pair<TxnId, std::int32_t>> txn_index_;
 };
 
 }  // namespace dtm

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <set>
 
 namespace dtm {
 
@@ -22,14 +20,21 @@ std::vector<Assignment> GreedyScheduler::on_step(
   };
 
   // Colors chosen for arrivals earlier in this same step (they are part of
-  // H'_t but not yet visible through the view).
-  std::map<TxnId, Time> local_color;
+  // H'_t but not yet visible through the view). Flat sorted-by-id map,
+  // binary-searched — no node allocations on the hot path.
+  local_color_.clear();
+  const auto local_color_of = [this](TxnId id) -> const Time* {
+    const auto it = std::lower_bound(
+        local_color_.begin(), local_color_.end(), id,
+        [](const std::pair<TxnId, Time>& e, TxnId t) { return e.first < t; });
+    return it != local_color_.end() && it->first == id ? &it->second : nullptr;
+  };
 
   for (const Transaction& t : arrivals) {
     DTM_CHECK(t.gen_time == now,
               "arrival " << t.id << " gen " << t.gen_time << " != " << now);
-    std::vector<ColorConstraint> cs;
-    std::set<TxnId> seen;  // a pair conflicting on several objects: one edge
+    cs_.clear();
+    neighbors_.clear();
     for (const auto& acc : t.accesses) {
       const ObjectState& obj = view.object(acc.obj);
       // Holder / virtual in-transit node Z_t(o): color 0, gap = travel time
@@ -37,46 +42,58 @@ std::vector<Assignment> GreedyScheduler::on_step(
       // In uniform mode the gap may exceed beta for an in-transit object;
       // the sweep rounds the candidate up to the next multiple, which only
       // adds a constant to the Lemma 2 bound.
-      cs.push_back({0, pad(obj.time_to(t.node, now, view.oracle(),
-                                       view.latency_factor()))});
-
-      for (const TxnId uid : view.live_users_of(acc.obj)) {
-        if (uid == t.id || !seen.insert(uid).second) continue;
-        const Transaction& u = view.txn(uid);
-        Weight gap = std::max<Weight>(1, pad(view.travel(u.node, t.node)));
-        if (beta > 0) {
-          DTM_CHECK(gap <= beta, "uniform mode requires distances <= beta; "
-                                 "got " << gap << " > " << beta);
-          gap = beta;
-        }
-        const auto lit = local_color.find(uid);
-        Time color;
-        if (lit != local_color.end()) {
-          color = lit->second;
-        } else {
-          const Time exec = view.assigned_exec(uid);
-          // A same-step arrival later in the processing order has no color
-          // yet; Lemma 1 colors nodes one at a time, so it will constrain
-          // itself against our color when its turn comes.
-          if (exec == kNoTime) continue;
-          color = exec - now;
-        }
-        cs.push_back({color, gap});
+      cs_.push_back({0, pad(obj.time_to(t.node, now, view.oracle(),
+                                        view.latency_factor()))});
+      const auto users = view.live_users_of(acc.obj);
+      neighbors_.insert(neighbors_.end(), users.begin(), users.end());
+    }
+    // A pair conflicting on several objects contributes one constraint (the
+    // gap depends only on the two nodes, so any shared object gives the
+    // same one): dedup the union of the per-object user lists.
+    std::sort(neighbors_.begin(), neighbors_.end());
+    neighbors_.erase(std::unique(neighbors_.begin(), neighbors_.end()),
+                     neighbors_.end());
+    for (const TxnId uid : neighbors_) {
+      if (uid == t.id) continue;
+      const Transaction& u = view.txn(uid);
+      Weight gap = std::max<Weight>(1, pad(view.travel(u.node, t.node)));
+      if (beta > 0) {
+        DTM_CHECK(gap <= beta, "uniform mode requires distances <= beta; "
+                               "got " << gap << " > " << beta);
+        gap = beta;
       }
+      Time color;
+      if (const Time* local = local_color_of(uid)) {
+        color = *local;
+      } else {
+        const Time exec = view.assigned_exec(uid);
+        // A same-step arrival later in the processing order has no color
+        // yet; Lemma 1 colors nodes one at a time, so it will constrain
+        // itself against our color when its turn comes.
+        if (exec == kNoTime) continue;
+        color = exec - now;
+      }
+      cs_.push_back({color, gap});
     }
     // The §III-E coordination delay raises the floor rather than shifting
     // chosen colors — a uniform shift could land between an existing
     // schedule's forbidden interval; the sweep stays correct either way.
     const Time min_color =
         std::max<Time>(beta > 0 ? beta : 0, opts_.coordination_delay);
-    const Time c = min_feasible_color(cs, min_color, beta > 0 ? beta : 1);
+    const Time c = min_feasible_color(cs_, min_color, beta > 0 ? beta : 1);
     // In uniform mode the Lemma 2 premise (neighbor colors aligned to
     // multiples of beta) fails for transactions scheduled at earlier steps,
     // so the recorded guarantee is the generalized multiple-of-beta bound.
     const Time bound =
-        beta > 0 ? uniform_dynamic_bound(cs, beta) : lemma1_bound(cs);
+        beta > 0 ? uniform_dynamic_bound(cs_, beta) : lemma1_bound(cs_);
     last_bounds_.push_back({t.id, c, bound});
-    local_color[t.id] = c;
+    local_color_.insert(
+        std::lower_bound(
+            local_color_.begin(), local_color_.end(), t.id,
+            [](const std::pair<TxnId, Time>& e, TxnId id) {
+              return e.first < id;
+            }),
+        {t.id, c});
     out.push_back({t.id, now + c});
   }
   return out;

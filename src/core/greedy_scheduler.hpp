@@ -13,6 +13,8 @@
 #pragma once
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/coloring.hpp"
 #include "core/scheduler.hpp"
@@ -64,6 +66,13 @@ class GreedyScheduler final : public OnlineScheduler {
  private:
   Options opts_;
   std::vector<BoundSample> last_bounds_;
+
+  // Reusable scratch (cleared per step / per arrival, capacity retained):
+  // constraint arena, the dedup'd neighbor set of the arrival being
+  // colored, and colors chosen for same-step arrivals (sorted by id).
+  std::vector<ColorConstraint> cs_;
+  std::vector<TxnId> neighbors_;
+  std::vector<std::pair<TxnId, Time>> local_color_;
 };
 
 }  // namespace dtm

@@ -41,11 +41,15 @@ class SystemView {
 
   /// Live (not yet executed) transactions requesting object `o`, in
   /// generation order. Includes both scheduled and unscheduled ones — the
-  /// paper's conflict set C_t(T) restricted to users of o.
-  [[nodiscard]] virtual std::vector<TxnId> live_users_of(ObjId o) const = 0;
+  /// paper's conflict set C_t(T) restricted to users of o. The returned view
+  /// aliases engine-owned storage and is valid until the engine next
+  /// mutates (begin_step / apply / finish_step).
+  [[nodiscard]] virtual std::span<const TxnId> live_users_of(
+      ObjId o) const = 0;
 
-  /// All live transactions (the paper's T_t), in id order.
-  [[nodiscard]] virtual std::vector<TxnId> live_txns() const = 0;
+  /// All live transactions (the paper's T_t), in id order. Same lifetime
+  /// rule as live_users_of.
+  [[nodiscard]] virtual std::span<const TxnId> live_txns() const = 0;
 
   /// Object travel time between nodes.
   [[nodiscard]] Time travel(NodeId u, NodeId v) const {

@@ -5,51 +5,85 @@
 
 namespace dtm {
 
-RoutingTable::RoutingTable(const Graph& g) : n_(g.num_nodes()), graph_(&g) {
-  next_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
-               kNoNode);
-  dist_.assign(next_.size(), kInfWeight);
-  // One Dijkstra per destination, recording each node's parent toward the
-  // destination; the parent IS the next hop.
+RoutingTable::RoutingTable(const Graph& g, std::size_t max_cached_destinations)
+    : n_(g.num_nodes()),
+      graph_(&g),
+      capacity_(std::max<std::size_t>(1, max_cached_destinations)) {
+  // Fail fast on disconnected inputs (the lazy Dijkstra would only notice
+  // when the unreachable destination is first queried).
+  DTM_CHECK(g.connected(), "routing table requires a connected graph");
+  sorted_adj_.reserve(static_cast<std::size_t>(n_));
+  for (NodeId u = 0; u < n_; ++u) {
+    const auto nbrs = g.neighbors(u);
+    std::vector<HalfEdge> sorted(nbrs.begin(), nbrs.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const HalfEdge& a, const HalfEdge& b) { return a.to < b.to; });
+    sorted_adj_.push_back(std::move(sorted));
+  }
+}
+
+const RoutingTable::DestTable& RoutingTable::ensure(NodeId dest) const {
+  const auto it = cache_.find(dest);
+  if (it != cache_.end()) {
+    ++stats_.hits;
+    if (it->second.lru_pos != lru_.begin())
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second;
+  }
+  ++stats_.misses;
+  if (cache_.size() >= capacity_) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+
+  DestTable t;
+  t.next.assign(static_cast<std::size_t>(n_), kNoNode);
+  t.dist.assign(static_cast<std::size_t>(n_), kInfWeight);
+  // One Dijkstra toward `dest`, recording each node's parent toward the
+  // destination; the parent IS the next hop. Identical relaxation and
+  // tie-break rules to the original eager build.
   using Item = std::pair<Weight, NodeId>;
-  for (NodeId dest = 0; dest < n_; ++dest) {
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-    dist_[idx(dest, dest)] = 0;
-    next_[idx(dest, dest)] = dest;
-    pq.emplace(0, dest);
-    while (!pq.empty()) {
-      const auto [d, u] = pq.top();
-      pq.pop();
-      if (d > dist_[idx(dest, u)]) continue;
-      for (const auto& e : g.neighbors(u)) {
-        const Weight nd = d + e.weight;
-        auto& cur = dist_[idx(dest, e.to)];
-        auto& hop = next_[idx(dest, e.to)];
-        if (nd < cur) {
-          cur = nd;
-          hop = u;  // from e.to, step to u to get closer to dest
-          pq.emplace(nd, e.to);
-        } else if (nd == cur && u < hop) {
-          hop = u;  // deterministic tie-break; u is a valid parent (equal d)
-        }
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  t.dist[static_cast<std::size_t>(dest)] = 0;
+  t.next[static_cast<std::size_t>(dest)] = dest;
+  pq.emplace(0, dest);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > t.dist[static_cast<std::size_t>(u)]) continue;
+    for (const auto& e : sorted_adj_[static_cast<std::size_t>(u)]) {
+      const Weight nd = d + e.weight;
+      auto& cur = t.dist[static_cast<std::size_t>(e.to)];
+      auto& hop = t.next[static_cast<std::size_t>(e.to)];
+      if (nd < cur) {
+        cur = nd;
+        hop = u;  // from e.to, step to u to get closer to dest
+        pq.emplace(nd, e.to);
+      } else if (nd == cur && u < hop) {
+        hop = u;  // deterministic tie-break; u is a valid parent (equal d)
       }
     }
   }
-  for (std::size_t i = 0; i < dist_.size(); ++i)
-    DTM_CHECK(dist_[i] < kInfWeight,
-              "routing table requires a connected graph");
+
+  lru_.push_front(dest);
+  t.lru_pos = lru_.begin();
+  return cache_.emplace(dest, std::move(t)).first->second;
 }
 
 NodeId RoutingTable::next_hop(NodeId u, NodeId dest) const {
   DTM_REQUIRE(u >= 0 && u < n_ && dest >= 0 && dest < n_,
               "next_hop(" << u << "," << dest << ")");
-  return next_[idx(dest, u)];
+  return ensure(dest).next[static_cast<std::size_t>(u)];
 }
 
 std::vector<NodeId> RoutingTable::path(NodeId u, NodeId dest) const {
+  DTM_REQUIRE(u >= 0 && u < n_ && dest >= 0 && dest < n_,
+              "path(" << u << "," << dest << ")");
+  const DestTable& t = ensure(dest);
   std::vector<NodeId> p{u};
   while (u != dest) {
-    u = next_hop(u, dest);
+    u = t.next[static_cast<std::size_t>(u)];
     p.push_back(u);
     DTM_CHECK(p.size() <= static_cast<std::size_t>(n_) + 1,
               "routing loop between " << p.front() << " and " << dest);
@@ -60,14 +94,19 @@ std::vector<NodeId> RoutingTable::path(NodeId u, NodeId dest) const {
 Weight RoutingTable::dist(NodeId u, NodeId dest) const {
   DTM_REQUIRE(u >= 0 && u < n_ && dest >= 0 && dest < n_,
               "dist(" << u << "," << dest << ")");
-  return dist_[idx(dest, u)];
+  return ensure(dest).dist[static_cast<std::size_t>(u)];
 }
 
 Weight RoutingTable::edge_weight(NodeId u, NodeId v) const {
-  for (const auto& e : graph_->neighbors(u))
-    if (e.to == v) return e.weight;
-  DTM_CHECK(false, "nodes " << u << " and " << v << " are not adjacent");
-  return 0;
+  DTM_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_,
+              "edge_weight(" << u << "," << v << ")");
+  const auto& adj = sorted_adj_[static_cast<std::size_t>(u)];
+  const auto it = std::lower_bound(
+      adj.begin(), adj.end(), v,
+      [](const HalfEdge& e, NodeId target) { return e.to < target; });
+  DTM_CHECK(it != adj.end() && it->to == v,
+            "nodes " << u << " and " << v << " are not adjacent");
+  return it->weight;
 }
 
 }  // namespace dtm

@@ -1,11 +1,22 @@
-// Explicit shortest-path routing: per-source next-hop tables.
+// Explicit shortest-path routing: per-destination next-hop tables, computed
+// lazily.
 //
 // The baseline model (paper §II) abstracts object motion as "arrives after
 // dist(u,v) steps". The congestion extension (paper §VI names bounded link
 // capacity as an open question) needs objects to physically occupy edges,
-// which requires hop-by-hop paths. One Dijkstra per source; O(n^2) memory.
+// which requires hop-by-hop paths. A destination's table (one Dijkstra,
+// O(n) memory) is built on first use and memoized in an LRU-bounded cache,
+// so large topologies no longer pay the O(n^2) all-destinations cost up
+// front — replays that only ever route toward a few hot destinations stay
+// O(hot * n). Tie-breaks are deterministic (smaller parent id wins), so a
+// lazily built table answers exactly like an eagerly built one.
+//
+// Not thread-safe: queries mutate the cache. Give each thread its own table.
 #pragma once
 
+#include <cstddef>
+#include <list>
+#include <unordered_map>
 #include <vector>
 
 #include "net/graph.hpp"
@@ -14,7 +25,11 @@ namespace dtm {
 
 class RoutingTable {
  public:
-  explicit RoutingTable(const Graph& g);
+  /// `max_cached_destinations` bounds the memo: at most that many
+  /// per-destination tables are resident; least-recently-queried tables are
+  /// evicted (and transparently recomputed on the next query).
+  explicit RoutingTable(const Graph& g,
+                        std::size_t max_cached_destinations = 512);
 
   /// First hop on a shortest path from `u` toward `dest` (u itself when
   /// u == dest). Deterministic: ties broken toward the smaller node id.
@@ -28,19 +43,48 @@ class RoutingTable {
 
   [[nodiscard]] NodeId num_nodes() const { return n_; }
 
-  /// Weight of edge {u, v}; u and v must be adjacent.
+  /// Weight of edge {u, v}; u and v must be adjacent. Binary search over
+  /// sorted adjacency: O(log deg(u)).
   [[nodiscard]] Weight edge_weight(NodeId u, NodeId v) const;
 
- private:
-  [[nodiscard]] std::size_t idx(NodeId u, NodeId v) const {
-    return static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
-           static_cast<std::size_t>(v);
+  // ---- Cache introspection (tests, benchmarks) ----
+
+  struct CacheStats {
+    std::int64_t hits = 0;       ///< queries served by a resident table
+    std::int64_t misses = 0;     ///< queries that ran a Dijkstra
+    std::int64_t evictions = 0;  ///< tables dropped to respect the bound
+  };
+  [[nodiscard]] const CacheStats& cache_stats() const { return stats_; }
+  [[nodiscard]] std::size_t cached_destinations() const {
+    return cache_.size();
   }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Bytes held by resident per-destination tables.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return cache_.size() * static_cast<std::size_t>(n_) *
+           (sizeof(NodeId) + sizeof(Weight));
+  }
+
+ private:
+  struct DestTable {
+    std::vector<NodeId> next;  ///< next[u] = hop from u toward the dest
+    std::vector<Weight> dist;  ///< dist[u] = shortest distance to the dest
+    std::list<NodeId>::iterator lru_pos;
+  };
+
+  /// Returns the (possibly freshly computed) table for `dest`, promoting it
+  /// to most-recently-used and evicting the LRU entry past capacity.
+  const DestTable& ensure(NodeId dest) const;
 
   NodeId n_;
   const Graph* graph_;
-  std::vector<NodeId> next_;   ///< next_[dest * n + u] = hop from u to dest
-  std::vector<Weight> dist_;
+  /// Per-node adjacency sorted by neighbor id, for edge_weight lookups.
+  std::vector<std::vector<HalfEdge>> sorted_adj_;
+
+  std::size_t capacity_;
+  mutable std::unordered_map<NodeId, DestTable> cache_;
+  mutable std::list<NodeId> lru_;  ///< front = most recently used
+  mutable CacheStats stats_;
 };
 
 }  // namespace dtm

@@ -7,10 +7,23 @@
 // and (4) fires transactions whose time has come — after *verifying* that
 // every requested object is physically present, which makes the simulation
 // an end-to-end feasibility check of the scheduler's decisions.
+//
+// Two execution paths implement the per-step bookkeeping:
+//  - kScan (the original): every step settles all objects and scans all
+//    live transactions for due executions — O(objects + live) per step.
+//  - kCalendar (default): an execution-time calendar (min-heap keyed by
+//    exec) plus an object-arrival queue plus per-object scheduled-user
+//    heaps, so an idle step costs O(1) and a busy step costs
+//    O(due * log live). Assignments are irrevocable, so calendar entries
+//    never go stale before they fire.
+// kVerify runs the calendar path while re-deriving every decision with the
+// scan path and asserting equivalence — the debug harness behind the
+// equivalence test suite.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <queue>
 #include <span>
 #include <vector>
 
@@ -24,11 +37,17 @@ struct EngineOptions {
     /// Steps per unit distance for object motion (2 = half-speed objects,
     /// the distributed setting of §V).
     std::int64_t latency_factor = 1;
+
+    /// Per-step bookkeeping strategy; identical observable behavior (the
+    /// equivalence tests prove it), different asymptotics.
+    enum class Mode { kCalendar, kScan, kVerify };
+    Mode mode = Mode::kCalendar;
   };
 
 class SyncEngine final : public SystemView {
  public:
   using Options = EngineOptions;
+  using Mode = EngineOptions::Mode;
 
   SyncEngine(std::shared_ptr<const DistanceOracle> oracle,
              std::vector<ObjectOrigin> origins, Options opts = {});
@@ -44,8 +63,8 @@ class SyncEngine final : public SystemView {
   [[nodiscard]] const ObjectState& object(ObjId o) const override;
   [[nodiscard]] const Transaction& txn(TxnId t) const override;
   [[nodiscard]] Time assigned_exec(TxnId t) const override;
-  [[nodiscard]] std::vector<TxnId> live_users_of(ObjId o) const override;
-  [[nodiscard]] std::vector<TxnId> live_txns() const override;
+  [[nodiscard]] std::span<const TxnId> live_users_of(ObjId o) const override;
+  [[nodiscard]] std::span<const TxnId> live_txns() const override;
 
   // ---- Stepping API (driven by the Runner) ----
 
@@ -73,7 +92,7 @@ class SyncEngine final : public SystemView {
   void advance_to(Time t);
 
   /// Earliest execution time among scheduled live transactions, kNoTime if
-  /// none. The Runner never skips past this.
+  /// none. The Runner never skips past this. O(1) in calendar mode.
   [[nodiscard]] Time next_exec_due() const;
 
   [[nodiscard]] bool all_done() const { return live_.empty(); }
@@ -96,19 +115,60 @@ class SyncEngine final : public SystemView {
     Time exec = kNoTime;
   };
 
+  /// (exec-or-arrival time, id) min-heap with deterministic (time, id)
+  /// tie-breaks.
+  template <typename Id>
+  using MinHeap =
+      std::priority_queue<std::pair<Time, Id>,
+                          std::vector<std::pair<Time, Id>>, std::greater<>>;
+
+  /// An object's whole engine-side record: state, its live users in
+  /// generation order (the object -> live-users inverted index the
+  /// schedulers consume), and a lazily pruned min-heap of its *scheduled*
+  /// users, keyed by (exec, txn) — the reroute target oracle.
+  struct ObjEntry {
+    ObjId id = kNoObj;
+    ObjectState state;
+    std::vector<TxnId> users;
+    MinHeap<TxnId> sched;
+  };
+
+  [[nodiscard]] const ObjEntry* find_obj(ObjId o) const;
+  [[nodiscard]] ObjEntry* find_obj(ObjId o);
+  [[nodiscard]] ObjEntry& obj_entry(ObjId o);
+
   /// Sends object `o` toward the pending scheduled user with the earliest
   /// execution time (no-op when already heading there / resting there).
   void reroute(ObjId o);
+  /// The seed's linear selection of that user; kNoTxn when none.
+  [[nodiscard]] TxnId reroute_target_scan(const ObjEntry& e) const;
+  /// Heap-based selection (prunes committed users); kNoTxn when none.
+  [[nodiscard]] TxnId reroute_target_calendar(ObjEntry& e);
+
+  /// Settles every object whose pending arrival time has passed (calendar
+  /// path; the scan path settles everything each step).
+  void drain_settle_queue();
 
   std::shared_ptr<const DistanceOracle> oracle_;
   Options opts_;
   Time now_ = 0;
 
-  std::map<ObjId, ObjectState> objects_;
+  std::vector<ObjEntry> objects_;  ///< sorted by id; immutable id set
   std::vector<ObjectOrigin> origins_;
   std::map<TxnId, LiveTxn> live_;
-  std::map<ObjId, std::vector<TxnId>> users_of_;
   std::vector<ScheduledTxn> committed_;
+
+  /// Execution calendar: every scheduled live transaction, keyed by exec.
+  MinHeap<TxnId> calendar_;
+  /// Pending object arrivals: (arrive time, index into objects_). Entries
+  /// outlive redirects; settle() is idempotent, so early pops are no-ops.
+  MinHeap<std::int32_t> settle_queue_;
+
+  /// Lazily rebuilt id-ordered snapshot backing live_txns().
+  mutable std::vector<TxnId> live_ids_;
+  mutable bool live_ids_dirty_ = false;
+
+  std::vector<TxnId> due_scratch_;
 };
 
 }  // namespace dtm

@@ -100,6 +100,7 @@ RunResult run_experiment(const Network& net, Workload& workload,
   RunResult r;
   r.scheduler = scheduler.name();
   r.network = net.name;
+  r.active_steps = iterations + 1;  // iterations counts non-final steps
   r.num_txns = static_cast<std::int64_t>(engine.committed().size());
   for (const auto& s : engine.committed()) {
     r.makespan = std::max(r.makespan, s.exec);

@@ -35,6 +35,9 @@ struct RunResult {
   std::string scheduler;
   std::string network;
   std::int64_t num_txns = 0;
+  /// Simulated steps the engine actually executed (idle stretches are
+  /// fast-forwarded); the denominator for steps/sec throughput reporting.
+  std::int64_t active_steps = 0;
   Time makespan = 0;          ///< last commit time
   OnlineStats latency;        ///< per-transaction exec - gen
   LowerBoundBreakdown lb;     ///< certified bound on the optimal makespan

@@ -4,11 +4,18 @@
 // independent configurations are embarrassingly parallel. parallel_map runs
 // one task per configuration across a bounded pool of std::threads and
 // returns results in input order, so parallel sweeps stay reproducible.
+//
+// Both entry points are templated on the callable: the worker loop invokes
+// the caller's functor directly (inlinable, no std::function allocation or
+// per-index indirect call).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
-#include <functional>
+#include <exception>
+#include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "util/check.hpp"
@@ -19,14 +26,51 @@ namespace dtm {
 /// (0 = hardware concurrency). `fn` must be thread-safe across distinct
 /// indices. Exceptions in workers are rethrown on the caller thread (first
 /// one wins).
-void parallel_for(std::int64_t count,
-                  const std::function<void(std::int64_t)>& fn,
-                  unsigned threads = 0);
+template <typename Fn>
+void parallel_for(std::int64_t count, Fn&& fn, unsigned threads = 0) {
+  DTM_REQUIRE(count >= 0, "parallel_for count " << count);
+  if (count == 0) return;
+  unsigned workers = threads ? threads : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  workers = static_cast<unsigned>(std::min<std::int64_t>(workers, count));
+
+  if (workers == 1) {
+    for (std::int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::int64_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+
+  auto worker = [&] {
+    while (true) {
+      const std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count || failed.load(std::memory_order_relaxed)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (!error) error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
 
 /// Maps `fn` over [0, count), collecting results in input order.
-template <typename R>
-std::vector<R> parallel_map(std::int64_t count,
-                            const std::function<R(std::int64_t)>& fn,
+template <typename R, typename Fn>
+std::vector<R> parallel_map(std::int64_t count, Fn&& fn,
                             unsigned threads = 0) {
   std::vector<R> out(static_cast<std::size_t>(count));
   parallel_for(

@@ -13,47 +13,8 @@
 namespace dtm {
 namespace {
 
-Network random_topology(Rng& rng) {
-  switch (rng.uniform_int(0, 9)) {
-    case 0: return make_clique(static_cast<NodeId>(rng.uniform_int(2, 24)));
-    case 1: return make_line(static_cast<NodeId>(rng.uniform_int(2, 40)));
-    case 2: return make_ring(static_cast<NodeId>(rng.uniform_int(3, 30)));
-    case 3:
-      return make_grid({static_cast<NodeId>(rng.uniform_int(2, 6)),
-                        static_cast<NodeId>(rng.uniform_int(2, 6))});
-    case 4: return make_hypercube(static_cast<int>(rng.uniform_int(1, 5)));
-    case 5: return make_butterfly(static_cast<int>(rng.uniform_int(1, 3)));
-    case 6:
-      return make_star(static_cast<NodeId>(rng.uniform_int(1, 6)),
-                       static_cast<NodeId>(rng.uniform_int(1, 6)));
-    case 7: {
-      const auto beta = static_cast<NodeId>(rng.uniform_int(1, 5));
-      return make_cluster(static_cast<NodeId>(rng.uniform_int(1, 5)), beta,
-                          beta + rng.uniform_int(0, 6));
-    }
-    case 8:
-      return make_tree(static_cast<NodeId>(rng.uniform_int(2, 3)),
-                       static_cast<NodeId>(rng.uniform_int(1, 4)));
-    default: {
-      const auto n = static_cast<NodeId>(rng.uniform_int(2, 30));
-      return make_random_connected(n, rng.uniform_int(0, 2 * n), 4, rng);
-    }
-  }
-}
-
-SyntheticOptions random_workload(const Network& net, Rng& rng) {
-  SyntheticOptions w;
-  w.num_objects = static_cast<std::int32_t>(
-      rng.uniform_int(1, std::max<NodeId>(net.num_nodes(), 2)));
-  w.k = static_cast<std::int32_t>(
-      rng.uniform_int(1, std::min<std::int32_t>(3, w.num_objects)));
-  w.rounds = static_cast<std::int32_t>(rng.uniform_int(1, 3));
-  w.zipf_s = rng.bernoulli(0.5) ? rng.uniform01() * 1.5 : 0.0;
-  w.arrival_prob = rng.bernoulli(0.3) ? 0.2 : 0.0;
-  w.node_participation = rng.bernoulli(0.3) ? 0.5 : 1.0;
-  w.seed = rng();
-  return w;
-}
+using testing::random_topology;
+using testing::random_workload;
 
 class Fuzz : public ::testing::TestWithParam<int> {};
 

@@ -69,5 +69,80 @@ TEST(Routing, Deterministic) {
       EXPECT_EQ(a.next_hop(u, v), b.next_hop(u, v));
 }
 
+TEST(Routing, LazyCacheHitAndMiss) {
+  const Network net = make_grid({4, 4});
+  const RoutingTable rt(net.graph);
+  EXPECT_EQ(rt.cached_destinations(), 0u);  // nothing built up front
+  EXPECT_EQ(rt.memory_bytes(), 0u);
+  (void)rt.dist(0, 7);
+  EXPECT_EQ(rt.cache_stats().misses, 1);
+  EXPECT_EQ(rt.cache_stats().hits, 0);
+  EXPECT_EQ(rt.cached_destinations(), 1u);
+  (void)rt.dist(3, 7);       // same destination: resident table
+  (void)rt.next_hop(12, 7);  // any query keyed by destination 7
+  EXPECT_EQ(rt.cache_stats().misses, 1);
+  EXPECT_EQ(rt.cache_stats().hits, 2);
+  (void)rt.dist(0, 9);  // new destination
+  EXPECT_EQ(rt.cache_stats().misses, 2);
+  EXPECT_EQ(rt.cached_destinations(), 2u);
+  EXPECT_EQ(rt.memory_bytes(),
+            2u * 16u * (sizeof(NodeId) + sizeof(Weight)));
+}
+
+TEST(Routing, LazyCacheEvictsLeastRecentlyUsed) {
+  const Network net = make_line(8);
+  const RoutingTable rt(net.graph, /*max_cached_destinations=*/2);
+  (void)rt.dist(0, 1);
+  (void)rt.dist(0, 2);
+  (void)rt.dist(0, 1);  // 1 is now more recent than 2
+  (void)rt.dist(0, 3);  // evicts 2
+  EXPECT_EQ(rt.cache_stats().evictions, 1);
+  EXPECT_EQ(rt.cached_destinations(), 2u);
+  const auto misses_before = rt.cache_stats().misses;
+  (void)rt.dist(0, 1);  // survivor: still resident
+  EXPECT_EQ(rt.cache_stats().misses, misses_before);
+  (void)rt.dist(0, 2);  // evicted: recomputed
+  EXPECT_EQ(rt.cache_stats().misses, misses_before + 1);
+  EXPECT_EQ(rt.cache_stats().evictions, 2);
+}
+
+TEST(Routing, CorrectUnderEvictionThrash) {
+  // A capacity-1 cache recomputes constantly but must answer identically.
+  Rng rng(11);
+  const Network net = make_random_connected(20, 28, 5, rng);
+  const RoutingTable thrash(net.graph, 1);
+  const RoutingTable roomy(net.graph, 64);
+  for (NodeId u = 0; u < net.num_nodes(); ++u)
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      EXPECT_EQ(thrash.dist(u, v), net.dist(u, v));
+      EXPECT_EQ(thrash.next_hop(u, v), roomy.next_hop(u, v));
+    }
+  EXPECT_LE(thrash.cached_destinations(), 1u);
+}
+
+TEST(Routing, LazyTieBreaksMatchRegardlessOfQueryOrder) {
+  // Tables are built per destination on demand; the order destinations are
+  // first touched (and eviction churn) must not change any answer.
+  const Network net = make_hypercube(4);
+  const RoutingTable forward(net.graph, 3);
+  const RoutingTable backward(net.graph, 16);
+  for (NodeId v = 0; v < 16; ++v)
+    for (NodeId u = 0; u < 16; ++u)
+      (void)forward.next_hop(u, v);
+  for (NodeId v = 15; v >= 0; --v)
+    for (NodeId u = 15; u >= 0; --u)
+      (void)backward.next_hop(u, v);
+  for (NodeId u = 0; u < 16; ++u)
+    for (NodeId v = 0; v < 16; ++v)
+      EXPECT_EQ(forward.next_hop(u, v), backward.next_hop(u, v));
+}
+
+TEST(Routing, DisconnectedGraphRejectedAtConstruction) {
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(2, 3, 1);
+  EXPECT_THROW((void)RoutingTable(g), CheckError);
+}
+
 }  // namespace
 }  // namespace dtm
