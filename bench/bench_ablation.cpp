@@ -7,7 +7,10 @@
 #include "core/bucket_scheduler.hpp"
 #include "net/topology.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dtm::bench::bench_init(argc, argv, "bench_ablation",
+                              "F11 ablations: level rule, suffix wrapper, retries"))
+    return 0;
   using namespace dtm;
   using namespace dtm::bench;
 

@@ -11,6 +11,8 @@
 #include "sim/runner.hpp"
 #include "util/table.hpp"
 
+#include "bench_common.hpp"
+
 namespace {
 
 using namespace dtm;
@@ -25,7 +27,10 @@ RunResult run_one(const Network& net, const AdversaryOptions& aopts,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dtm::bench::bench_init(argc, argv, "bench_adversarial",
+                              "F10 adversarial arrival sequences"))
+    return 0;
   std::cout << "\n### F10 — adversarial arrivals: greedy vs bucket\n";
 
   const Network line = make_line(64);

@@ -15,7 +15,12 @@
 #include "sim/runner.hpp"
 #include "util/table.hpp"
 
-int main() {
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  if (!dtm::bench::bench_init(argc, argv, "bench_apps",
+                              "F15 application shapes: bank transfers, social feed"))
+    return 0;
   using namespace dtm;
 
   const Network net = make_cluster(4, 6, 8);  // 4 racks x 6 machines

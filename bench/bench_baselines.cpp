@@ -81,7 +81,10 @@ void offline_table(const Network& net, NodeId beta_hint) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dtm::bench::bench_init(argc, argv, "bench_baselines",
+                              "F5 baseline comparison: greedy vs fcfs vs tsp"))
+    return 0;
   using namespace dtm::bench;
 
   print_header("F5a", "offline batch: this paper's A vs TSP-tour (Zhang et "

@@ -12,7 +12,12 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  if (!dtm::bench::bench_init(argc, argv, "bench_bucket_latency",
+                              "F2 bucket mechanics: levels and latency vs Lemma 3/4"))
+    return 0;
   using namespace dtm;
 
   std::cout << "\n### F2 — Lemma 3 (levels) and Lemma 4 (latency budget)\n";

@@ -5,7 +5,10 @@
 #include "core/greedy_scheduler.hpp"
 #include "net/topology.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dtm::bench::bench_init(argc, argv, "bench_butterfly_grid",
+                              "T1.3 greedy bound on butterfly and log-n grid"))
+    return 0;
   using namespace dtm;
   using namespace dtm::bench;
 

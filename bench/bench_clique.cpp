@@ -8,7 +8,10 @@
 #include "core/greedy_scheduler.hpp"
 #include "net/topology.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dtm::bench::bench_init(argc, argv, "bench_clique",
+                              "T1.1 greedy O(k) competitiveness on the clique"))
+    return 0;
   using namespace dtm;
   using namespace dtm::bench;
 

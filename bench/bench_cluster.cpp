@@ -9,7 +9,10 @@
 #include "core/bucket_scheduler.hpp"
 #include "net/topology.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dtm::bench::bench_init(argc, argv, "bench_cluster",
+                              "T1.5 bucket conversion on the cluster topology"))
+    return 0;
   using namespace dtm;
   using namespace dtm::bench;
 

@@ -4,55 +4,71 @@
 // claims predict; EXPERIMENTS.md quotes them. Ratios are makespan divided
 // by a certified lower bound on the optimal makespan, so every printed
 // ratio UPPER-bounds the true competitive ratio.
+//
+// The multi-trial averaging itself lives in sim/trials.* (shared with the
+// test suite); this header adds the bench-wide CLI: every bench accepts
+// --help / --list / --seed / --trials, and the latter two override the
+// bench's built-in defaults in every run_trials call.
 #pragma once
 
-#include <functional>
 #include <iostream>
 #include <memory>
+#include <string>
 
-#include "core/scheduler.hpp"
-#include "sim/runner.hpp"
-#include "sim/workload.hpp"
-#include "util/stats.hpp"
+#include "sim/cli.hpp"
+#include "sim/trials.hpp"
 #include "util/table.hpp"
 
 namespace dtm::bench {
 
-struct CaseResult {
-  double ratio = 0.0;
-  double makespan = 0.0;
-  double mean_latency = 0.0;
-  double lb = 0.0;
-  std::int64_t txns = 0;
-  double windowed_ratio = 0.0;  ///< Definition-1 proxy (if window > 0)
+using CaseResult = TrialSummary;
+
+/// Process-wide overrides from the uniform CLI (set by bench_init).
+struct BenchCli {
+  std::uint64_t seed = 0;
+  bool seed_set = false;
+  std::int32_t trials = 0;
+  bool trials_set = false;
 };
+
+inline BenchCli& bench_cli() {
+  static BenchCli cli;
+  return cli;
+}
+
+/// Parses the uniform bench flags (plus any flags already registered on
+/// `cli`); returns false when the process should exit 0 (--help / --list
+/// were handled). Unknown flags throw.
+inline bool bench_init(Cli& cli, int argc, char** argv) {
+  if (!cli.parse(argc, argv)) return false;
+  bench_cli().seed_set = cli.seed_set();
+  bench_cli().seed = cli.seed(0);
+  bench_cli().trials_set = cli.trials_set();
+  bench_cli().trials = cli.trials(0);
+  return true;
+}
+
+inline bool bench_init(int argc, char** argv, const std::string& name,
+                       const std::string& what) {
+  Cli cli(name, what);
+  return bench_init(cli, argc, argv);
+}
 
 /// Runs `trials` independent seeds of (network, workload-options, scheduler
 /// factory) and averages the headline metrics. The scheduler factory is
-/// invoked per trial (schedulers are stateful).
+/// invoked per trial (schedulers are stateful). --seed / --trials from the
+/// bench CLI override the caller's values.
 inline CaseResult run_trials(
     const Network& net, SyntheticOptions wopts,
-    const std::function<std::unique_ptr<OnlineScheduler>()>& make_scheduler,
-    int trials = 3, std::int64_t latency_factor = 1, Time ratio_window = 0) {
-  OnlineStats ratio, mk, lat, lb, wr;
-  std::int64_t txns = 0;
-  for (int t = 0; t < trials; ++t) {
-    SyntheticOptions o = wopts;
-    o.seed = wopts.seed + static_cast<std::uint64_t>(t) * 7919;
-    SyntheticWorkload wl(net, o);
-    auto sched = make_scheduler();
-    RunOptions ropts;
-    ropts.engine.latency_factor = latency_factor;
-    ropts.ratio_window = ratio_window;
-    const RunResult r = run_experiment(net, wl, *sched, ropts);
-    ratio.add(r.ratio);
-    mk.add(static_cast<double>(r.makespan));
-    lat.add(r.latency.mean());
-    lb.add(static_cast<double>(r.lb.best()));
-    wr.add(r.windowed_ratio);
-    txns = r.num_txns;
-  }
-  return {ratio.mean(), mk.mean(), lat.mean(), lb.mean(), txns, wr.mean()};
+    const SchedulerFactory& make_scheduler, int trials = 3,
+    std::int64_t latency_factor = 1, Time ratio_window = 0) {
+  const BenchCli& cli = bench_cli();
+  if (cli.seed_set) wopts.seed = cli.seed;
+  TrialOptions topts;
+  topts.trials = cli.trials_set ? cli.trials : trials;
+  topts.latency_factor = latency_factor;
+  topts.ratio_window = ratio_window;
+  return dtm::run_seeded_trials(net, wopts, make_scheduler, topts);
 }
 
 inline void print_header(const std::string& id, const std::string& claim) {

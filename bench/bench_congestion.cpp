@@ -12,6 +12,8 @@
 #include "sim/runner.hpp"
 #include "util/table.hpp"
 
+#include "bench_common.hpp"
+
 namespace {
 
 using namespace dtm;
@@ -33,7 +35,10 @@ std::pair<std::vector<ScheduledTxn>, std::vector<ObjectOrigin>> capture(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dtm::bench::bench_init(argc, argv, "bench_congestion",
+                              "F8 bounded link capacity replay"))
+    return 0;
   std::cout << "\n### F8 — congestion stretch under bounded link capacity\n";
 
   struct Case {

@@ -7,7 +7,10 @@
 #include "core/greedy_scheduler.hpp"
 #include "net/topology.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dtm::bench::bench_init(argc, argv, "bench_crossover",
+                              "F3 greedy vs bucket crossover by diameter"))
+    return 0;
   using namespace dtm;
   using namespace dtm::bench;
 

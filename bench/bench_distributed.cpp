@@ -12,7 +12,10 @@
 #include "dist/dist_bucket.hpp"
 #include "net/topology.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dtm::bench::bench_init(argc, argv, "bench_distributed",
+                              "F4 price of decentralization (Algorithm 3)"))
+    return 0;
   using namespace dtm;
   using namespace dtm::bench;
 

@@ -26,6 +26,7 @@
 #include "core/greedy_scheduler.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
+#include "sim/cli.hpp"
 #include "sim/engine.hpp"
 #include "sim/workload.hpp"
 
@@ -97,14 +98,9 @@ ModeResult run_mode(const Network& net, std::int64_t num_txns,
     ++steps;
     if (wl.finished() && engine.all_done()) break;
     const Time now = engine.now();
-    Time next = kNoTime;
-    auto consider = [&next](Time t) {
-      if (t == kNoTime) return;
-      next = next == kNoTime ? t : std::min(next, t);
-    };
-    consider(wl.next_arrival_time());
-    consider(engine.next_exec_due());
-    consider(sched.next_event_hint(now));
+    const Time next = engine.clock().next_event(
+        {wl.next_arrival_time(), engine.next_exec_due(),
+         sched.next_event_hint(now)});
     DTM_CHECK(next != kNoTime, "bench deadlock at step " << now);
     if (next > now) engine.advance_to(next);
   }
@@ -173,14 +169,12 @@ RoutingResult routing_case(NodeId n, std::size_t touched) {
 int main(int argc, char** argv) {
   bool quick = false;
   std::string out = "BENCH_fastpath.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
-    else {
-      std::cerr << "usage: bench_fastpath [--quick] [--out <path>]\n";
-      return 2;
-    }
-  }
+  Cli cli("bench_fastpath",
+          "calendar vs full-scan engine throughput; lazy routing cost");
+  cli.add_flag("quick", "smaller sizes for CI smoke runs", &quick);
+  cli.add_value("out", "JSON output path (default BENCH_fastpath.json)",
+                &out);
+  if (!cli.parse(argc, argv)) return 0;
 
   const std::int64_t txns = quick ? 2000 : 10000;
   const std::int64_t per_step = 2;

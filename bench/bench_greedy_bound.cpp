@@ -12,6 +12,8 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
+#include "bench_common.hpp"
+
 namespace {
 
 struct BoundStats {
@@ -46,7 +48,10 @@ BoundStats measure(const dtm::Network& net, dtm::GreedyOptions gopts,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dtm::bench::bench_init(argc, argv, "bench_greedy_bound",
+                              "F1 per-transaction bound tightness (Theorems 1-2)"))
+    return 0;
   using namespace dtm;
 
   std::cout << "\n### F1 — Theorem 1/2 per-transaction bound tightness\n";

@@ -9,7 +9,10 @@
 #include "core/greedy_scheduler.hpp"
 #include "net/topology.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dtm::bench::bench_init(argc, argv, "bench_hypercube",
+                              "T1.2 uniform-mode greedy on the hypercube"))
+    return 0;
   using namespace dtm;
   using namespace dtm::bench;
 

@@ -18,7 +18,10 @@ double cube_log2(double n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dtm::bench::bench_init(argc, argv, "bench_line",
+                              "T1.4 bucket conversion on the line"))
+    return 0;
   using namespace dtm;
   using namespace dtm::bench;
 

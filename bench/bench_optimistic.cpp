@@ -11,7 +11,12 @@
 #include "sim/runner.hpp"
 #include "util/table.hpp"
 
-int main() {
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  if (!dtm::bench::bench_init(argc, argv, "bench_optimistic",
+                              "F14 scheduled vs optimistic execution"))
+    return 0;
   using namespace dtm;
 
   std::cout << "\n### F14 — scheduled vs optimistic execution under rising "

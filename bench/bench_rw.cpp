@@ -10,7 +10,10 @@
 #include "core/rw.hpp"
 #include "net/topology.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dtm::bench::bench_init(argc, argv, "bench_rw",
+                              "F9 read-write extension vs exclusive conflicts"))
+    return 0;
   using namespace dtm;
   using namespace dtm::bench;
 

@@ -12,6 +12,8 @@
 #include "util/parallel.hpp"
 #include "util/table.hpp"
 
+#include "bench_common.hpp"
+
 namespace {
 
 using namespace dtm;
@@ -35,7 +37,10 @@ double run_timed(const Network& net, std::uint64_t seed, RunResult* out) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dtm::bench::bench_init(argc, argv, "bench_scale",
+                              "F12 simulation scalability and parallel sweeps"))
+    return 0;
   std::cout << "\n### F12 — end-to-end scalability (greedy, validated runs)\n";
   Table t({"network", "n", "txns", "makespan", "ratio", "wall_ms",
            "us/txn"});

@@ -12,6 +12,8 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
+#include "bench_common.hpp"
+
 namespace {
 
 using namespace dtm;
@@ -49,7 +51,10 @@ SoakResult soak(const Network& net, OnlineScheduler& sched,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dtm::bench::bench_init(argc, argv, "bench_soak",
+                              "F13 steady-state soak stream"))
+    return 0;
   std::cout << "\n### F13 — steady-state soak (validated, latency "
                "percentiles)\n";
   const Network net = make_grid({12, 12});  // 144 nodes

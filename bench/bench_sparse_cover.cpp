@@ -8,7 +8,12 @@
 #include "net/topology.hpp"
 #include "util/table.hpp"
 
-int main() {
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  if (!dtm::bench::bench_init(argc, argv, "bench_sparse_cover",
+                              "F7 sparse-cover quality"))
+    return 0;
   using namespace dtm;
 
   std::cout << "\n### F7 — sparse-cover statistics across topologies\n";

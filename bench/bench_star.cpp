@@ -8,7 +8,10 @@
 #include "core/bucket_scheduler.hpp"
 #include "net/topology.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dtm::bench::bench_init(argc, argv, "bench_star",
+                              "T1.6 bucket conversion on the star topology"))
+    return 0;
   using namespace dtm;
   using namespace dtm::bench;
 

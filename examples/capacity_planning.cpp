@@ -10,17 +10,24 @@
 //   $ ./example_capacity_planning
 #include <iostream>
 
-#include "core/greedy_scheduler.hpp"
 #include "core/rw.hpp"
 #include "net/routing.hpp"
+#include "sim/cli.hpp"
 #include "sim/congestion.hpp"
+#include "sim/registry.hpp"
 #include "sim/runner.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dtm;
 
-  const Network net = make_tree(2, 5);  // a 63-node fat-tree-ish fabric
+  Cli cli("capacity_planning",
+          "link-capacity stretch and read-sharing on a tree fabric");
+  if (!cli.parse(argc, argv)) return 0;
+
+  // A 63-node fat-tree-ish fabric.
+  const Network net =
+      Registry::make_network(parse_spec("tree:branching=2,depth=5"));
   const RoutingTable routes(net.graph);
 
   SyntheticOptions wopts;
@@ -29,11 +36,14 @@ int main() {
   wopts.rounds = 3;
   wopts.zipf_s = 0.9;
   wopts.write_fraction = 0.4;
-  wopts.seed = 404;
+  wopts.seed = cli.seed(404);
 
   // Step 1: schedule online (greedy) and capture the committed schedule.
+  // This example deliberately drives the engine directly — the lowest-level
+  // way to use the library; everything else goes through run_experiment.
   SyntheticWorkload wl(net, wopts);
-  GreedyScheduler sched;
+  auto sched_owner = Registry::make_scheduler(parse_spec("greedy"), net);
+  OnlineScheduler& sched = *sched_owner;
   SyncEngine eng(net.oracle, wl.objects(), {});
   while (!(wl.finished() && eng.all_done())) {
     const auto arrivals = wl.arrivals_at(eng.now());

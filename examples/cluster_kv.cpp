@@ -12,32 +12,34 @@
 //   $ ./example_cluster_kv
 #include <iostream>
 
-#include "core/bucket_scheduler.hpp"
 #include "net/topology.hpp"
+#include "sim/cli.hpp"
+#include "sim/registry.hpp"
 #include "sim/runner.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dtm;
 
-  const NodeId alpha = 4;   // racks
-  const NodeId beta = 6;    // machines per rack
+  Cli cli("cluster_kv",
+          "rack-scale datastore over the cluster topology (bucket[cluster])");
+  if (!cli.parse(argc, argv)) return 0;
+
   Table table({"gamma", "txns", "makespan", "mean_latency", "LB", "ratio"});
 
   for (const Weight gamma : {6, 12, 24, 48}) {
-    const Network net = make_cluster(alpha, beta, gamma);
+    // 4 racks of 6 machines; the registry hands the cluster batch algorithm
+    // its beta through the network's build parameters (algo=auto).
+    const Network net = Registry::make_network(
+        parse_spec("cluster:alpha=4,beta=6,gamma=" + std::to_string(gamma)));
 
-    SyntheticOptions wopts;
-    wopts.num_objects = 48;  // records
-    wopts.k = 3;             // multi-key transactions
-    wopts.rounds = 3;
-    wopts.zipf_s = 0.8;
-    wopts.seed = 7 + static_cast<std::uint64_t>(gamma);
-    SyntheticWorkload wl(net, wopts);
+    Spec wspec = parse_spec("synthetic:objects=48,k=3,rounds=3,zipf=0.8");
+    const std::uint64_t seed =
+        cli.seed(7 + static_cast<std::uint64_t>(gamma));
+    auto wl = Registry::make_workload(wspec, net, seed);
 
-    BucketScheduler sched{
-        std::shared_ptr<const BatchScheduler>(make_cluster_batch(beta))};
-    const RunResult r = run_experiment(net, wl, sched);
+    auto sched = Registry::make_scheduler(parse_spec("bucket"), net);
+    const RunResult r = run_experiment(net, *wl, *sched);
     table.row()
         .add(gamma)
         .add(r.num_txns)

@@ -1,204 +1,135 @@
-// dtm_sim — command-line experiment runner.
+// dtm_sim — command-line experiment runner over RunSpecs.
 //
 // Runs one (topology, scheduler, workload) configuration end-to-end with
 // full validation and prints the metrics table; the quickest way to poke
-// at the library without writing code.
+// at the library without writing code. Every component is named through
+// the registry, so anything registered there is reachable from here.
 //
-//   $ ./example_dtm_sim --topology line --n 128 --scheduler bucket
-//         (continued) --objects 64 --k 2 --rounds 3 --seed 7
-//   $ ./example_dtm_sim --help
-#include <cstring>
+//   $ ./example_dtm_sim --topology line:n=128 --scheduler bucket
+//         --workload synthetic:objects=64,k=2,rounds=3 --seed 7   (one line)
+//   $ ./example_dtm_sim --spec run.json --trials 5
+//   $ ./example_dtm_sim --dump-spec            # print the resolved spec
+//   $ ./example_dtm_sim --list                 # what can be named
+#include <fstream>
 #include <iostream>
-#include <map>
+#include <sstream>
 #include <string>
 
-#include "core/bucket_scheduler.hpp"
-#include "core/greedy_scheduler.hpp"
-#include "dist/dist_bucket.hpp"
-#include "net/topology.hpp"
+#include "sim/cli.hpp"
 #include "sim/io.hpp"
+#include "sim/registry.hpp"
 #include "sim/runner.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace dtm;
 
-struct Args {
-  std::string topology = "clique";
-  NodeId n = 32;
-  NodeId alpha = 4;   // star/cluster rays / cliques
-  NodeId beta = 4;    // star/cluster size per unit
-  Weight gamma = 8;   // cluster bridge latency
-  std::string scheduler = "greedy";
-  std::int32_t objects = 0;
-  std::int32_t k = 2;
-  std::int32_t rounds = 2;
-  double zipf = 0.0;
-  double write_fraction = 1.0;
-  std::uint64_t seed = 1;
-  Time window = 0;
-  bool csv = false;
-  std::string save_instance;  // write the generated instance here
-  std::string save_schedule;  // write the committed schedule here
-};
-
-void usage() {
-  std::cout <<
-      "dtm_sim — run one DTM scheduling experiment\n\n"
-      "  --topology  clique|line|ring|grid|hypercube|butterfly|star|\n"
-      "              cluster|torus|tree   (default clique)\n"
-      "  --n         node budget; topology-specific rounding (default 32)\n"
-      "  --alpha     rays / cliques for star & cluster (default 4)\n"
-      "  --beta      ray length / clique size (default 4)\n"
-      "  --gamma     cluster bridge latency (default 8)\n"
-      "  --scheduler greedy|greedy-uniform|bucket|dist (default greedy)\n"
-      "  --objects   number of shared objects (default: n)\n"
-      "  --k         objects per transaction (default 2)\n"
-      "  --rounds    closed-loop rounds per node (default 2)\n"
-      "  --zipf      object popularity skew (default 0 = uniform)\n"
-      "  --write-frac fraction of accesses that write (default 1.0; the\n"
-      "              base model's conflicts ignore modes)\n"
-      "  --seed      RNG seed (default 1)\n"
-      "  --window    Definition-1 ratio window, 0 = off (default 0)\n"
-      "  --csv       emit CSV instead of an aligned table\n"
-      "  --save-instance FILE  dump the generated instance (dtm-instance v1)\n"
-      "  --save-schedule FILE  dump the committed schedule (dtm-schedule v1)\n";
-}
-
-Network build_network(const Args& a) {
-  if (a.topology == "clique") return make_clique(a.n);
-  if (a.topology == "line") return make_line(a.n);
-  if (a.topology == "ring") return make_ring(std::max<NodeId>(a.n, 3));
-  if (a.topology == "grid") {
-    NodeId side = 2;
-    while ((side + 1) * (side + 1) <= a.n) ++side;
-    return make_grid({side, side});
-  }
-  if (a.topology == "hypercube") {
-    int d = 1;
-    while ((NodeId{1} << (d + 1)) <= a.n) ++d;
-    return make_hypercube(d);
-  }
-  if (a.topology == "butterfly") {
-    int d = 1;
-    while ((d + 2) * (NodeId{1} << (d + 1)) <= a.n) ++d;
-    return make_butterfly(d);
-  }
-  if (a.topology == "star") return make_star(a.alpha, a.beta);
-  if (a.topology == "cluster") return make_cluster(a.alpha, a.beta, a.gamma);
-  if (a.topology == "torus") {
-    NodeId side = 2;
-    while ((side + 1) * (side + 1) <= a.n) ++side;
-    return make_torus({side, side});
-  }
-  if (a.topology == "tree") {
-    NodeId depth = 1;
-    while (((NodeId{1} << (depth + 2)) - 1) <= a.n) ++depth;
-    return make_tree(2, depth);
-  }
-  throw CheckError("unknown topology: " + a.topology);
-}
-
-std::shared_ptr<const BatchScheduler> pick_batch_algo(const Args& a,
-                                                      const Network& net) {
-  switch (net.kind) {
-    case TopologyKind::kLine:
-      return std::shared_ptr<const BatchScheduler>(make_line_batch());
-    case TopologyKind::kCluster:
-      return std::shared_ptr<const BatchScheduler>(
-          make_cluster_batch(a.beta));
-    case TopologyKind::kStar:
-      return std::shared_ptr<const BatchScheduler>(make_star_batch(a.beta));
-    case TopologyKind::kHypercube:
-      return std::shared_ptr<const BatchScheduler>(
-          make_hypercube_gray_batch());
-    default:
-      return std::shared_ptr<const BatchScheduler>(make_coloring_batch());
-  }
+Json load_json_file(const std::string& path) {
+  std::ifstream f(path);
+  DTM_REQUIRE(f.good(), "cannot open spec file '" << path << "'");
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return Json::parse(buf.str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args a;
-  std::map<std::string, std::string> kv;
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    if (flag == "--help" || flag == "-h") {
-      usage();
+  std::string topology, workload, scheduler, mode, lf, window, spec_file;
+  std::string save_instance, save_schedule;
+  bool csv = false, dump_spec = false;
+
+  Cli cli("dtm_sim", "run one DTM scheduling experiment from a RunSpec");
+  cli.add_value("spec", "JSON RunSpec file (flags below override it)",
+                &spec_file);
+  cli.add_value("topology", "topology spec, e.g. cluster:alpha=3,beta=4,gamma=8",
+                &topology);
+  cli.add_value("scheduler", "scheduler spec, e.g. bucket:algo=cluster",
+                &scheduler);
+  cli.add_value("workload", "workload spec, e.g. synthetic:objects=64,k=2",
+                &workload);
+  cli.add_value("mode", "engine mode: scan | calendar | verify", &mode);
+  cli.add_value("lf", "latency factor (steps per unit distance)", &lf);
+  cli.add_value("window", "Definition-1 ratio window, 0 = off", &window);
+  cli.add_flag("dump-spec", "print the resolved RunSpec as JSON and exit",
+               &dump_spec);
+  cli.add_flag("csv", "emit CSV instead of an aligned table", &csv);
+  cli.add_value("save-instance", "dump the generated instance (dtm-instance v1)",
+                &save_instance);
+  cli.add_value("save-schedule", "dump the committed schedule (dtm-schedule v1)",
+                &save_schedule);
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    RunSpec spec;
+    if (!spec_file.empty()) spec = RunSpec::from_json(load_json_file(spec_file));
+    if (!topology.empty()) spec.topology = parse_spec(topology);
+    if (!scheduler.empty()) spec.scheduler = parse_spec(scheduler);
+    if (!workload.empty()) spec.workload = parse_spec(workload);
+    if (!mode.empty()) spec.mode = mode;
+    if (!lf.empty()) spec.latency_factor = std::stoll(lf);
+    if (!window.empty()) spec.ratio_window = std::stoll(window);
+    spec.seed = cli.seed(spec.seed);
+    spec.trials = cli.trials(spec.trials);
+    // §V half-speed objects: the distributed protocol's probe-catching
+    // argument needs latency factor >= 2.
+    if (spec.scheduler.kind == "dist-bucket" && spec.latency_factor < 2)
+      spec.latency_factor = 2;
+    (void)spec.engine_mode();  // validate eagerly, before any run
+
+    if (dump_spec) {
+      std::cout << spec.to_json().dump(2) << "\n";
       return 0;
     }
-    if (flag == "--csv") {
-      a.csv = true;
-      continue;
+
+    if (spec.trials > 1) {
+      DTM_REQUIRE(save_instance.empty() && save_schedule.empty(),
+                  "--save-instance/--save-schedule need a single run "
+                  "(--trials 1)");
+      const TrialSummary s = run_spec_trials(spec);
+      Table t({"network", "scheduler", "trials", "txns", "makespan",
+               "mean_latency", "LB", "ratio", "windowed_ratio"});
+      t.row()
+          .add(to_string(spec.topology))
+          .add(to_string(spec.scheduler))
+          .add(spec.trials)
+          .add(s.txns)
+          .add(s.makespan)
+          .add(s.mean_latency)
+          .add(s.lb)
+          .add(s.ratio)
+          .add(s.windowed_ratio);
+      if (csv)
+        t.print_csv(std::cout);
+      else
+        t.print(std::cout, "dtm_sim (averaged)");
+      return 0;
     }
-    if (i + 1 >= argc || flag.rfind("--", 0) != 0) {
-      std::cerr << "bad argument: " << flag << "\n";
-      usage();
-      return 2;
-    }
-    kv[flag.substr(2)] = argv[++i];
-  }
-  try {
-    if (kv.count("topology")) a.topology = kv["topology"];
-    if (kv.count("n")) a.n = static_cast<NodeId>(std::stol(kv["n"]));
-    if (kv.count("alpha")) a.alpha = static_cast<NodeId>(std::stol(kv["alpha"]));
-    if (kv.count("beta")) a.beta = static_cast<NodeId>(std::stol(kv["beta"]));
-    if (kv.count("gamma")) a.gamma = std::stol(kv["gamma"]);
-    if (kv.count("scheduler")) a.scheduler = kv["scheduler"];
-    if (kv.count("objects")) a.objects = std::stoi(kv["objects"]);
-    if (kv.count("k")) a.k = std::stoi(kv["k"]);
-    if (kv.count("rounds")) a.rounds = std::stoi(kv["rounds"]);
-    if (kv.count("zipf")) a.zipf = std::stod(kv["zipf"]);
-    if (kv.count("write-frac")) a.write_fraction = std::stod(kv["write-frac"]);
-    if (kv.count("seed")) a.seed = std::stoull(kv["seed"]);
-    if (kv.count("window")) a.window = std::stol(kv["window"]);
-    if (kv.count("save-instance")) a.save_instance = kv["save-instance"];
-    if (kv.count("save-schedule")) a.save_schedule = kv["save-schedule"];
 
-    const Network net = build_network(a);
-
-    SyntheticOptions w;
-    w.num_objects = a.objects;
-    w.k = a.k;
-    w.rounds = a.rounds;
-    w.zipf_s = a.zipf;
-    w.write_fraction = a.write_fraction;
-    w.seed = a.seed;
-    SyntheticWorkload wl(net, w);
-
-    std::unique_ptr<OnlineScheduler> sched;
+    // Single validated run; keep the schedule for the save-* artifacts.
+    const Network net = Registry::make_network(spec.topology);
+    auto wl = Registry::make_workload(spec.workload, net, spec.seed);
+    auto sched = Registry::make_scheduler(spec.scheduler, net);
     RunOptions ropts;
-    ropts.ratio_window = a.window;
-    if (a.scheduler == "greedy") {
-      sched = std::make_unique<GreedyScheduler>();
-    } else if (a.scheduler == "greedy-uniform") {
-      GreedyOptions g;
-      g.uniform_beta = std::max<Weight>(net.diameter(), 1);
-      sched = std::make_unique<GreedyScheduler>(g);
-    } else if (a.scheduler == "bucket") {
-      sched = std::make_unique<BucketScheduler>(pick_batch_algo(a, net));
-    } else if (a.scheduler == "dist") {
-      ropts.engine.latency_factor = 2;  // §V half-speed objects
-      sched = std::make_unique<DistributedBucketScheduler>(
-          net, pick_batch_algo(a, net));
-    } else {
-      std::cerr << "unknown scheduler: " << a.scheduler << "\n";
-      return 2;
-    }
+    ropts.engine.mode = spec.engine_mode();
+    ropts.engine.latency_factor = spec.latency_factor;
+    ropts.ratio_window = spec.ratio_window;
+    ropts.validate = spec.validate;
+    const RunResult r = run_experiment(net, *wl, *sched, ropts);
 
-    const RunResult r = run_experiment(net, wl, *sched, ropts);
-    if (!a.save_instance.empty()) {
+    if (!save_instance.empty()) {
       Instance inst;
       inst.origins = r.origins;
-      inst.txns = wl.generated();
-      save_instance_file(a.save_instance, inst);
-      std::cerr << "instance written to " << a.save_instance << "\n";
+      inst.txns = wl->generated();
+      save_instance_file(save_instance, inst);
+      std::cerr << "instance written to " << save_instance << "\n";
     }
-    if (!a.save_schedule.empty()) {
-      save_schedule_file(a.save_schedule, r.committed);
-      std::cerr << "schedule written to " << a.save_schedule << "\n";
+    if (!save_schedule.empty()) {
+      save_schedule_file(save_schedule, r.committed);
+      std::cerr << "schedule written to " << save_schedule << "\n";
     }
     Table t({"network", "scheduler", "txns", "makespan", "mean_latency",
              "max_latency", "LB", "ratio", "windowed_ratio"});
@@ -212,7 +143,7 @@ int main(int argc, char** argv) {
         .add(r.lb.best())
         .add(r.ratio)
         .add(r.windowed_ratio);
-    if (a.csv)
+    if (csv)
       t.print_csv(std::cout);
     else
       t.print(std::cout, "dtm_sim");

@@ -10,47 +10,34 @@
 //   $ ./example_noc_grid
 #include <iostream>
 
-#include "core/bucket_scheduler.hpp"
-#include "core/greedy_scheduler.hpp"
 #include "net/topology.hpp"
 #include "sim/analysis.hpp"
+#include "sim/cli.hpp"
+#include "sim/registry.hpp"
 #include "sim/runner.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dtm;
 
-  const std::vector<NodeId> extents{8, 8};
-  const Network net = make_grid(extents);
+  Cli cli("noc_grid", "8x8 NoC mesh: direct greedy vs bucket[grid-snake]");
+  if (!cli.parse(argc, argv)) return 0;
 
-  SyntheticOptions wopts;
-  wopts.num_objects = 96;  // cache lines
-  wopts.k = 2;
-  wopts.zipf_s = 1.0;      // hot lines
-  wopts.rounds = 4;        // closed loop: commit -> next request
-  wopts.seed = 2026;
+  const Network net = Registry::make_network(parse_spec("grid:dims=8x8"));
+
+  const Spec wspec =
+      parse_spec("synthetic:objects=96,k=2,zipf=1.0,rounds=4");
+  const std::uint64_t seed = cli.seed(2026);
 
   Table table({"scheduler", "txns", "makespan", "mean_latency", "p_max",
                "LB", "ratio"});
 
-  {
-    SyntheticWorkload wl(net, wopts);
-    GreedyScheduler sched;
-    const RunResult r = run_experiment(net, wl, sched);
-    table.row()
-        .add(r.scheduler)
-        .add(r.num_txns)
-        .add(r.makespan)
-        .add(r.latency.mean())
-        .add(r.latency.max())
-        .add(r.lb.best())
-        .add(r.ratio);
-  }
-  {
-    SyntheticWorkload wl(net, wopts);
-    BucketScheduler sched{std::shared_ptr<const BatchScheduler>(
-        make_grid_snake_batch(extents))};
-    const RunResult r = run_experiment(net, wl, sched);
+  // The registry resolves bucket's algo=auto to the snake-order batch
+  // scheduler on a grid network.
+  for (const char* sched_spec : {"greedy", "bucket"}) {
+    auto wl = Registry::make_workload(wspec, net, seed);
+    auto sched = Registry::make_scheduler(parse_spec(sched_spec), net);
+    const RunResult r = run_experiment(net, *wl, *sched);
     table.row()
         .add(r.scheduler)
         .add(r.num_txns)
@@ -67,9 +54,9 @@ int main() {
 
   // What the greedy run did to the fabric, in aggregate.
   {
-    SyntheticWorkload wl(net, wopts);
-    GreedyScheduler sched;
-    const RunResult r = run_experiment(net, wl, sched);
+    auto wl = Registry::make_workload(wspec, net, seed);
+    auto sched = Registry::make_scheduler(parse_spec("greedy"), net);
+    const RunResult r = run_experiment(net, *wl, *sched);
     std::cout << "\n-- greedy run, fabric-level view --\n"
               << to_string(analyze_run(r.committed, r.origins, *net.oracle));
   }

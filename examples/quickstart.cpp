@@ -7,17 +7,23 @@
 //   $ ./example_quickstart
 #include <iostream>
 
-#include "core/greedy_scheduler.hpp"
 #include "net/topology.hpp"
+#include "sim/cli.hpp"
 #include "sim/gantt.hpp"
+#include "sim/registry.hpp"
 #include "sim/runner.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dtm;
 
-  // 1. A communication network: 8 nodes, all pairs one hop apart.
-  const Network net = make_clique(8);
+  Cli cli("quickstart", "smallest end-to-end use of the library");
+  if (!cli.parse(argc, argv)) return 0;
+
+  // 1. A communication network: 8 nodes, all pairs one hop apart. Every
+  //    component is registry-constructed by name — the same factories the
+  //    benches and the dtm_sim CLI use.
+  const Network net = Registry::make_network(parse_spec("clique:n=8"));
 
   // 2. Shared objects: two objects born at nodes 0 and 4.
   std::vector<ObjectOrigin> origins{{0, 0, 0}, {1, 4, 0}};
@@ -37,8 +43,8 @@ int main() {
 
   // 4. Schedule online and execute. run_experiment validates the schedule
   //    both during execution (object presence at every commit) and post hoc.
-  GreedyScheduler scheduler;
-  const RunResult result = run_experiment(net, workload, scheduler);
+  const auto scheduler = Registry::make_scheduler(parse_spec("greedy"), net);
+  const RunResult result = run_experiment(net, workload, *scheduler);
 
   // 5. Report.
   std::cout << "network:    " << result.network << "\n"

@@ -1,0 +1,21 @@
+// EventSource — anything with pending timed events that must wake the
+// runner: a message bus with undelivered messages, an async transport with
+// in-flight motion, a scheduler-internal timer. The EventClock
+// (sim/clock.hpp) merges all registered sources into the single "when can
+// anything next happen?" answer that drives idle-stretch fast-forwarding.
+#pragma once
+
+#include "core/types.hpp"
+
+namespace dtm {
+
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+
+  /// Earliest pending event time, kNoTime if none. Times in the past mean
+  /// "wake immediately".
+  [[nodiscard]] virtual Time next_event_time() const = 0;
+};
+
+}  // namespace dtm

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/event_source.hpp"
 #include "core/object_state.hpp"
 #include "core/types.hpp"
 #include "net/graph.hpp"
@@ -74,10 +75,19 @@ class OnlineScheduler {
       const SystemView& view, std::span<const Transaction> arrivals) = 0;
 
   /// Earliest future step at which the scheduler must run even without new
-  /// arrivals (bucket activations, message deliveries). kNoTime = none; the
+  /// arrivals (bucket activations, pending reports). kNoTime = none; the
   /// engine may then skip idle steps.
   [[nodiscard]] virtual Time next_event_hint(Time /*now*/) const {
     return kNoTime;
+  }
+
+  /// Additional timed event sources the runner's EventClock must merge
+  /// (e.g. the distributed protocol's MessageBus) — so schedulers don't
+  /// special-case delivery times inside next_event_hint. Pointers must stay
+  /// valid for the scheduler's lifetime.
+  [[nodiscard]] virtual std::vector<const EventSource*> event_sources()
+      const {
+    return {};
   }
 
   [[nodiscard]] virtual std::string name() const = 0;

@@ -11,6 +11,7 @@
 #include <variant>
 #include <vector>
 
+#include "core/event_source.hpp"
 #include "core/types.hpp"
 #include "net/graph.hpp"
 
@@ -57,7 +58,7 @@ struct Message {
   Payload payload;
 };
 
-class MessageBus {
+class MessageBus final : public EventSource {
  public:
   explicit MessageBus(const DistanceOracle& oracle) : oracle_(&oracle) {}
 
@@ -69,6 +70,11 @@ class MessageBus {
 
   /// Earliest pending delivery, kNoTime if none.
   [[nodiscard]] Time next_delivery() const;
+
+  /// EventSource: pending deliveries are runner wake-ups.
+  [[nodiscard]] Time next_event_time() const override {
+    return next_delivery();
+  }
 
   [[nodiscard]] std::int64_t messages_sent() const { return sent_; }
   [[nodiscard]] std::int64_t total_distance() const { return distance_; }

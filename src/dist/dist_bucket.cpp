@@ -329,12 +329,9 @@ void DistributedBucketScheduler::activate(const SystemView& view,
 }
 
 Time DistributedBucketScheduler::next_event_hint(Time now) const {
+  // Bus deliveries are NOT merged here: the bus is exposed through
+  // event_sources() and the runner's EventClock does the merging.
   Time next = reports_.empty() ? kNoTime : std::max(reports_.top().when, now);
-  const Time bus_next = bus_.next_delivery();
-  if (bus_next != kNoTime) {
-    const Time fire = std::max(bus_next, now);
-    next = next == kNoTime ? fire : std::min(next, fire);
-  }
   for (const auto& [key, members] : partial_buckets_) {
     if (members.empty()) continue;
     const Time period =

@@ -78,6 +78,13 @@ class DistributedBucketScheduler final : public OnlineScheduler {
 
   [[nodiscard]] Time next_event_hint(Time now) const override;
 
+  /// The protocol's message bus: delivery times wake the runner through
+  /// the EventClock's source merging instead of next_event_hint.
+  [[nodiscard]] std::vector<const EventSource*> event_sources()
+      const override {
+    return {&bus_};
+  }
+
   [[nodiscard]] std::string name() const override {
     return "dist-bucket[" + algo_->name() + "]";
   }

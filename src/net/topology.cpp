@@ -88,7 +88,7 @@ Network make_clique(NodeId n) {
       n, n > 1 ? 1 : 0,
       [](NodeId u, NodeId v) -> Weight { return u == v ? 0 : 1; });
   return {TopologyKind::kClique, "clique(n=" + std::to_string(n) + ")",
-          std::move(g), std::move(oracle)};
+          std::move(g), std::move(oracle), {{"n", std::to_string(n)}}};
 }
 
 Network make_line(NodeId n) {
@@ -99,7 +99,7 @@ Network make_line(NodeId n) {
       n, static_cast<Weight>(n - 1),
       [](NodeId u, NodeId v) -> Weight { return std::abs(u - v); });
   return {TopologyKind::kLine, "line(n=" + std::to_string(n) + ")",
-          std::move(g), std::move(oracle)};
+          std::move(g), std::move(oracle), {{"n", std::to_string(n)}}};
 }
 
 Network make_ring(NodeId n) {
@@ -112,7 +112,7 @@ Network make_ring(NodeId n) {
         return std::min<Weight>(d, n - d);
       });
   return {TopologyKind::kRing, "ring(n=" + std::to_string(n) + ")",
-          std::move(g), std::move(oracle)};
+          std::move(g), std::move(oracle), {{"n", std::to_string(n)}}};
 }
 
 Network make_grid(const std::vector<NodeId>& extents) {
@@ -139,12 +139,12 @@ Network make_grid(const std::vector<NodeId>& extents) {
         }
         return d;
       });
-  std::string name = "grid(";
+  std::string dims;
   for (std::size_t i = 0; i < extents.size(); ++i)
-    name += (i ? "x" : "") + std::to_string(extents[i]);
-  name += ")";
+    dims += (i ? "x" : "") + std::to_string(extents[i]);
+  std::string name = "grid(" + dims + ")";
   return {TopologyKind::kGrid, std::move(name), std::move(g),
-          std::move(oracle)};
+          std::move(oracle), {{"dims", std::move(dims)}}};
 }
 
 Network make_torus(const std::vector<NodeId>& extents) {
@@ -179,12 +179,12 @@ Network make_torus(const std::vector<NodeId>& extents) {
         }
         return d;
       });
-  std::string name = "torus(";
+  std::string dims;
   for (std::size_t i = 0; i < extents.size(); ++i)
-    name += (i ? "x" : "") + std::to_string(extents[i]);
-  name += ")";
+    dims += (i ? "x" : "") + std::to_string(extents[i]);
+  std::string name = "torus(" + dims + ")";
   return {TopologyKind::kTorus, std::move(name), std::move(g),
-          std::move(oracle)};
+          std::move(oracle), {{"dims", std::move(dims)}}};
 }
 
 Network make_hypercube(int d) {
@@ -199,7 +199,7 @@ Network make_hypercube(int d) {
         return std::popcount(static_cast<std::uint32_t>(u ^ v));
       });
   return {TopologyKind::kHypercube, "hypercube(d=" + std::to_string(d) + ")",
-          std::move(g), std::move(oracle)};
+          std::move(g), std::move(oracle), {{"d", std::to_string(d)}}};
 }
 
 Network make_butterfly(int d) {
@@ -216,7 +216,7 @@ Network make_butterfly(int d) {
   }
   auto oracle = std::make_shared<ApspOracle>(g);
   return {TopologyKind::kButterfly, "butterfly(d=" + std::to_string(d) + ")",
-          std::move(g), oracle};
+          std::move(g), oracle, {{"d", std::to_string(d)}}};
 }
 
 NodeId star_node(NodeId alpha, NodeId beta, NodeId ray, NodeId pos) {
@@ -250,7 +250,8 @@ Network make_star(NodeId alpha, NodeId beta) {
       });
   return {TopologyKind::kStar,
           "star(a=" + std::to_string(alpha) + ",b=" + std::to_string(beta) + ")",
-          std::move(g), std::move(oracle)};
+          std::move(g), std::move(oracle),
+          {{"alpha", std::to_string(alpha)}, {"beta", std::to_string(beta)}}};
 }
 
 NodeId cluster_node(NodeId beta, NodeId clique, NodeId member) {
@@ -286,7 +287,10 @@ Network make_cluster(NodeId alpha, NodeId beta, Weight gamma) {
   return {TopologyKind::kCluster,
           "cluster(a=" + std::to_string(alpha) + ",b=" + std::to_string(beta) +
               ",g=" + std::to_string(gamma) + ")",
-          std::move(g), std::move(oracle)};
+          std::move(g), std::move(oracle),
+          {{"alpha", std::to_string(alpha)},
+           {"beta", std::to_string(beta)},
+           {"gamma", std::to_string(gamma)}}};
 }
 
 Network make_tree(NodeId branching, NodeId depth) {
@@ -335,7 +339,9 @@ Network make_tree(NodeId branching, NodeId depth) {
   return {TopologyKind::kTree,
           "tree(b=" + std::to_string(branching) + ",d=" +
               std::to_string(depth) + ")",
-          std::move(g), std::move(oracle)};
+          std::move(g), std::move(oracle),
+          {{"branching", std::to_string(branching)},
+           {"depth", std::to_string(depth)}}};
 }
 
 Network make_random_connected(NodeId n, std::int64_t extra_edges,
@@ -358,6 +364,7 @@ Network make_random_connected(NodeId n, std::int64_t extra_edges,
   const std::int64_t max_extra =
       static_cast<std::int64_t>(n) * (n - 1) / 2 - (n - 1);
   extra_edges = std::min(extra_edges, max_extra);
+  const std::int64_t extra_requested = extra_edges;
   while (extra_edges > 0) {
     const auto u = static_cast<NodeId>(rng.uniform_int(0, n - 1));
     const auto v = static_cast<NodeId>(rng.uniform_int(0, n - 1));
@@ -368,7 +375,10 @@ Network make_random_connected(NodeId n, std::int64_t extra_edges,
   }
   auto oracle = std::make_shared<ApspOracle>(g);
   return {TopologyKind::kRandom, "random(n=" + std::to_string(n) + ")",
-          std::move(g), oracle};
+          std::move(g), oracle,
+          {{"n", std::to_string(n)},
+           {"extra", std::to_string(extra_requested)},
+           {"maxw", std::to_string(max_weight)}}};
 }
 
 }  // namespace dtm

@@ -8,6 +8,7 @@
 // experiments scale; the butterfly and random graphs use a cached APSP.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,6 +41,11 @@ struct Network {
   std::string name;
   Graph graph;
   std::shared_ptr<const DistanceOracle> oracle;
+  /// The parameters the builder was called with ("n", "alpha", "beta",
+  /// "gamma", "dims", ...) — lets downstream factories (the registry's
+  /// topology-aware batch-algorithm defaults) recover structure without
+  /// parsing the display name.
+  std::map<std::string, std::string> build_params;
 
   [[nodiscard]] NodeId num_nodes() const { return graph.num_nodes(); }
   [[nodiscard]] Weight dist(NodeId u, NodeId v) const {

@@ -1,0 +1,92 @@
+#include "sim/cli.hpp"
+
+#include <iostream>
+
+#include "sim/registry.hpp"
+#include "util/check.hpp"
+
+namespace dtm {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void Cli::add_flag(const std::string& name, const std::string& help,
+                   bool* target) {
+  flags_.push_back({name, help, target, nullptr});
+}
+
+void Cli::add_value(const std::string& name, const std::string& help,
+                    std::string* target) {
+  flags_.push_back({name, help, nullptr, target});
+}
+
+void Cli::print_usage() const {
+  std::cout << program_ << " — " << description_ << "\n\n"
+            << "  --help         this message\n"
+            << "  --list         enumerate registered components\n"
+            << "  --seed N       base RNG seed override\n"
+            << "  --trials N     trials per averaged data point\n";
+  for (const auto& f : flags_)
+    std::cout << "  --" << f.name << (f.value ? " V" : "  ")
+              << "   " << f.help << "\n";
+}
+
+void Cli::print_registry() {
+  const auto section = [](const char* title,
+                          const std::vector<Registry::Entry>& entries) {
+    std::cout << title << ":\n";
+    for (const auto& e : entries)
+      std::cout << "  " << e.name << "  " << e.help << "\n";
+  };
+  section("topologies", Registry::topologies());
+  section("schedulers", Registry::schedulers());
+  section("workloads", Registry::workloads());
+  section("batch algorithms (bucket/dist-bucket algo=...)",
+          Registry::batch_algos());
+}
+
+bool Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return false;
+    }
+    if (arg == "--list") {
+      print_registry();
+      return false;
+    }
+    const auto value_of = [&](const std::string& flag) -> std::string {
+      DTM_REQUIRE(i + 1 < argc,
+                  "" << program_ << ": " << flag << " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      seed_ = std::stoull(value_of(arg));
+      seed_set_ = true;
+      continue;
+    }
+    if (arg == "--trials") {
+      trials_ = static_cast<std::int32_t>(std::stol(value_of(arg)));
+      trials_set_ = true;
+      DTM_REQUIRE(trials_ >= 1,
+                  "" << program_ << ": --trials must be >= 1");
+      continue;
+    }
+    bool matched = false;
+    for (auto& f : flags_) {
+      if (arg != "--" + f.name) continue;
+      if (f.flag)
+        *f.flag = true;
+      else
+        *f.value = value_of(arg);
+      matched = true;
+      break;
+    }
+    DTM_REQUIRE(matched, "" << program_ << ": unknown flag '" << arg
+                            << "' (--help lists flags)");
+  }
+  return true;
+}
+
+}  // namespace dtm

@@ -1,0 +1,65 @@
+// Uniform command-line handling for every bench and example binary.
+//
+// Every binary accepts the same four core flags —
+//   --help            usage, including any binary-specific flags
+//   --list            registry enumeration (topologies, schedulers,
+//                     workloads, batch algorithms)
+//   --seed N          base RNG seed override
+//   --trials N        trial-count override for averaged benches
+// — plus whatever flags the binary registers. Unknown flags are hard
+// errors: a typo'd flag aborts instead of silently running defaults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dtm {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  /// Boolean flag (`--name` sets *target = true).
+  void add_flag(const std::string& name, const std::string& help,
+                bool* target);
+  /// Value flag (`--name VALUE` stores the raw string).
+  void add_value(const std::string& name, const std::string& help,
+                 std::string* target);
+
+  /// Handles --help / --list (prints and returns false: the caller should
+  /// exit 0), --seed, --trials, and the registered flags. Throws CheckError
+  /// on unknown flags or missing values.
+  [[nodiscard]] bool parse(int argc, char** argv);
+
+  [[nodiscard]] bool seed_set() const { return seed_set_; }
+  [[nodiscard]] std::uint64_t seed(std::uint64_t def) const {
+    return seed_set_ ? seed_ : def;
+  }
+  [[nodiscard]] bool trials_set() const { return trials_set_; }
+  [[nodiscard]] std::int32_t trials(std::int32_t def) const {
+    return trials_set_ ? trials_ : def;
+  }
+
+  void print_usage() const;
+  /// The shared --list output: every registered component, one per line.
+  static void print_registry();
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string help;
+    bool* flag = nullptr;         ///< boolean flags
+    std::string* value = nullptr; ///< value flags
+  };
+
+  std::string program_;
+  std::string description_;
+  std::vector<Flag> flags_;
+  std::uint64_t seed_ = 0;
+  bool seed_set_ = false;
+  std::int32_t trials_ = 0;
+  bool trials_set_ = false;
+};
+
+}  // namespace dtm

@@ -1,0 +1,104 @@
+// EventClock — the simulation's notion of time (engine layering, layer 3).
+//
+// Owns the current step, the execution calendar (the min-heap of scheduled
+// live transactions keyed by exec time that powers the kCalendar fast path),
+// and the *merging* of future-event candidates: the runner asks one place
+// "when can anything next happen?", combining the calendar, workload
+// arrivals, scheduler hints, and any registered EventSource (e.g. the
+// distributed protocol's MessageBus) — so no layer special-cases time skips.
+#pragma once
+
+#include <initializer_list>
+#include <queue>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/event_source.hpp"
+#include "core/types.hpp"
+#include "util/check.hpp"
+
+namespace dtm {
+
+class EventClock {
+ public:
+  /// (time, id) min-heap with deterministic (time, id) tie-breaks — shared
+  /// shape for the calendar here and the per-object heaps in the store.
+  template <typename Id>
+  using MinHeap =
+      std::priority_queue<std::pair<Time, Id>,
+                          std::vector<std::pair<Time, Id>>, std::greater<>>;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Advances by one step (the end of finish_step).
+  void tick() { now_ += 1; }
+
+  /// Fast-forwards to `t`; callers must not skip past due executions (the
+  /// engine guards with its own next_exec_due cross-check).
+  void advance_to(Time t) {
+    DTM_REQUIRE(t >= now_, "advance_to(" << t << ") before now " << now_);
+    now_ = t;
+  }
+
+  // ---- Execution calendar (kCalendar / kVerify bookkeeping) ----
+
+  /// Registers an irrevocable assignment: `txn` fires at `exec`. Entries
+  /// never go stale before they fire (assignments are immutable).
+  void schedule(Time exec, TxnId txn) { calendar_.emplace(exec, txn); }
+
+  /// Earliest scheduled execution, kNoTime if none. O(1).
+  [[nodiscard]] Time next_scheduled() const {
+    return calendar_.empty() ? kNoTime : calendar_.top().first;
+  }
+
+  /// Pops every calendar entry due exactly now into `out` (ascending id
+  /// order for equal times — the order the scan path derives from its
+  /// sorted live map) and asserts nothing was missed.
+  void pop_due(std::vector<TxnId>& out) {
+    if (!calendar_.empty())
+      DTM_CHECK(calendar_.top().first >= now_,
+                "txn " << calendar_.top().second
+                       << " missed its execution step " << calendar_.top().first
+                       << " (now " << now_ << ")");
+    while (!calendar_.empty() && calendar_.top().first == now_) {
+      out.push_back(calendar_.top().second);
+      calendar_.pop();
+    }
+  }
+
+  // ---- Next-event merging ----
+
+  /// min over kNoTime-aware times.
+  [[nodiscard]] static Time merge(Time a, Time b) {
+    if (a == kNoTime) return b;
+    if (b == kNoTime) return a;
+    return a < b ? a : b;
+  }
+
+  /// Merges candidate event times and registered sources into the earliest
+  /// future step anything can happen, floored at now (a source may report a
+  /// pending event "in the past": deliver it this step). kNoTime = nothing
+  /// will ever happen again.
+  [[nodiscard]] Time next_event(
+      std::initializer_list<Time> candidates,
+      std::span<const EventSource* const> sources = {}) const {
+    Time next = kNoTime;
+    for (const Time t : candidates) {
+      if (t == kNoTime) continue;
+      next = merge(next, t < now_ ? now_ : t);
+    }
+    for (const EventSource* s : sources) {
+      const Time t = s->next_event_time();
+      if (t == kNoTime) continue;
+      next = merge(next, t < now_ ? now_ : t);
+    }
+    return next;
+  }
+
+ private:
+  Time now_ = 0;
+  MinHeap<TxnId> calendar_;
+};
+
+}  // namespace dtm

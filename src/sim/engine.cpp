@@ -7,220 +7,111 @@ namespace dtm {
 
 SyncEngine::SyncEngine(std::shared_ptr<const DistanceOracle> oracle,
                        std::vector<ObjectOrigin> origins, Options opts)
-    : oracle_(std::move(oracle)), opts_(opts), origins_(std::move(origins)) {
-  DTM_REQUIRE(oracle_ != nullptr, "engine needs a distance oracle");
+    : oracle_([&] {
+        DTM_REQUIRE(oracle != nullptr, "engine needs a distance oracle");
+        return std::move(oracle);
+      }()),
+      opts_(opts),
+      store_(std::move(origins), *oracle_),
+      transport_(
+          std::make_unique<SyncObjectTransport>(store_, *oracle_, opts_)) {
   DTM_REQUIRE(opts_.latency_factor >= 1,
               "latency factor " << opts_.latency_factor);
-  objects_.reserve(origins_.size());
-  for (const auto& o : origins_) {
-    DTM_REQUIRE(o.node >= 0 && o.node < oracle_->num_nodes(),
-                "object " << o.id << " origin node " << o.node);
-    DTM_REQUIRE(o.created <= 0, "objects must exist from the start of the "
-                                "simulation (object " << o.id << ")");
-    ObjEntry e;
-    e.id = o.id;
-    e.state = ObjectState(o.id, o.node, o.created);
-    objects_.push_back(std::move(e));
-  }
-  std::sort(objects_.begin(), objects_.end(),
-            [](const ObjEntry& a, const ObjEntry& b) { return a.id < b.id; });
-  for (std::size_t i = 1; i < objects_.size(); ++i)
-    DTM_CHECK(objects_[i - 1].id != objects_[i].id,
-              "duplicate object id " << objects_[i].id);
-}
-
-const SyncEngine::ObjEntry* SyncEngine::find_obj(ObjId o) const {
-  const auto it = std::lower_bound(
-      objects_.begin(), objects_.end(), o,
-      [](const ObjEntry& e, ObjId id) { return e.id < id; });
-  if (it == objects_.end() || it->id != o) return nullptr;
-  return &*it;
-}
-
-SyncEngine::ObjEntry* SyncEngine::find_obj(ObjId o) {
-  return const_cast<ObjEntry*>(
-      static_cast<const SyncEngine*>(this)->find_obj(o));
-}
-
-SyncEngine::ObjEntry& SyncEngine::obj_entry(ObjId o) {
-  ObjEntry* e = find_obj(o);
-  DTM_REQUIRE(e != nullptr, "unknown object " << o);
-  return *e;
 }
 
 const ObjectState& SyncEngine::object(ObjId o) const {
-  const ObjEntry* e = find_obj(o);
+  const TxnStore::ObjEntry* e = store_.find_obj(o);
   DTM_REQUIRE(e != nullptr, "unknown object " << o);
   return e->state;
 }
 
 const Transaction& SyncEngine::txn(TxnId t) const {
-  const auto it = live_.find(t);
-  DTM_REQUIRE(it != live_.end(), "txn " << t << " is not live");
+  const auto it = store_.live().find(t);
+  DTM_REQUIRE(it != store_.live().end(), "txn " << t << " is not live");
   return it->second.txn;
 }
 
 Time SyncEngine::assigned_exec(TxnId t) const {
-  const auto it = live_.find(t);
-  DTM_REQUIRE(it != live_.end(), "txn " << t << " is not live");
+  const auto it = store_.live().find(t);
+  DTM_REQUIRE(it != store_.live().end(), "txn " << t << " is not live");
   return it->second.exec;
 }
 
-std::span<const TxnId> SyncEngine::live_txns() const {
-  if (live_ids_dirty_) {
-    live_ids_.clear();
-    live_ids_.reserve(live_.size());
-    for (const auto& [id, _] : live_) live_ids_.push_back(id);
-    live_ids_dirty_ = false;
-  }
-  return live_ids_;
-}
-
 std::span<const TxnId> SyncEngine::live_users_of(ObjId o) const {
-  const ObjEntry* e = find_obj(o);
+  const TxnStore::ObjEntry* e = store_.find_obj(o);
   if (e == nullptr) return {};
   return e->users;
 }
 
 void SyncEngine::begin_step(std::span<const Transaction> arrivals) {
+  const Time now = clock_.now();
   for (const Transaction& t : arrivals) {
-    DTM_REQUIRE(t.gen_time == now_, "arrival " << t.id << " gen "
-                                               << t.gen_time << " at step "
-                                               << now_);
+    DTM_REQUIRE(t.gen_time == now, "arrival " << t.id << " gen "
+                                              << t.gen_time << " at step "
+                                              << now);
     DTM_REQUIRE(t.node >= 0 && t.node < oracle_->num_nodes(),
                 "txn " << t.id << " node " << t.node);
     DTM_REQUIRE(!t.accesses.empty(), "txn " << t.id << " requests nothing");
     for (const auto& a : t.accesses)
-      DTM_REQUIRE(find_obj(a.obj) != nullptr,
+      DTM_REQUIRE(store_.find_obj(a.obj) != nullptr,
                   "txn " << t.id << " requests unknown object " << a.obj);
-    const bool inserted = live_.emplace(t.id, LiveTxn{t, kNoTime}).second;
-    DTM_CHECK(inserted, "duplicate txn id " << t.id);
-    live_ids_dirty_ = true;
-    for (const auto& a : t.accesses) obj_entry(a.obj).users.push_back(t.id);
+    store_.add_live(t);
   }
 }
 
 void SyncEngine::apply(std::span<const Assignment> assignments) {
+  auto& live = store_.live();
+  const Time now = clock_.now();
   for (const Assignment& a : assignments) {
-    const auto it = live_.find(a.txn);
-    DTM_REQUIRE(it != live_.end(), "assignment for non-live txn " << a.txn);
+    const auto it = live.find(a.txn);
+    DTM_REQUIRE(it != live.end(), "assignment for non-live txn " << a.txn);
     DTM_REQUIRE(it->second.exec == kNoTime,
                 "txn " << a.txn << " already scheduled (schedules are "
                        "irrevocable)");
-    DTM_REQUIRE(a.exec >= now_, "txn " << a.txn << " scheduled in the past ("
-                                       << a.exec << " < " << now_ << ")");
+    DTM_REQUIRE(a.exec >= now, "txn " << a.txn << " scheduled in the past ("
+                                      << a.exec << " < " << now << ")");
     it->second.exec = a.exec;
     if (opts_.mode != Mode::kScan) {
-      calendar_.emplace(a.exec, a.txn);
+      clock_.schedule(a.exec, a.txn);
       for (const auto& acc : it->second.txn.accesses)
-        obj_entry(acc.obj).sched.emplace(a.exec, a.txn);
+        store_.obj_entry(acc.obj).sched.emplace(a.exec, a.txn);
     }
   }
   // Re-route after all assignments land so each object sees the final
   // earliest-deadline user of this step.
   for (const Assignment& a : assignments)
-    for (const auto& acc : live_.at(a.txn).txn.accesses) reroute(acc.obj);
-}
-
-TxnId SyncEngine::reroute_target_scan(const ObjEntry& e) const {
-  TxnId best = kNoTxn;
-  Time best_exec = kNoTime;
-  for (const TxnId uid : e.users) {
-    const Time ex = live_.at(uid).exec;
-    if (ex == kNoTime) continue;
-    if (best == kNoTxn || ex < best_exec ||
-        (ex == best_exec && uid < best)) {
-      best = uid;
-      best_exec = ex;
-    }
-  }
-  return best;
-}
-
-TxnId SyncEngine::reroute_target_calendar(ObjEntry& e) {
-  // Entries go stale only when their transaction commits (assignments are
-  // irrevocable), so the first live top is the earliest scheduled user —
-  // the (exec, id) heap order reproduces the scan's tie-break exactly.
-  while (!e.sched.empty()) {
-    const TxnId uid = e.sched.top().second;
-    if (live_.count(uid)) return uid;
-    e.sched.pop();
-  }
-  return kNoTxn;
-}
-
-void SyncEngine::reroute(ObjId o) {
-  ObjEntry& e = obj_entry(o);
-  TxnId best = kNoTxn;
-  switch (opts_.mode) {
-    case Mode::kScan:
-      best = reroute_target_scan(e);
-      break;
-    case Mode::kCalendar:
-      best = reroute_target_calendar(e);
-      break;
-    case Mode::kVerify: {
-      best = reroute_target_calendar(e);
-      const TxnId scan = reroute_target_scan(e);
-      DTM_CHECK(best == scan, "reroute(" << o << ") diverges: calendar "
-                                         << best << " vs scan " << scan);
-      break;
-    }
-  }
-  if (best == kNoTxn) return;
-  e.state.route_to(live_.at(best).txn.node, now_, *oracle_,
-                   opts_.latency_factor);
-  if (opts_.mode != Mode::kScan && e.state.in_transit())
-    settle_queue_.emplace(
-        e.state.arrive_time(),
-        static_cast<std::int32_t>(&e - objects_.data()));
-}
-
-void SyncEngine::drain_settle_queue() {
-  while (!settle_queue_.empty() && settle_queue_.top().first <= now_) {
-    objects_[static_cast<std::size_t>(settle_queue_.top().second)]
-        .state.settle(now_);
-    settle_queue_.pop();
-  }
+    for (const auto& acc : live.at(a.txn).txn.accesses)
+      transport_->reroute(acc.obj, now);
 }
 
 std::vector<SyncEngine::Commit> SyncEngine::finish_step() {
   const Mode mode = opts_.mode;
+  const Time now = clock_.now();
+  auto& live = store_.live();
   due_scratch_.clear();
+  transport_->settle_arrivals(now);
   if (mode == Mode::kScan) {
-    for (auto& e : objects_) e.state.settle(now_);
-    for (const auto& [id, lt] : live_) {
-      DTM_CHECK(lt.exec == kNoTime || lt.exec >= now_,
+    for (const auto& [id, lt] : live) {
+      DTM_CHECK(lt.exec == kNoTime || lt.exec >= now,
                 "txn " << id << " missed its execution step " << lt.exec
-                       << " (now " << now_ << ")");
-      if (lt.exec == now_) due_scratch_.push_back(id);
+                       << " (now " << now << ")");
+      if (lt.exec == now) due_scratch_.push_back(id);
     }
   } else {
-    drain_settle_queue();
-    if (!calendar_.empty())
-      DTM_CHECK(calendar_.top().first >= now_,
-                "txn " << calendar_.top().second
-                       << " missed its execution step "
-                       << calendar_.top().first << " (now " << now_ << ")");
     // Equal-time entries pop in ascending id order — the same order the
-    // scan derives from live_'s sorted iteration.
-    while (!calendar_.empty() && calendar_.top().first == now_) {
-      due_scratch_.push_back(calendar_.top().second);
-      calendar_.pop();
-    }
+    // scan derives from the live map's sorted iteration.
+    clock_.pop_due(due_scratch_);
     if (mode == Mode::kVerify) {
-      for (const auto& e : objects_)
-        DTM_CHECK(!(e.state.in_transit() && e.state.arrive_time() <= now_),
-                  "object " << e.id << " missed settlement at step " << now_);
+      transport_->verify_settled(now);
       std::vector<TxnId> scan_due;
-      for (const auto& [id, lt] : live_) {
-        DTM_CHECK(lt.exec == kNoTime || lt.exec >= now_,
+      for (const auto& [id, lt] : live) {
+        DTM_CHECK(lt.exec == kNoTime || lt.exec >= now,
                   "txn " << id << " missed its execution step " << lt.exec
-                         << " (now " << now_ << ")");
-        if (lt.exec == now_) scan_due.push_back(id);
+                         << " (now " << now << ")");
+        if (lt.exec == now) scan_due.push_back(id);
       }
       DTM_CHECK(scan_due == due_scratch_,
-                "calendar due set diverges from scan at step " << now_);
+                "calendar due set diverges from scan at step " << now);
     }
   }
 
@@ -232,62 +123,57 @@ std::vector<SyncEngine::Commit> SyncEngine::finish_step() {
   std::vector<ObjId> released;
   std::set<ObjId> consumed_this_step;
   for (const TxnId id : due_scratch_) {
-    const auto lit = live_.find(id);
-    LiveTxn lt = std::move(lit->second);
+    const auto lit = live.find(id);
+    const TxnStore::LiveTxn& lt = lit->second;
     for (const auto& acc : lt.txn.accesses) {
       // One commit per object per step: even two transactions on the same
       // node must serialize on a shared object (the model's conflict
       // semantics; matches validate_schedule's tie rule).
       DTM_CHECK(consumed_this_step.insert(acc.obj).second,
                 "object " << acc.obj << " used by two transactions at step "
-                          << now_ << " (txn " << id << ")");
-      ObjEntry& e = obj_entry(acc.obj);
-      e.state.settle(now_);
+                          << now << " (txn " << id << ")");
+      TxnStore::ObjEntry& e = store_.obj_entry(acc.obj);
+      e.state.settle(now);
       DTM_CHECK(!e.state.in_transit() && e.state.at() == lt.txn.node,
-                "txn " << id << " executing at step " << now_ << " on node "
+                "txn " << id << " executing at step " << now << " on node "
                        << lt.txn.node << " lacks object " << acc.obj
                        << (e.state.in_transit()
                                ? " (in transit)"
                                : " (resting at node " +
                                      std::to_string(e.state.at()) + ")"));
       e.state.set_last_txn(id);
-    }
-    for (const auto& acc : lt.txn.accesses) {
-      auto& users = obj_entry(acc.obj).users;
-      users.erase(std::remove(users.begin(), users.end(), id), users.end());
       released.push_back(acc.obj);
     }
     commits.push_back({id, lt.txn.node, lt.txn.gen_time, lt.exec});
-    committed_.push_back({std::move(lt.txn), lt.exec});
-    live_.erase(lit);
-    live_ids_dirty_ = true;
+    store_.commit(lit, lt.exec);
   }
   // Forward released objects to their next scheduled user.
-  for (const ObjId o : released) reroute(o);
-  now_ += 1;
+  for (const ObjId o : released) transport_->reroute(o, now);
+  clock_.tick();
   return commits;
 }
 
 void SyncEngine::advance_to(Time t) {
-  DTM_REQUIRE(t >= now_, "advance_to(" << t << ") before now " << now_);
+  DTM_REQUIRE(t >= clock_.now(),
+              "advance_to(" << t << ") before now " << clock_.now());
   const Time due = next_exec_due();
   DTM_CHECK(due == kNoTime || due >= t,
             "advance_to(" << t << ") would skip execution at " << due);
-  now_ = t;
+  clock_.advance_to(t);
 }
 
 Time SyncEngine::next_exec_due() const {
-  if (opts_.mode == Mode::kCalendar)
-    return calendar_.empty() ? kNoTime : calendar_.top().first;
+  if (opts_.mode == Mode::kCalendar) return clock_.next_scheduled();
   Time due = kNoTime;
-  for (const auto& [_, lt] : live_) {
+  for (const auto& [_, lt] : store_.live()) {
     if (lt.exec == kNoTime) continue;
     due = due == kNoTime ? lt.exec : std::min(due, lt.exec);
   }
   if (opts_.mode == Mode::kVerify) {
-    const Time cal = calendar_.empty() ? kNoTime : calendar_.top().first;
-    DTM_CHECK(cal == due, "next_exec_due diverges: calendar " << cal
-                          << " vs scan " << due << " (now " << now_ << ")");
+    const Time cal = clock_.next_scheduled();
+    DTM_CHECK(cal == due, "next_exec_due diverges: calendar "
+                              << cal << " vs scan " << due << " (now "
+                              << clock_.now() << ")");
   }
   return due;
 }

@@ -1,18 +1,26 @@
-// Synchronous discrete-time execution engine (paper §II).
+// Synchronous discrete-time execution engine (paper §II) — the thin facade
+// over the three kernel layers (docs/ARCHITECTURE.md):
 //
-// The engine owns the canonical system state: mobile objects, live
-// transactions, and their (irrevocable) execution times. Each step it
-// (1) registers arrivals, (2) lets the plugged scheduler assign execution
-// times, (3) routes objects toward their earliest pending scheduled user,
-// and (4) fires transactions whose time has come — after *verifying* that
-// every requested object is physically present, which makes the simulation
-// an end-to-end feasibility check of the scheduler's decisions.
+//  - TxnStore   (sim/store.*):     live transactions, per-object user
+//                                  index, object position state, committed
+//                                  log — the canonical system state.
+//  - ObjectTransport (sim/transport.*): routing, in-flight motion, the
+//                                  settle queue — swappable motion policy.
+//  - EventClock (sim/clock.*):     `now`, the execution calendar, and
+//                                  next-event merging for time skips.
+//
+// Each step the engine (1) registers arrivals, (2) lets the plugged
+// scheduler assign execution times, (3) routes objects toward their
+// earliest pending scheduled user, and (4) fires transactions whose time
+// has come — after *verifying* that every requested object is physically
+// present, which makes the simulation an end-to-end feasibility check of
+// the scheduler's decisions.
 //
 // Two execution paths implement the per-step bookkeeping:
 //  - kScan (the original): every step settles all objects and scans all
 //    live transactions for due executions — O(objects + live) per step.
-//  - kCalendar (default): an execution-time calendar (min-heap keyed by
-//    exec) plus an object-arrival queue plus per-object scheduled-user
+//  - kCalendar (default): the clock's execution-time calendar plus the
+//    transport's object-arrival queue plus per-object scheduled-user
 //    heaps, so an idle step costs O(1) and a busy step costs
 //    O(due * log live). Assignments are irrevocable, so calendar entries
 //    never go stale before they fire.
@@ -21,28 +29,17 @@
 // equivalence test suite.
 #pragma once
 
-#include <map>
 #include <memory>
-#include <queue>
 #include <span>
 #include <vector>
 
-#include "core/object_state.hpp"
 #include "core/schedule.hpp"
 #include "core/scheduler.hpp"
+#include "sim/clock.hpp"
+#include "sim/store.hpp"
+#include "sim/transport.hpp"
 
 namespace dtm {
-
-struct EngineOptions {
-    /// Steps per unit distance for object motion (2 = half-speed objects,
-    /// the distributed setting of §V).
-    std::int64_t latency_factor = 1;
-
-    /// Per-step bookkeeping strategy; identical observable behavior (the
-    /// equivalence tests prove it), different asymptotics.
-    enum class Mode { kCalendar, kScan, kVerify };
-    Mode mode = Mode::kCalendar;
-  };
 
 class SyncEngine final : public SystemView {
  public:
@@ -53,7 +50,7 @@ class SyncEngine final : public SystemView {
              std::vector<ObjectOrigin> origins, Options opts = {});
 
   // ---- SystemView ----
-  [[nodiscard]] Time now() const override { return now_; }
+  [[nodiscard]] Time now() const override { return clock_.now(); }
   [[nodiscard]] const DistanceOracle& oracle() const override {
     return *oracle_;
   }
@@ -64,7 +61,9 @@ class SyncEngine final : public SystemView {
   [[nodiscard]] const Transaction& txn(TxnId t) const override;
   [[nodiscard]] Time assigned_exec(TxnId t) const override;
   [[nodiscard]] std::span<const TxnId> live_users_of(ObjId o) const override;
-  [[nodiscard]] std::span<const TxnId> live_txns() const override;
+  [[nodiscard]] std::span<const TxnId> live_txns() const override {
+    return store_.live_ids();
+  }
 
   // ---- Stepping API (driven by the Runner) ----
 
@@ -95,78 +94,37 @@ class SyncEngine final : public SystemView {
   /// none. The Runner never skips past this. O(1) in calendar mode.
   [[nodiscard]] Time next_exec_due() const;
 
-  [[nodiscard]] bool all_done() const { return live_.empty(); }
+  [[nodiscard]] bool all_done() const { return store_.live().empty(); }
   [[nodiscard]] std::int64_t num_live() const {
-    return static_cast<std::int64_t>(live_.size());
+    return static_cast<std::int64_t>(store_.live().size());
   }
 
   /// Every transaction committed so far, with its execution time — the
   /// material for post-hoc schedule validation and metrics.
   [[nodiscard]] const std::vector<ScheduledTxn>& committed() const {
-    return committed_;
+    return store_.committed();
+  }
+  /// Moves the committed log out (end-of-run result assembly; the engine
+  /// must not be stepped afterwards).
+  [[nodiscard]] std::vector<ScheduledTxn> take_committed() {
+    return store_.take_committed();
   }
   [[nodiscard]] const std::vector<ObjectOrigin>& origins() const {
-    return origins_;
+    return store_.origins();
   }
 
+  /// The three layers, exposed read-only for the runner's next-event
+  /// merging and for diagnostics.
+  [[nodiscard]] const EventClock& clock() const { return clock_; }
+  [[nodiscard]] const TxnStore& store() const { return store_; }
+
  private:
-  struct LiveTxn {
-    Transaction txn;
-    Time exec = kNoTime;
-  };
-
-  /// (exec-or-arrival time, id) min-heap with deterministic (time, id)
-  /// tie-breaks.
-  template <typename Id>
-  using MinHeap =
-      std::priority_queue<std::pair<Time, Id>,
-                          std::vector<std::pair<Time, Id>>, std::greater<>>;
-
-  /// An object's whole engine-side record: state, its live users in
-  /// generation order (the object -> live-users inverted index the
-  /// schedulers consume), and a lazily pruned min-heap of its *scheduled*
-  /// users, keyed by (exec, txn) — the reroute target oracle.
-  struct ObjEntry {
-    ObjId id = kNoObj;
-    ObjectState state;
-    std::vector<TxnId> users;
-    MinHeap<TxnId> sched;
-  };
-
-  [[nodiscard]] const ObjEntry* find_obj(ObjId o) const;
-  [[nodiscard]] ObjEntry* find_obj(ObjId o);
-  [[nodiscard]] ObjEntry& obj_entry(ObjId o);
-
-  /// Sends object `o` toward the pending scheduled user with the earliest
-  /// execution time (no-op when already heading there / resting there).
-  void reroute(ObjId o);
-  /// The seed's linear selection of that user; kNoTxn when none.
-  [[nodiscard]] TxnId reroute_target_scan(const ObjEntry& e) const;
-  /// Heap-based selection (prunes committed users); kNoTxn when none.
-  [[nodiscard]] TxnId reroute_target_calendar(ObjEntry& e);
-
-  /// Settles every object whose pending arrival time has passed (calendar
-  /// path; the scan path settles everything each step).
-  void drain_settle_queue();
-
   std::shared_ptr<const DistanceOracle> oracle_;
   Options opts_;
-  Time now_ = 0;
 
-  std::vector<ObjEntry> objects_;  ///< sorted by id; immutable id set
-  std::vector<ObjectOrigin> origins_;
-  std::map<TxnId, LiveTxn> live_;
-  std::vector<ScheduledTxn> committed_;
-
-  /// Execution calendar: every scheduled live transaction, keyed by exec.
-  MinHeap<TxnId> calendar_;
-  /// Pending object arrivals: (arrive time, index into objects_). Entries
-  /// outlive redirects; settle() is idempotent, so early pops are no-ops.
-  MinHeap<std::int32_t> settle_queue_;
-
-  /// Lazily rebuilt id-ordered snapshot backing live_txns().
-  mutable std::vector<TxnId> live_ids_;
-  mutable bool live_ids_dirty_ = false;
+  TxnStore store_;
+  std::unique_ptr<ObjectTransport> transport_;
+  EventClock clock_;
 
   std::vector<TxnId> due_scratch_;
 };

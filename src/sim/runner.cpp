@@ -79,17 +79,17 @@ RunResult run_experiment(const Network& net, Workload& workload,
               "run exceeded " << opts.max_steps << " active steps");
 
     // Fast-forward to the next step where anything can happen: an arrival,
-    // a due execution, or a scheduler-internal event (bucket activation,
-    // message delivery). Every candidate is a step we must land on exactly.
+    // a due execution, a scheduler-internal event (bucket activation), or a
+    // pending delivery on any of the scheduler's event sources. The
+    // EventClock owns the merge; every candidate is a step we must land on
+    // exactly.
     const Time now = engine.now();
-    Time next = kNoTime;
-    auto consider = [&next](Time t) {
-      if (t == kNoTime) return;
-      next = next == kNoTime ? t : std::min(next, t);
-    };
-    consider(workload.next_arrival_time());
-    consider(engine.next_exec_due());
-    consider(scheduler.next_event_hint(now));
+    const std::vector<const EventSource*> sources =
+        scheduler.event_sources();
+    const Time next = engine.clock().next_event(
+        {workload.next_arrival_time(), engine.next_exec_due(),
+         scheduler.next_event_hint(now)},
+        sources);
     DTM_CHECK(next != kNoTime,
               "deadlock: live transactions but no future event (now=" << now
                                                                       << ")");
@@ -118,8 +118,10 @@ RunResult run_experiment(const Network& net, Workload& workload,
             static_cast<double>(std::max<Time>(r.lb.best(), 1));
   windows.finalize(r, engine.committed(), *net.oracle,
                    opts.engine.latency_factor);
-  r.committed = engine.committed();
-  r.origins = engine.origins();
+  if (opts.collect_schedule) {
+    r.origins = engine.origins();
+    r.committed = engine.take_committed();  // moved, never copied
+  }
   return r;
 }
 

@@ -29,6 +29,10 @@ struct RunOptions {
   /// object positions at the window's start (snapshotted from the engine).
   /// 0 disables windowed accounting.
   Time ratio_window = 0;
+  /// Populate RunResult::committed / ::origins (moved out of the engine,
+  /// never copied). Averaging loops that only read the headline metrics
+  /// turn this off and skip the allocation entirely.
+  bool collect_schedule = true;
 };
 
 struct RunResult {
@@ -50,7 +54,8 @@ struct RunResult {
   std::int64_t num_windows = 0;
 
   /// The full committed schedule and the object origins — input to the
-  /// congestion replay and the gantt/itinerary renderers.
+  /// congestion replay and the gantt/itinerary renderers. Empty when
+  /// RunOptions::collect_schedule is false.
   std::vector<ScheduledTxn> committed;
   std::vector<ObjectOrigin> origins;
 };

@@ -1,0 +1,76 @@
+#include "sim/store.hpp"
+
+#include <algorithm>
+
+namespace dtm {
+
+TxnStore::TxnStore(std::vector<ObjectOrigin> origins,
+                   const DistanceOracle& oracle)
+    : origins_(std::move(origins)) {
+  objects_.reserve(origins_.size());
+  for (const auto& o : origins_) {
+    DTM_REQUIRE(o.node >= 0 && o.node < oracle.num_nodes(),
+                "object " << o.id << " origin node " << o.node);
+    DTM_REQUIRE(o.created <= 0, "objects must exist from the start of the "
+                                "simulation (object " << o.id << ")");
+    ObjEntry e;
+    e.id = o.id;
+    e.state = ObjectState(o.id, o.node, o.created);
+    objects_.push_back(std::move(e));
+  }
+  std::sort(objects_.begin(), objects_.end(),
+            [](const ObjEntry& a, const ObjEntry& b) { return a.id < b.id; });
+  for (std::size_t i = 1; i < objects_.size(); ++i)
+    DTM_CHECK(objects_[i - 1].id != objects_[i].id,
+              "duplicate object id " << objects_[i].id);
+}
+
+const TxnStore::ObjEntry* TxnStore::find_obj(ObjId o) const {
+  const auto it = std::lower_bound(
+      objects_.begin(), objects_.end(), o,
+      [](const ObjEntry& e, ObjId id) { return e.id < id; });
+  if (it == objects_.end() || it->id != o) return nullptr;
+  return &*it;
+}
+
+TxnStore::ObjEntry* TxnStore::find_obj(ObjId o) {
+  return const_cast<ObjEntry*>(
+      static_cast<const TxnStore*>(this)->find_obj(o));
+}
+
+TxnStore::ObjEntry& TxnStore::obj_entry(ObjId o) {
+  ObjEntry* e = find_obj(o);
+  DTM_REQUIRE(e != nullptr, "unknown object " << o);
+  return *e;
+}
+
+void TxnStore::add_live(const Transaction& t) {
+  const bool inserted = live_.emplace(t.id, LiveTxn{t, kNoTime}).second;
+  DTM_CHECK(inserted, "duplicate txn id " << t.id);
+  live_ids_dirty_ = true;
+  for (const auto& a : t.accesses) obj_entry(a.obj).users.push_back(t.id);
+}
+
+void TxnStore::commit(std::map<TxnId, LiveTxn>::iterator it, Time exec) {
+  LiveTxn lt = std::move(it->second);
+  const TxnId id = lt.txn.id;
+  for (const auto& acc : lt.txn.accesses) {
+    auto& users = obj_entry(acc.obj).users;
+    users.erase(std::remove(users.begin(), users.end(), id), users.end());
+  }
+  committed_.push_back({std::move(lt.txn), exec});
+  live_.erase(it);
+  live_ids_dirty_ = true;
+}
+
+std::span<const TxnId> TxnStore::live_ids() const {
+  if (live_ids_dirty_) {
+    live_ids_.clear();
+    live_ids_.reserve(live_.size());
+    for (const auto& [id, _] : live_) live_ids_.push_back(id);
+    live_ids_dirty_ = false;
+  }
+  return live_ids_;
+}
+
+}  // namespace dtm

@@ -1,0 +1,76 @@
+#include "sim/transport.hpp"
+
+namespace dtm {
+
+TxnId SyncObjectTransport::reroute_target_scan(
+    const TxnStore::ObjEntry& e) const {
+  const auto& live = store_->live();
+  TxnId best = kNoTxn;
+  Time best_exec = kNoTime;
+  for (const TxnId uid : e.users) {
+    const Time ex = live.at(uid).exec;
+    if (ex == kNoTime) continue;
+    if (best == kNoTxn || ex < best_exec ||
+        (ex == best_exec && uid < best)) {
+      best = uid;
+      best_exec = ex;
+    }
+  }
+  return best;
+}
+
+TxnId SyncObjectTransport::reroute_target_calendar(TxnStore::ObjEntry& e) {
+  // Entries go stale only when their transaction commits (assignments are
+  // irrevocable), so the first live top is the earliest scheduled user —
+  // the (exec, id) heap order reproduces the scan's tie-break exactly.
+  while (!e.sched.empty()) {
+    const TxnId uid = e.sched.top().second;
+    if (store_->live().count(uid)) return uid;
+    e.sched.pop();
+  }
+  return kNoTxn;
+}
+
+void SyncObjectTransport::reroute(ObjId o, Time now) {
+  TxnStore::ObjEntry& e = store_->obj_entry(o);
+  TxnId best = kNoTxn;
+  switch (opts_.mode) {
+    case EngineOptions::Mode::kScan:
+      best = reroute_target_scan(e);
+      break;
+    case EngineOptions::Mode::kCalendar:
+      best = reroute_target_calendar(e);
+      break;
+    case EngineOptions::Mode::kVerify: {
+      best = reroute_target_calendar(e);
+      const TxnId scan = reroute_target_scan(e);
+      DTM_CHECK(best == scan, "reroute(" << o << ") diverges: calendar "
+                                         << best << " vs scan " << scan);
+      break;
+    }
+  }
+  if (best == kNoTxn) return;
+  e.state.route_to(store_->live().at(best).txn.node, now, *oracle_,
+                   opts_.latency_factor);
+  if (opts_.mode != EngineOptions::Mode::kScan && e.state.in_transit())
+    settle_queue_.emplace(e.state.arrive_time(), store_->obj_index(e));
+}
+
+void SyncObjectTransport::settle_arrivals(Time now) {
+  if (opts_.mode == EngineOptions::Mode::kScan) {
+    for (auto& e : store_->objects()) e.state.settle(now);
+    return;
+  }
+  while (!settle_queue_.empty() && settle_queue_.top().first <= now) {
+    store_->obj_at(settle_queue_.top().second).state.settle(now);
+    settle_queue_.pop();
+  }
+}
+
+void SyncObjectTransport::verify_settled(Time now) const {
+  for (const auto& e : store_->objects())
+    DTM_CHECK(!(e.state.in_transit() && e.state.arrive_time() <= now),
+              "object " << e.id << " missed settlement at step " << now);
+}
+
+}  // namespace dtm

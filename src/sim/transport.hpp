@@ -1,0 +1,76 @@
+// ObjectTransport — object motion policy (engine layering, layer 2).
+//
+// Decides where objects travel and when they arrive: routing toward the
+// earliest pending scheduled user, in-flight redirects, and the settle
+// queue that materializes arrivals. This is the seam where alternative
+// substrates plug in — a congestion-aware transport charging per-edge
+// capacity (unifying the sim/congestion.* replay with live execution) or
+// an async batched mover — without touching the store or the clock.
+#pragma once
+
+#include <memory>
+
+#include "sim/store.hpp"
+
+namespace dtm {
+
+struct EngineOptions {
+  /// Steps per unit distance for object motion (2 = half-speed objects,
+  /// the distributed setting of §V).
+  std::int64_t latency_factor = 1;
+
+  /// Per-step bookkeeping strategy; identical observable behavior (the
+  /// equivalence tests prove it), different asymptotics.
+  enum class Mode { kCalendar, kScan, kVerify };
+  Mode mode = Mode::kCalendar;
+};
+
+class ObjectTransport {
+ public:
+  virtual ~ObjectTransport() = default;
+
+  /// Sends object `o` toward the pending scheduled user with the earliest
+  /// execution time (no-op when already heading there / resting there).
+  virtual void reroute(ObjId o, Time now) = 0;
+
+  /// Materializes every arrival due by `now` (the scan path settles all
+  /// objects; the calendar path drains its settle queue).
+  virtual void settle_arrivals(Time now) = 0;
+
+  /// kVerify invariant: no object may still be in transit past its arrival
+  /// time after settle_arrivals.
+  virtual void verify_settled(Time now) const = 0;
+};
+
+/// The synchronous shortest-path transport: objects move one unit of
+/// distance per latency_factor steps along oracle distances, exactly the
+/// paper's motion model. Mode selects the bookkeeping path (and kVerify
+/// cross-checks the two reroute target derivations against each other).
+class SyncObjectTransport final : public ObjectTransport {
+ public:
+  SyncObjectTransport(TxnStore& store, const DistanceOracle& oracle,
+                      EngineOptions opts)
+      : store_(&store), oracle_(&oracle), opts_(opts) {}
+
+  void reroute(ObjId o, Time now) override;
+  void settle_arrivals(Time now) override;
+  void verify_settled(Time now) const override;
+
+ private:
+  /// The seed's linear selection of the earliest scheduled user; kNoTxn
+  /// when none.
+  [[nodiscard]] TxnId reroute_target_scan(const TxnStore::ObjEntry& e) const;
+  /// Heap-based selection (prunes committed users); kNoTxn when none.
+  [[nodiscard]] TxnId reroute_target_calendar(TxnStore::ObjEntry& e);
+
+  TxnStore* store_;
+  const DistanceOracle* oracle_;
+  EngineOptions opts_;
+
+  /// Pending object arrivals: (arrive time, index into the store's object
+  /// array). Entries outlive redirects; settle() is idempotent, so early
+  /// pops are no-ops.
+  EventClock::MinHeap<std::int32_t> settle_queue_;
+};
+
+}  // namespace dtm

@@ -1,0 +1,138 @@
+// Golden commit sequences: FNV-1a hashes of the full (id, node, gen, exec)
+// commit stream plus makespan and active-step count, captured from the
+// PRE-layering engine (the monolithic SyncEngine before the store /
+// transport / clock split) on fixed workloads. Any engine change that
+// shifts a single commit by one step — in any of the three modes — flips
+// the hash. Complements fastpath_equivalence_test, which only proves the
+// modes agree with EACH OTHER.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/bucket_scheduler.hpp"
+#include "core/fcfs_scheduler.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "net/topology.hpp"
+#include "sim/runner.hpp"
+#include "sim/workload.hpp"
+
+namespace dtm {
+namespace {
+
+std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t run_case(const Network& net, const SyntheticOptions& w,
+                       std::unique_ptr<OnlineScheduler> sched,
+                       EngineOptions::Mode mode, std::int64_t lf) {
+  SyntheticWorkload wl(net, w);
+  RunOptions opts;
+  opts.engine.mode = mode;
+  opts.engine.latency_factor = lf;
+  const RunResult r = run_experiment(net, wl, *sched, opts);
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& s : r.committed) {
+    h = fnv(h, static_cast<std::uint64_t>(s.txn.id));
+    h = fnv(h, static_cast<std::uint64_t>(s.txn.node));
+    h = fnv(h, static_cast<std::uint64_t>(s.txn.gen_time));
+    h = fnv(h, static_cast<std::uint64_t>(s.exec));
+  }
+  h = fnv(h, static_cast<std::uint64_t>(r.makespan));
+  h = fnv(h, static_cast<std::uint64_t>(r.active_steps));
+  return h;
+}
+
+enum SchedKind { kGreedy, kGreedyDelay, kBucketColoring, kFcfs };
+
+std::unique_ptr<OnlineScheduler> make_sched(SchedKind which) {
+  switch (which) {
+    case kGreedyDelay: {
+      GreedyOptions g;
+      g.coordination_delay = 3;
+      return std::make_unique<GreedyScheduler>(g);
+    }
+    case kBucketColoring:
+      return std::make_unique<BucketScheduler>(
+          std::shared_ptr<const BatchScheduler>(make_coloring_batch()));
+    case kFcfs: return std::make_unique<FcfsScheduler>();
+    default: return std::make_unique<GreedyScheduler>();
+  }
+}
+
+struct GoldenCase {
+  const char* label;
+  Network net;
+  SyntheticOptions w;
+  SchedKind sched;
+  std::int64_t lf;
+  /// Pre-refactor hash per mode {kScan, kCalendar, kVerify} (captured at
+  /// commit f599ea5; regenerate with golden_gen.cpp if the MODEL — not the
+  /// engine internals — legitimately changes).
+  std::uint64_t expect[3];
+};
+
+std::vector<GoldenCase> golden_cases() {
+  std::vector<GoldenCase> cases;
+  {
+    SyntheticOptions w;
+    w.num_objects = 8; w.k = 2; w.rounds = 3; w.seed = 101;
+    cases.push_back({"clique8-greedy", make_clique(8), w, kGreedy, 1,
+                     {0x68dfabb7dbbbaca3ULL, 0x68dfabb7dbbbaca3ULL,
+                      0x68dfabb7dbbbaca3ULL}});
+  }
+  {
+    SyntheticOptions w;
+    w.num_objects = 6; w.k = 2; w.rounds = 2; w.zipf_s = 0.9; w.seed = 202;
+    cases.push_back({"line12-greedy-delay", make_line(12), w, kGreedyDelay, 2,
+                     {0x43998081b82a8990ULL, 0x43998081b82a8990ULL,
+                      0x43998081b82a8990ULL}});
+  }
+  {
+    SyntheticOptions w;
+    w.num_objects = 9; w.k = 3; w.rounds = 2; w.arrival_prob = 0.2;
+    w.seed = 303;
+    cases.push_back({"cluster334-bucket", make_cluster(3, 3, 4), w,
+                     kBucketColoring, 1,
+                     {0xd632f1e8abb3a269ULL, 0xd632f1e8abb3a269ULL,
+                      0xd632f1e8abb3a269ULL}});
+  }
+  {
+    SyntheticOptions w;
+    w.num_objects = 10; w.k = 2; w.rounds = 2; w.node_participation = 0.5;
+    w.seed = 404;
+    cases.push_back({"grid34-fcfs", make_grid({3, 4}), w, kFcfs, 1,
+                     {0xee4d00ad75582bcaULL, 0xee4d00ad75582bcaULL,
+                      0xee4d00ad75582bcaULL}});
+  }
+  {
+    SyntheticOptions w;
+    w.num_objects = 10; w.k = 2; w.rounds = 2; w.zipf_s = 1.2; w.seed = 505;
+    cases.push_back({"star33-greedy", make_star(3, 3), w, kGreedy, 2,
+                     {0x15943e0c37a4a3deULL, 0x15943e0c37a4a3deULL,
+                      0x15943e0c37a4a3deULL}});
+  }
+  return cases;
+}
+
+TEST(GoldenSequence, MatchesPreRefactorEngineInAllModes) {
+  const EngineOptions::Mode modes[] = {EngineOptions::Mode::kScan,
+                                       EngineOptions::Mode::kCalendar,
+                                       EngineOptions::Mode::kVerify};
+  for (const auto& c : golden_cases()) {
+    for (int m = 0; m < 3; ++m) {
+      const std::uint64_t h =
+          run_case(c.net, c.w, make_sched(c.sched), modes[m], c.lf);
+      EXPECT_EQ(h, c.expect[m])
+          << c.label << " mode " << m
+          << ": commit sequence diverged from the pre-refactor engine";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtm
