@@ -37,7 +37,8 @@ Json load_json_file(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string topology, workload, scheduler, mode, lf, window, spec_file;
+  std::string topology, workload, scheduler, fault, mode, lf, window;
+  std::string spec_file;
   std::string save_instance, save_schedule;
   bool csv = false, dump_spec = false;
 
@@ -50,6 +51,9 @@ int main(int argc, char** argv) {
                 &scheduler);
   cli.add_value("workload", "workload spec, e.g. synthetic:objects=64,k=2",
                 &workload);
+  cli.add_value("fault", "fault plan, e.g. fault:drop=0.1,jitter=2 (default "
+                "none)",
+                &fault);
   cli.add_value("mode", "engine mode: scan | calendar | verify", &mode);
   cli.add_value("lf", "latency factor (steps per unit distance)", &lf);
   cli.add_value("window", "Definition-1 ratio window, 0 = off", &window);
@@ -69,6 +73,7 @@ int main(int argc, char** argv) {
     if (!topology.empty()) spec.topology = parse_spec(topology);
     if (!scheduler.empty()) spec.scheduler = parse_spec(scheduler);
     if (!workload.empty()) spec.workload = parse_spec(workload);
+    if (!fault.empty()) spec.fault = parse_spec(fault);
     if (!mode.empty()) spec.mode = mode;
     if (!lf.empty()) spec.latency_factor = std::stoll(lf);
     if (!window.empty()) spec.ratio_window = std::stoll(window);
@@ -79,6 +84,7 @@ int main(int argc, char** argv) {
     if (spec.scheduler.kind == "dist-bucket" && spec.latency_factor < 2)
       spec.latency_factor = 2;
     (void)spec.engine_mode();  // validate eagerly, before any run
+    (void)Registry::make_fault_plan(spec.fault, spec.seed);  // knob check
 
     if (dump_spec) {
       std::cout << spec.to_json().dump(2) << "\n";
@@ -112,10 +118,12 @@ int main(int argc, char** argv) {
     // Single validated run; keep the schedule for the save-* artifacts.
     const Network net = Registry::make_network(spec.topology);
     auto wl = Registry::make_workload(spec.workload, net, spec.seed);
-    auto sched = Registry::make_scheduler(spec.scheduler, net);
+    const FaultPlan plan = Registry::make_fault_plan(spec.fault, spec.seed);
+    auto sched = Registry::make_scheduler(spec.scheduler, net, &plan);
     RunOptions ropts;
     ropts.engine.mode = spec.engine_mode();
     ropts.engine.latency_factor = spec.latency_factor;
+    ropts.engine.fault = plan;
     ropts.ratio_window = spec.ratio_window;
     ropts.validate = spec.validate;
     const RunResult r = run_experiment(net, *wl, *sched, ropts);

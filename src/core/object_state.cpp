@@ -58,6 +58,12 @@ void ObjectState::route_to(NodeId target, Time now,
   }
 }
 
+void ObjectState::delay_arrival(Time extra) {
+  DTM_REQUIRE(in_transit_, "object " << id_ << " is at rest; nothing to stall");
+  DTM_REQUIRE(extra >= 0, "object " << id_ << " stall " << extra);
+  arrive_ += extra;
+}
+
 void ObjectState::settle(Time now) {
   if (in_transit_ && now >= arrive_) {
     at_ = to_;

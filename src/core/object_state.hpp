@@ -75,6 +75,13 @@ class ObjectState {
   /// Settles the object at its destination if `now` >= arrival time.
   void settle(Time now);
 
+  /// Pushes the current leg's arrival `extra` steps later (fault-injection
+  /// transfer stalls). The stretched leg only slows the object down, so
+  /// time_to()'s two-route bound stays a valid upper bound: in the elapsed
+  /// steps the object has covered *at most* the unstalled distance, hence
+  /// both the backtrack and the continue route remain realizable.
+  void delay_arrival(Time extra);
+
  private:
   ObjId id_ = kNoObj;
   // Resting state.

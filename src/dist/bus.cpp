@@ -1,13 +1,23 @@
 #include "dist/bus.hpp"
 
+#include <algorithm>
+
 namespace dtm {
 
 void MessageBus::send(NodeId from, NodeId to, Time now, Payload payload) {
+  deliver_at(from, to, now, now + oracle_->dist(from, to),
+             std::move(payload));
+}
+
+void MessageBus::deliver_at(NodeId from, NodeId to, Time sent, Time deliver,
+                            Payload payload) {
+  DTM_REQUIRE(deliver >= sent, "bus delivery at " << deliver
+                                                  << " before send " << sent);
   Message m;
   m.from = from;
   m.to = to;
-  m.sent = now;
-  m.deliver = now + oracle_->dist(from, to);
+  m.sent = sent;
+  m.deliver = deliver;
   m.seq = seq_++;
   m.payload = std::move(payload);
   ++sent_;
@@ -26,6 +36,79 @@ std::vector<Message> MessageBus::drain(Time now) {
 
 Time MessageBus::next_delivery() const {
   return queue_.empty() ? kNoTime : queue_.top().deliver;
+}
+
+// ---------------------------------------------------------------------------
+// FaultyBus
+
+FaultyBus::FaultyBus(const DistanceOracle& oracle, const FaultPlan& plan)
+    : MessageBus(oracle),
+      plan_(&plan),
+      rng_(plan.bus_rng()),
+      pauses_(plan.pause_windows(oracle.num_nodes())) {
+  DTM_REQUIRE(!plan.is_null(),
+              "FaultyBus needs a non-null plan (use MessageBus for the "
+              "no-fault path)");
+  plan.validate();
+}
+
+Time FaultyBus::release_time(NodeId node, Time t) const {
+  Time out = t;
+  // Windows can overlap; iterate to a fixed point (bounded by the window
+  // count, which is tiny).
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const auto& w : pauses_) {
+      if (w.node == node && out >= w.start && out < w.end) {
+        out = w.end;
+        moved = true;
+      }
+    }
+  }
+  return out;
+}
+
+void FaultyBus::send(NodeId from, NodeId to, Time now, Payload payload) {
+  ++fstats_.offered;
+  // Draw order is fixed (drop, dup, then per-copy jitter) so the fault
+  // sequence depends only on (plan seed, send sequence) — never on which
+  // engine mode or drain order produced the sends.
+  const bool dropped = plan_->drop > 0.0 && rng_.bernoulli(plan_->drop);
+  const bool duplicated = plan_->dup > 0.0 && rng_.bernoulli(plan_->dup);
+  const int copies = dropped ? (duplicated ? 1 : 0) : (duplicated ? 2 : 1);
+  if (dropped) ++fstats_.dropped;
+  if (duplicated) ++fstats_.duplicated;
+  if (copies == 0) return;
+
+  // Sender paused: the message leaves when the node resumes.
+  Time depart = release_time(from, now);
+  if (depart > now) ++fstats_.pause_deferred;
+
+  Weight base = oracle().dist(from, to);
+  if (plan_->link_degraded(from, to)) {
+    base += plan_->degrade;
+    ++fstats_.degraded;
+  }
+
+  for (int c = 0; c < copies; ++c) {
+    Time extra = 0;
+    if (plan_->jitter > 0) {
+      extra = rng_.uniform_int(0, plan_->jitter);
+      fstats_.jitter_total += extra;
+    }
+    Time deliver = depart + base + extra;
+    // Receiver paused at arrival: the delivery waits out the window.
+    const Time released = release_time(to, deliver);
+    if (released > deliver) {
+      ++fstats_.pause_deferred;
+      deliver = released;
+    }
+    if (c + 1 < copies)
+      deliver_at(from, to, now, deliver, payload);  // keep one for the dup
+    else
+      deliver_at(from, to, now, deliver, std::move(payload));
+  }
 }
 
 }  // namespace dtm

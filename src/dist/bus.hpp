@@ -5,6 +5,14 @@
 // probe chases terminate). Delivery is exact: a message sent at time t
 // from u to v arrives at t + dist(u, v) and is handed to the recipient the
 // first time the owner drains the bus at or after that step.
+//
+// FaultyBus is the chaos decorator: it keeps the same queue/drain machinery
+// but perturbs each send according to a FaultPlan — dropping, duplicating,
+// jittering, adding per-link degradation, and deferring traffic touching a
+// paused node. All perturbations are drawn from the plan's seeded RNG
+// stream, so a (plan, send-sequence) pair is fully reproducible. A null
+// plan is rejected at construction: callers pick the plain MessageBus for
+// the no-fault path, which keeps it literally unchanged.
 #pragma once
 
 #include <queue>
@@ -13,6 +21,7 @@
 
 #include "core/event_source.hpp"
 #include "core/types.hpp"
+#include "fault/plan.hpp"
 #include "net/graph.hpp"
 
 namespace dtm {
@@ -28,6 +37,10 @@ struct ProbeMsg {
   /// pointers laid at or after this time, so it walks the trail forward in
   /// time and cannot cycle through revisited nodes.
   Time min_depart = kNoTime;
+  /// Re-probe generation for this (requester, object): 0 for the initial
+  /// probe, incremented by every timeout-driven retry. Replies echo it, so
+  /// duplicates and stale generations are identifiable at the requester.
+  std::int32_t epoch = 0;
 };
 
 /// Reply from the node currently holding (or about to receive) the object:
@@ -40,11 +53,13 @@ struct ReplyMsg {
   NodeId object_node = kNoNode;  ///< where the object is / will next rest
   Time object_free_at = kNoTime;  ///< when it is there
   std::vector<std::pair<TxnId, NodeId>> users;  ///< conflicting txns
+  std::int32_t epoch = 0;  ///< echo of the answered probe's epoch
 };
 
 /// Transaction -> cluster leader report (Algorithm 3 line 6).
 struct ReportMsg {
   TxnId txn = kNoTxn;
+  std::int32_t attempt = 0;  ///< 0 first send, +1 per timeout retransmission
 };
 
 using Payload = std::variant<ProbeMsg, ReplyMsg, ReportMsg>;
@@ -58,12 +73,14 @@ struct Message {
   Payload payload;
 };
 
-class MessageBus final : public EventSource {
+class MessageBus : public EventSource {
  public:
   explicit MessageBus(const DistanceOracle& oracle) : oracle_(&oracle) {}
+  ~MessageBus() override = default;
 
   /// Sends a message; it will be delivered at now + dist(from, to).
-  void send(NodeId from, NodeId to, Time now, Payload payload);
+  /// FaultyBus overrides this with the chaos-perturbed delivery.
+  virtual void send(NodeId from, NodeId to, Time now, Payload payload);
 
   /// Pops every message with deliver <= now, in (deliver, seq) order.
   [[nodiscard]] std::vector<Message> drain(Time now);
@@ -79,6 +96,14 @@ class MessageBus final : public EventSource {
   [[nodiscard]] std::int64_t messages_sent() const { return sent_; }
   [[nodiscard]] std::int64_t total_distance() const { return distance_; }
 
+ protected:
+  /// Enqueues one delivery at an explicit time (>= sent), charging stats.
+  /// The fault decorator routes every surviving copy through here.
+  void deliver_at(NodeId from, NodeId to, Time sent, Time deliver,
+                  Payload payload);
+
+  [[nodiscard]] const DistanceOracle& oracle() const { return *oracle_; }
+
  private:
   struct Later {
     bool operator()(const Message& a, const Message& b) const {
@@ -92,6 +117,37 @@ class MessageBus final : public EventSource {
   std::int64_t seq_ = 0;
   std::int64_t sent_ = 0;
   std::int64_t distance_ = 0;
+};
+
+/// What the decorator did to the traffic, for the chaos bench and tests.
+struct FaultBusStats {
+  std::int64_t offered = 0;     ///< send() calls (pre-fault message count)
+  std::int64_t dropped = 0;     ///< messages lost outright
+  std::int64_t duplicated = 0;  ///< extra copies injected
+  std::int64_t degraded = 0;    ///< deliveries over a degraded link
+  std::int64_t jitter_total = 0;  ///< sum of random extra latency
+  std::int64_t pause_deferred = 0;  ///< deliveries held by a pause window
+};
+
+class FaultyBus final : public MessageBus {
+ public:
+  /// `plan` must be non-null (`!plan.is_null()`) and outlive the bus; the
+  /// no-fault path uses the plain MessageBus so its behavior is untouched
+  /// by construction, not by runtime checks.
+  FaultyBus(const DistanceOracle& oracle, const FaultPlan& plan);
+
+  void send(NodeId from, NodeId to, Time now, Payload payload) override;
+
+  [[nodiscard]] const FaultBusStats& fault_stats() const { return fstats_; }
+
+ private:
+  /// End of the latest pause window covering (node, t), or t if none.
+  [[nodiscard]] Time release_time(NodeId node, Time t) const;
+
+  const FaultPlan* plan_;
+  Rng rng_;
+  std::vector<FaultPlan::PauseWindow> pauses_;
+  FaultBusStats fstats_;
 };
 
 }  // namespace dtm

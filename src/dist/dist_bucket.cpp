@@ -27,9 +27,23 @@ DistributedBucketScheduler::DistributedBucketScheduler(
       cover_(net.graph, *net.oracle, opts.cover),
       algo_(std::move(algo)),
       opts_(opts),
-      rng_(opts.seed),
-      bus_(*net.oracle) {
+      rng_(opts.seed) {
   DTM_REQUIRE(algo_ != nullptr, "distributed bucket needs a batch algorithm");
+  opts_.fault.validate();
+  if (opts_.fault.message_faults()) {
+    // Chaos armed: wrap the bus and switch the protocol to timeout/retry
+    // mode. The plan pointer aims at opts_.fault, which lives as long as
+    // the scheduler.
+    DTM_REQUIRE(opts_.message_level_discovery,
+                "bus-level faults require message_level_discovery (analytic "
+                "mode materializes no messages to perturb)");
+    auto fb = std::make_unique<FaultyBus>(*net.oracle, opts_.fault);
+    faulty_ = fb.get();
+    bus_ = std::move(fb);
+    resilient_ = true;
+  } else {
+    bus_ = std::make_unique<MessageBus>(*net.oracle);
+  }
   if (opts_.enforce_suffix_property)
     wrapped_ = std::make_unique<SuffixWrapper>(algo_);
 }
@@ -75,15 +89,26 @@ std::vector<Assignment> DistributedBucketScheduler::on_step(
 
   // 2b. Reports reaching their leader now (insertion into partial
   //     buckets). In message mode the bus enqueued these via ReportMsg;
-  //     in analytic mode they were scheduled at arrival.
+  //     in analytic mode they were scheduled at arrival. A transaction is
+  //     placed at most once: retransmitted / duplicated reports landing
+  //     after the first are discarded here.
   while (!reports_.empty() && reports_.top().when <= now) {
     const PendingReport rep = reports_.top();
     reports_.pop();
+    auto& tr = traces_[trace_index_.at(rep.txn)];
+    if (tr.reported != kNoTime) {
+      ++stats_.dup_reports;
+      continue;
+    }
     stats_.max_discovery_delay =
-        std::max(stats_.max_discovery_delay,
-                 rep.when - traces_[trace_index_.at(rep.txn)].arrived);
+        std::max(stats_.max_discovery_delay, rep.when - tr.arrived);
     handle_report(view, {now, rep.txn, rep.home}, extra);
   }
+
+  // 2c. Fire due probe/report deadlines (re-probe, retransmit). After the
+  //     report drain so a report processed this very step is not also
+  //     retransmitted.
+  if (resilient_) service_timeouts(view);
 
   // 3. Global activations: every partial i-bucket fires at multiples of 2^i
   //    (lowest level first, heights lexicographic within a level).
@@ -93,7 +118,7 @@ std::vector<Assignment> DistributedBucketScheduler::on_step(
       activate(view, i, extra, out);
     }
   }
-  stats_.message_distance = analytic_distance_ + bus_.total_distance();
+  stats_.message_distance = analytic_distance_ + bus_->total_distance();
   return out;
 }
 
@@ -151,10 +176,83 @@ void DistributedBucketScheduler::start_probe_discovery(
     }
     if (!d.awaiting.insert(acc.obj).second) continue;
     ++stats_.probes;
-    bus_.send(t.node, trails_.birth_node(acc.obj), now,
-              ProbeMsg{t.id, t.node, acc.obj, 0});
+    d.epoch[acc.obj] = 0;
+    send_probe(view, t.id, t.node, acc.obj, 0);
   }
   discovering_[t.id] = std::move(d);
+}
+
+void DistributedBucketScheduler::send_probe(const SystemView& view, TxnId txn,
+                                            NodeId txn_node, ObjId obj,
+                                            std::int32_t epoch) {
+  // The initial probe starts the honest chase from the object's birth node
+  // — the one trail root a requester knows without help. A multi-hop chase
+  // dies if ANY hop is dropped, and its success probability decays
+  // geometrically with trail length, so timeout-driven retries switch
+  // strategy: they aim straight at the directory's current terminus hint
+  // (modeling a query to the tracking layer — same fidelity class as the
+  // report retransmission, see DESIGN notes) and escalate to a few
+  // redundant copies. min_depart = now keeps the shortcut cycle-free: the
+  // probe only chases onward over departures that genuinely happen after
+  // the hint was read, otherwise the landing node answers with the
+  // object's current knowledge.
+  const Time now = view.now();
+  const NodeId target =
+      epoch == 0 ? trails_.birth_node(obj) : trails_.current_terminus(obj);
+  const Time min_depart = epoch == 0 ? kNoTime : now;
+  const int copies = resilient_ ? 1 + std::min(epoch, 2) : 1;
+  for (int c = 0; c < copies; ++c)
+    bus_->send(txn_node, target, now,
+               ProbeMsg{txn, txn_node, obj, 0, min_depart, epoch});
+  if (resilient_)
+    probe_timeouts_.push({retry_deadline(now, epoch), txn, obj, epoch});
+}
+
+Time DistributedBucketScheduler::retry_deadline(Time now,
+                                                std::int32_t attempt) const {
+  // Base window: a few network diameters (a fault-free probe round trip is
+  // at most 4x <= 4 * diameter). Exponential backoff keeps retry traffic
+  // bounded under persistent loss; the cap keeps the worst-case idle wait
+  // proportional to the network size rather than doubling without bound
+  // (an uncapped run's makespan is dominated by one unlucky chain's final
+  // wait).
+  const Time base = std::max<Time>(
+      opts_.timeout_mult * std::max<Weight>(net_.oracle->diameter(), 1), 1);
+  return now + (base << std::min<std::int32_t>(attempt, 5));
+}
+
+void DistributedBucketScheduler::service_timeouts(const SystemView& view) {
+  const Time now = view.now();
+  // Probe deadlines: entries are lazily invalidated — the object may have
+  // been answered, the discovery finished, or the epoch superseded since
+  // the entry was pushed.
+  while (!probe_timeouts_.empty() && probe_timeouts_.top().deadline <= now) {
+    const ProbeTimeout pt = probe_timeouts_.top();
+    probe_timeouts_.pop();
+    const auto it = discovering_.find(pt.txn);
+    if (it == discovering_.end()) continue;
+    Discovery& d = it->second;
+    if (d.awaiting.count(pt.obj) == 0) continue;
+    if (d.epoch.at(pt.obj) != pt.epoch) continue;
+    ++stats_.probe_timeouts;
+    const std::int32_t next_epoch = pt.epoch + 1;
+    d.epoch[pt.obj] = next_epoch;
+    ++stats_.reprobes;
+    send_probe(view, pt.txn, d.node, pt.obj, next_epoch);
+  }
+  // Report deadlines: retransmit until handle_report has placed the txn.
+  while (!report_retries_.empty() &&
+         report_retries_.top().deadline <= now) {
+    const ReportRetry rr = report_retries_.top();
+    report_retries_.pop();
+    const auto& tr = traces_[trace_index_.at(rr.txn)];
+    if (tr.reported != kNoTime) continue;
+    ++stats_.report_retries;
+    const std::int32_t attempt = rr.attempt + 1;
+    bus_->send(view.txn(rr.txn).node, cover_.cluster(tr.home).leader, now,
+               ReportMsg{rr.txn, attempt});
+    report_retries_.push({retry_deadline(now, attempt), rr.txn, attempt});
+  }
 }
 
 void DistributedBucketScheduler::pump_messages(
@@ -164,7 +262,7 @@ void DistributedBucketScheduler::pump_messages(
   // Multiple drain rounds: a probe answered locally can produce a reply
   // and a report within the same step when distances are zero.
   for (int round = 0; round < 8; ++round) {
-    const auto msgs = bus_.drain(now);
+    const auto msgs = bus_->drain(now);
     if (msgs.empty()) break;
     for (const Message& m : msgs) {
       if (const auto* probe = std::get_if<ProbeMsg>(&m.payload)) {
@@ -176,14 +274,20 @@ void DistributedBucketScheduler::pump_messages(
           next.travelled += view.oracle().dist(m.to, hop.next);
           next.min_depart = hop.depart_time;
           ++stats_.probe_hops;
-          DTM_CHECK(next.travelled <=
-                        4 * static_cast<Weight>(view.oracle().num_nodes()) *
-                            std::max<Weight>(view.oracle().diameter(), 1),
+          // Under chaos a delayed probe can legitimately chase a long-lived
+          // trail for many hops, so the no-fault termination bound only
+          // applies to the clean protocol.
+          DTM_CHECK(resilient_ ||
+                        next.travelled <=
+                            4 * static_cast<Weight>(view.oracle().num_nodes()) *
+                                std::max<Weight>(view.oracle().diameter(), 1),
                     "probe chase failed to terminate");
-          bus_.send(m.to, hop.next, now, next);
+          bus_->send(m.to, hop.next, now, next);
           continue;
         }
-        // The object is here (or inbound here): reply with its knowledge.
+        // The object is here (or inbound here): reply with its knowledge,
+        // echoing the probe's epoch so the requester can tell generations
+        // apart.
         ReplyMsg reply;
         reply.requester = probe->requester;
         reply.object = probe->object;
@@ -191,23 +295,41 @@ void DistributedBucketScheduler::pump_messages(
         const ObjectState& os = view.object(probe->object);
         reply.object_free_at =
             os.in_transit() ? os.arrive_time() : now;
+        reply.epoch = probe->epoch;
         for (const TxnId uid : view.live_users_of(probe->object)) {
           if (uid == probe->requester) continue;
           reply.users.emplace_back(uid, view.txn(uid).node);
         }
-        bus_.send(m.to, probe->requester_node, now, std::move(reply));
+        bus_->send(m.to, probe->requester_node, now, std::move(reply));
       } else if (const auto* reply = std::get_if<ReplyMsg>(&m.payload)) {
+        // Each object is answered at most once per discovery: replies for a
+        // finished discovery or an already-answered object (duplicates, or
+        // multiple epochs racing) are counted and dropped. Any epoch's
+        // reply is an acceptable answer — it carries a genuine position
+        // observation — so the first to arrive wins.
         const auto it = discovering_.find(reply->requester);
-        if (it == discovering_.end()) continue;  // already reported
+        if (it == discovering_.end()) {
+          ++stats_.dup_replies;
+          continue;
+        }
         Discovery& d = it->second;
+        if (d.awaiting.count(reply->object) == 0) {
+          ++stats_.dup_replies;
+          continue;
+        }
         d.y = std::max(d.y, view.oracle().dist(d.node, reply->object_node));
         for (const auto& [uid, unode] : reply->users)
           d.y = std::max(d.y, view.oracle().dist(d.node, unode));
         d.awaiting.erase(reply->object);
         if (d.awaiting.empty()) finish_discovery(view, reply->requester);
       } else if (const auto* report = std::get_if<ReportMsg>(&m.payload)) {
-        // Delivered at the leader: queue for insertion this step.
+        // Delivered at the leader: queue for insertion this step (the
+        // drain in on_step discards it if the txn is already placed).
         const auto& tr = traces_[trace_index_.at(report->txn)];
+        if (tr.reported != kNoTime) {
+          ++stats_.dup_reports;
+          continue;
+        }
         reports_.push({now, report->txn, tr.home});
       }
     }
@@ -224,7 +346,9 @@ void DistributedBucketScheduler::finish_discovery(const SystemView& view,
   const NodeId leader = cover_.cluster(home).leader;
   traces_[trace_index_.at(txn)].home = home;
   ++stats_.reports;
-  bus_.send(d.node, leader, now, ReportMsg{txn});
+  bus_->send(d.node, leader, now, ReportMsg{txn, 0});
+  if (resilient_)
+    report_retries_.push({retry_deadline(now, 0), txn, 0});
 }
 
 void DistributedBucketScheduler::handle_report(
@@ -332,6 +456,19 @@ Time DistributedBucketScheduler::next_event_hint(Time now) const {
   // Bus deliveries are NOT merged here: the bus is exposed through
   // event_sources() and the runner's EventClock does the merging.
   Time next = reports_.empty() ? kNoTime : std::max(reports_.top().when, now);
+  // Retry deadlines ARE merged here: with messages lost, the bus may hold
+  // no future delivery while a timeout is the only thing standing between
+  // the run and the runner's deadlock check. Heap tops may be stale
+  // (lazily invalidated) — waking early on one is a harmless no-op.
+  if (resilient_) {
+    const auto merge = [&](Time t) {
+      if (t == kNoTime) return;
+      t = std::max(t, now);
+      next = next == kNoTime ? t : std::min(next, t);
+    };
+    if (!probe_timeouts_.empty()) merge(probe_timeouts_.top().deadline);
+    if (!report_retries_.empty()) merge(report_retries_.top().deadline);
+  }
   for (const auto& [key, members] : partial_buckets_) {
     if (members.empty()) continue;
     const Time period =

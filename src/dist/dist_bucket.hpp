@@ -54,6 +54,15 @@ struct DistBucketOptions {
   /// false: analytic mode — charge the 4x-distance discovery bound
   /// deterministically without materializing messages.
   bool message_level_discovery = true;
+  /// Fault-injection plan. Bus-level faults (drop/dup/jitter/degrade/pause)
+  /// wrap the bus in a FaultyBus and arm the timeout/retry protocol, and
+  /// require message_level_discovery (analytic mode has no messages to
+  /// perturb). A null plan leaves the protocol byte-identical.
+  FaultPlan fault;
+  /// Probe/report timeout = timeout_mult * network diameter, doubling on
+  /// every retry (capped exponential backoff). Only used when the plan has
+  /// message faults.
+  std::int64_t timeout_mult = 4;
   SparseCoverOptions cover;
 };
 
@@ -65,6 +74,12 @@ struct DistStats {
   std::int64_t notifications = 0;   ///< leader -> transaction schedules
   std::int64_t message_distance = 0;  ///< sum of distances charged
   Time max_discovery_delay = 0;     ///< worst arrival -> report latency
+  // -- resilience counters (nonzero only under a fault plan) --
+  std::int64_t probe_timeouts = 0;  ///< probe deadlines that fired
+  std::int64_t reprobes = 0;        ///< probes re-sent after a timeout
+  std::int64_t report_retries = 0;  ///< report retransmissions
+  std::int64_t dup_replies = 0;     ///< replies ignored (stale/duplicate)
+  std::int64_t dup_reports = 0;     ///< reports ignored (already placed)
 };
 
 class DistributedBucketScheduler final : public OnlineScheduler {
@@ -82,7 +97,13 @@ class DistributedBucketScheduler final : public OnlineScheduler {
   /// the EventClock's source merging instead of next_event_hint.
   [[nodiscard]] std::vector<const EventSource*> event_sources()
       const override {
-    return {&bus_};
+    return {bus_.get()};
+  }
+
+  /// What the chaos decorator did to the traffic; null when the plan has no
+  /// message faults (the plain bus is in use).
+  [[nodiscard]] const FaultBusStats* fault_bus_stats() const {
+    return faulty_ ? &faulty_->fault_stats() : nullptr;
   }
 
   [[nodiscard]] std::string name() const override {
@@ -139,12 +160,53 @@ class DistributedBucketScheduler final : public OnlineScheduler {
                      const std::map<TxnId, Time>& extra);
   void finish_discovery(const SystemView& view, TxnId txn);
 
+  // -- resilience protocol (armed only when the plan has message faults) --
+  /// Sends the probe for (txn -> obj) from the object's birth node and, when
+  /// resilient, arms its timeout. `epoch` is 0 for the initial probe.
+  void send_probe(const SystemView& view, TxnId txn, NodeId txn_node,
+                  ObjId obj, std::int32_t epoch);
+  /// Fires due probe/report deadlines: re-probe from the trail root with a
+  /// fresh epoch, retransmit unacknowledged reports. Exponential backoff.
+  void service_timeouts(const SystemView& view);
+  /// Timeout deadline for a message (re)try number `attempt` issued at `now`.
+  [[nodiscard]] Time retry_deadline(Time now, std::int32_t attempt) const;
+
   /// Per-transaction discovery progress (message mode).
   struct Discovery {
     NodeId node = kNoNode;
     Time started = kNoTime;
     std::set<ObjId> awaiting;
     Weight y = 0;  ///< max object / conflicting-transaction distance
+    /// Current probe generation per object (resilient mode): replies from
+    /// older generations are accepted (their info is still a valid position
+    /// observation), but each object is answered at most once.
+    std::map<ObjId, std::int32_t> epoch;
+  };
+
+  /// Armed when a probe is sent; fires a re-probe if the reply has not
+  /// retired (txn, obj) by `deadline`. Stale entries (epoch superseded or
+  /// object already answered) are dropped lazily on pop.
+  struct ProbeTimeout {
+    Time deadline = kNoTime;
+    TxnId txn = kNoTxn;
+    ObjId obj = kNoObj;
+    std::int32_t epoch = 0;
+    bool operator>(const ProbeTimeout& o) const {
+      return deadline > o.deadline ||
+             (deadline == o.deadline && txn > o.txn) ||
+             (deadline == o.deadline && txn == o.txn && obj > o.obj);
+    }
+  };
+
+  /// Armed when a report is sent; retransmits until handle_report has
+  /// placed the transaction (traces_[txn].reported != kNoTime).
+  struct ReportRetry {
+    Time deadline = kNoTime;
+    TxnId txn = kNoTxn;
+    std::int32_t attempt = 0;
+    bool operator>(const ReportRetry& o) const {
+      return deadline > o.deadline || (deadline == o.deadline && txn > o.txn);
+    }
   };
 
   const Network& net_;
@@ -155,7 +217,13 @@ class DistributedBucketScheduler final : public OnlineScheduler {
   mutable Rng rng_;
 
   std::int32_t num_levels_ = 0;
-  MessageBus bus_;
+  std::unique_ptr<MessageBus> bus_;
+  FaultyBus* faulty_ = nullptr;  ///< alias into bus_ when chaos is armed
+  bool resilient_ = false;  ///< message faults configured: timeouts armed
+  std::priority_queue<ProbeTimeout, std::vector<ProbeTimeout>, std::greater<>>
+      probe_timeouts_;
+  std::priority_queue<ReportRetry, std::vector<ReportRetry>, std::greater<>>
+      report_retries_;
   ObjectTrailDirectory trails_;
   std::set<ObjId> tracked_;
   std::map<TxnId, Discovery> discovering_;

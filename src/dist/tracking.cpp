@@ -23,13 +23,15 @@ void ObjectTrailDirectory::observe(const ObjectState& obj, Time /*now*/) {
   if (obj.in_transit()) {
     const NodeId from = obj.leg_from();
     const NodeId to = obj.dest();
-    if (!t.was_in_transit || t.leg_from != from || t.leg_to != to) {
+    if (!t.was_in_transit || t.leg_from != from || t.leg_to != to ||
+        t.leg_depart != obj.depart_time()) {
       // New leg: the departure node keeps a forwarding pointer stamped with
       // the true departure time (a probe arriving earlier sees the object
       // as still present, which physically it is).
       t.pointer[from] = {to, obj.depart_time()};
       t.leg_from = from;
       t.leg_to = to;
+      t.leg_depart = obj.depart_time();
       t.was_in_transit = true;
       t.terminus = to;
     }

@@ -58,10 +58,14 @@ class ObjectTrailDirectory {
     /// exactly the physical semantics.
     std::map<NodeId, std::pair<NodeId, Time>> pointer;
     NodeId terminus = kNoNode;
-    // Last observed leg, to detect changes.
+    // Last observed leg, to detect changes. The departure time is part of
+    // the signature: with event-driven observation an object can settle and
+    // re-depart along the same (from, to) leg between two observations, and
+    // only the timestamp distinguishes the new leg from the old one.
     bool was_in_transit = false;
     NodeId leg_from = kNoNode;
     NodeId leg_to = kNoNode;
+    Time leg_depart = kNoTime;
   };
   std::map<ObjId, Trail> trails_;
 };

@@ -1,0 +1,57 @@
+#include "fault/plan.hpp"
+
+namespace dtm {
+
+void FaultPlan::validate() const {
+  DTM_REQUIRE(drop >= 0.0 && drop <= 1.0, "fault: drop " << drop
+                                                         << " not in [0, 1]");
+  DTM_REQUIRE(dup >= 0.0 && dup <= 1.0,
+              "fault: dup " << dup << " not in [0, 1]");
+  DTM_REQUIRE(jitter >= 0, "fault: jitter " << jitter << " negative");
+  DTM_REQUIRE(degrade >= 0, "fault: degrade " << degrade << " negative");
+  DTM_REQUIRE(degrade_frac >= 0.0 && degrade_frac <= 1.0,
+              "fault: degrade-frac " << degrade_frac << " not in [0, 1]");
+  DTM_REQUIRE(pauses >= 0, "fault: pauses " << pauses << " negative");
+  DTM_REQUIRE(pause_len >= 1, "fault: pause-len " << pause_len << " < 1");
+  DTM_REQUIRE(pause_within >= 1,
+              "fault: pause-within " << pause_within << " < 1");
+  DTM_REQUIRE(stall >= 0.0 && stall <= 1.0,
+              "fault: stall " << stall << " not in [0, 1]");
+  DTM_REQUIRE(stall_max >= 1, "fault: stall-max " << stall_max << " < 1");
+}
+
+bool FaultPlan::link_degraded(NodeId u, NodeId v) const {
+  if (degrade == 0 || degrade_frac <= 0.0) return false;
+  if (degrade_frac >= 1.0) return true;
+  // Symmetric splitmix-style hash of the unordered pair, scaled against the
+  // fraction — a fixed pseudo-random subset of links for the whole run.
+  const std::uint64_t a = static_cast<std::uint64_t>(u < v ? u : v);
+  const std::uint64_t b = static_cast<std::uint64_t>(u < v ? v : u);
+  std::uint64_t x = seed ^ (a * 0x9E3779B97F4A7C15ULL) ^
+                    (b + 0xBF58476D1CE4E5B9ULL);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  const double unit =
+      static_cast<double>(x >> 11) * 0x1.0p-53;  // uniform in [0, 1)
+  return unit < degrade_frac;
+}
+
+std::vector<FaultPlan::PauseWindow> FaultPlan::pause_windows(
+    NodeId num_nodes) const {
+  DTM_REQUIRE(num_nodes > 0, "fault: pause windows need a non-empty network");
+  std::vector<PauseWindow> out;
+  if (pauses <= 0) return out;
+  Rng rng(seed ^ 0x9A5EULL);
+  out.reserve(static_cast<std::size_t>(pauses));
+  for (std::int32_t i = 0; i < pauses; ++i) {
+    PauseWindow w;
+    w.node = static_cast<NodeId>(rng.uniform_int(0, num_nodes - 1));
+    w.start = rng.uniform_int(0, pause_within - 1);
+    w.end = w.start + pause_len;
+    out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace dtm

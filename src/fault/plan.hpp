@@ -1,0 +1,96 @@
+// FaultPlan — declarative, RNG-seeded fault schedules for chaos testing.
+//
+// A plan describes *what can go wrong* on the simulated network: per-message
+// drop and duplication probabilities, per-message latency jitter, per-link
+// deterministic degradation, node pause/resume windows, and object-transfer
+// stalls. The plan itself is a small value type (knobs + seed); every
+// injection site (the FaultyBus decorating dist/bus.*, the stall hook in
+// sim/transport.*) derives its own deterministic stream from `seed` plus a
+// site-specific salt, so a (seed, plan) pair reproduces the exact same fault
+// sequence run after run — chaos you can bisect.
+//
+// The null plan (all probabilities and amounts zero — the default) is the
+// no-fault guarantee: injection sites check `is_null()` once and take the
+// exact pre-fault code path, so golden commit-sequence hashes stay
+// byte-identical when no faults are configured.
+//
+// Plans are constructed by name through the registry
+// (`fault:drop=0.05,jitter=2,...` or the equivalent JSON object inside a
+// RunSpec); unknown knobs are hard errors there, like every other spec.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+
+struct FaultPlan {
+  // -- message faults (applied by the FaultyBus) --
+  double drop = 0.0;    ///< per-message loss probability, in [0, 1]
+  double dup = 0.0;     ///< per-message duplication probability, in [0, 1]
+  std::int64_t jitter = 0;   ///< max extra delivery latency per message
+  std::int64_t degrade = 0;  ///< extra latency on every degraded link
+  double degrade_frac = 0.0; ///< fraction of links degraded, in [0, 1]
+
+  // -- node pause windows (messages to/from a paused node wait) --
+  std::int32_t pauses = 0;        ///< number of seeded pause windows
+  std::int64_t pause_len = 16;    ///< length of each window, steps
+  std::int64_t pause_within = 256;  ///< window starts drawn in [0, this)
+
+  // -- object-transfer stalls (applied by the transport hook) --
+  double stall = 0.0;          ///< per-transfer stall probability, in [0, 1]
+  std::int64_t stall_max = 8;  ///< max stall per transfer, steps
+
+  std::uint64_t seed = 0xFA017;
+
+  /// True when the plan injects nothing — the byte-identical no-fault path.
+  [[nodiscard]] bool is_null() const {
+    return !message_faults() && stall == 0.0;
+  }
+
+  /// True when any bus-level fault is configured (drop/dup/jitter/degrade/
+  /// pauses). Decides whether the scheduler wraps its bus in a FaultyBus
+  /// and arms the timeout/retry protocol; a stall-only plan leaves the bus
+  /// (and hence message-exact behavior) untouched.
+  [[nodiscard]] bool message_faults() const {
+    return drop > 0.0 || dup > 0.0 || jitter > 0 ||
+           (degrade > 0 && degrade_frac > 0.0) || pauses > 0;
+  }
+
+  /// Validates knob ranges (probabilities in [0, 1], amounts >= 0); throws
+  /// CheckError otherwise. Factories call this after parsing.
+  void validate() const;
+
+  /// Deterministic per-link degradation: whether the directed message hop
+  /// (u, v) is degraded (symmetric in u, v). Seeded by `seed`, so the set of
+  /// degraded links is fixed for the whole run without materializing an
+  /// n x n table.
+  [[nodiscard]] bool link_degraded(NodeId u, NodeId v) const;
+
+  /// A seeded node pause window [start, end): messages sent by or delivered
+  /// to `node` inside the window wait until `end`.
+  struct PauseWindow {
+    NodeId node = kNoNode;
+    Time start = 0;
+    Time end = 0;
+  };
+
+  /// Materializes the plan's `pauses` windows for a network of `num_nodes`
+  /// nodes. Deterministic in (seed, num_nodes); the same plan yields the
+  /// same windows at every injection site.
+  [[nodiscard]] std::vector<PauseWindow> pause_windows(NodeId num_nodes) const;
+
+  /// Site-salted RNG streams, so the bus and the transport drawing from the
+  /// same plan never entangle their sequences.
+  [[nodiscard]] Rng bus_rng() const { return Rng(seed ^ 0xB0505EEDULL); }
+  [[nodiscard]] Rng transport_rng() const {
+    return Rng(seed ^ 0x57A115EEDULL);
+  }
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+}  // namespace dtm

@@ -43,6 +43,8 @@ void Cli::print_registry() {
   section("workloads", Registry::workloads());
   section("batch algorithms (bucket/dist-bucket algo=...)",
           Registry::batch_algos());
+  section("fault plans (--fault / RunSpec \"fault\")",
+          Registry::fault_plans());
 }
 
 bool Cli::parse(int argc, char** argv) {

@@ -206,6 +206,7 @@ Json RunSpec::to_json() const {
   o.emplace("topology", spec_to_json(topology));
   o.emplace("workload", spec_to_json(workload));
   o.emplace("scheduler", spec_to_json(scheduler));
+  o.emplace("fault", spec_to_json(fault));
   o.emplace("mode", Json(mode));
   o.emplace("latency_factor", Json(latency_factor));
   o.emplace("seed", Json(static_cast<std::int64_t>(seed)));
@@ -222,6 +223,7 @@ RunSpec RunSpec::from_json(const Json& j) {
     if (k == "topology") s.topology = spec_from_json(v, k);
     else if (k == "workload") s.workload = spec_from_json(v, k);
     else if (k == "scheduler") s.scheduler = spec_from_json(v, k);
+    else if (k == "fault") s.fault = spec_from_json(v, k);
     else if (k == "mode") s.mode = v.as_string();
     else if (k == "latency_factor") s.latency_factor = v.as_int();
     else if (k == "seed") s.seed = static_cast<std::uint64_t>(v.as_int());
@@ -265,7 +267,7 @@ const std::vector<Registry::Entry>& Registry::schedulers() {
        "algo=auto,max-level=0,retries=3,seed=...,suffix=true,force-level=-1"
        "  (Algorithm 2 over offline algo)"},
       {"dist-bucket",
-       "algo=auto,max-level=0,retries=3,seed=...,msg=true"
+       "algo=auto,max-level=0,retries=3,seed=...,msg=true,timeout-mult=4"
        "  (Algorithm 3 over a sparse cover; forces latency factor >= 2)"},
   };
   return kEntries;
@@ -302,6 +304,72 @@ const std::vector<Registry::Entry>& Registry::batch_algos() {
       {"exhaustive", "exact over chain orders (tiny problems only)"},
   };
   return kEntries;
+}
+
+const std::vector<Registry::Entry>& Registry::fault_plans() {
+  static const std::vector<Entry> kEntries = {
+      {"none", "(no faults; the byte-identical default)"},
+      {"fault",
+       "drop=0,dup=0,jitter=0,degrade=0,degrade-frac=0,pauses=0,"
+       "pause-len=16,pause-within=256,stall=0,stall-max=8,seed=..."},
+  };
+  return kEntries;
+}
+
+FaultPlan Registry::make_fault_plan(const Spec& spec,
+                                    std::uint64_t default_seed) {
+  SpecArgs a(spec);
+  if (a.kind() == "none") {
+    a.finish();
+    return FaultPlan{};
+  }
+  DTM_REQUIRE(a.kind() == "fault", "unknown fault plan '"
+                                       << a.kind()
+                                       << "' (none | fault:knob=value,...)");
+  FaultPlan p;
+  p.drop = a.real("drop", 0.0);
+  p.dup = a.real("dup", 0.0);
+  p.jitter = a.integer("jitter", 0);
+  p.degrade = a.integer("degrade", 0);
+  p.degrade_frac = a.real("degrade-frac", 0.0);
+  p.pauses = static_cast<std::int32_t>(a.integer("pauses", 0));
+  p.pause_len = a.integer("pause-len", p.pause_len);
+  p.pause_within = a.integer("pause-within", p.pause_within);
+  p.stall = a.real("stall", 0.0);
+  p.stall_max = a.integer("stall-max", p.stall_max);
+  p.seed = static_cast<std::uint64_t>(
+      a.integer("seed", static_cast<std::int64_t>(default_seed)));
+  a.finish();
+  p.validate();
+  return p;
+}
+
+Spec Registry::fault_to_spec(const FaultPlan& plan) {
+  if (plan.is_null()) return Spec{"none", {}};
+  const FaultPlan d;
+  Spec s{"fault", {}};
+  const auto put_real = [&](const char* key, double v, double dv) {
+    if (v == dv) return;
+    std::ostringstream os;
+    os << v;
+    s.params.emplace(key, os.str());
+  };
+  const auto put_int = [&](const char* key, std::int64_t v, std::int64_t dv) {
+    if (v != dv) s.params.emplace(key, std::to_string(v));
+  };
+  put_real("drop", plan.drop, d.drop);
+  put_real("dup", plan.dup, d.dup);
+  put_int("jitter", plan.jitter, d.jitter);
+  put_int("degrade", plan.degrade, d.degrade);
+  put_real("degrade-frac", plan.degrade_frac, d.degrade_frac);
+  put_int("pauses", plan.pauses, d.pauses);
+  put_int("pause-len", plan.pause_len, d.pause_len);
+  put_int("pause-within", plan.pause_within, d.pause_within);
+  put_real("stall", plan.stall, d.stall);
+  put_int("stall-max", plan.stall_max, d.stall_max);
+  put_int("seed", static_cast<std::int64_t>(plan.seed),
+          static_cast<std::int64_t>(d.seed));
+  return s;
 }
 
 Network Registry::make_network(const Spec& spec) {
@@ -428,8 +496,8 @@ std::shared_ptr<const BatchScheduler> Registry::make_batch_algo(
                    "' (--list shows the registry)");
 }
 
-std::unique_ptr<OnlineScheduler> Registry::make_scheduler(const Spec& spec,
-                                                          const Network& net) {
+std::unique_ptr<OnlineScheduler> Registry::make_scheduler(
+    const Spec& spec, const Network& net, const FaultPlan* fault) {
   SpecArgs a(spec);
   std::unique_ptr<OnlineScheduler> s;
   if (a.kind() == "greedy" || a.kind() == "greedy-uniform") {
@@ -461,6 +529,8 @@ std::unique_ptr<OnlineScheduler> Registry::make_scheduler(const Spec& spec,
     o.seed = static_cast<std::uint64_t>(
         a.integer("seed", static_cast<std::int64_t>(o.seed)));
     o.message_level_discovery = a.boolean("msg", true);
+    o.timeout_mult = a.integer("timeout-mult", o.timeout_mult);
+    if (fault != nullptr) o.fault = *fault;
     s = std::make_unique<DistributedBucketScheduler>(
         net, make_batch_algo(a.str("algo", "auto"), net), o);
   } else {
@@ -477,10 +547,12 @@ std::unique_ptr<OnlineScheduler> Registry::make_scheduler(const Spec& spec,
 RunResult run_spec(const RunSpec& spec, bool collect_schedule) {
   const Network net = Registry::make_network(spec.topology);
   auto wl = Registry::make_workload(spec.workload, net, spec.seed);
-  auto sched = Registry::make_scheduler(spec.scheduler, net);
+  const FaultPlan fault = Registry::make_fault_plan(spec.fault, spec.seed);
+  auto sched = Registry::make_scheduler(spec.scheduler, net, &fault);
   RunOptions opts;
   opts.engine.mode = spec.engine_mode();
   opts.engine.latency_factor = spec.latency_factor;
+  opts.engine.fault = fault;
   opts.ratio_window = spec.ratio_window;
   opts.validate = spec.validate;
   opts.collect_schedule = collect_schedule;
@@ -495,10 +567,12 @@ TrialSummary run_spec_trials(const RunSpec& spec) {
     const std::uint64_t seed =
         spec.seed + static_cast<std::uint64_t>(t) * 7919;
     auto wl = Registry::make_workload(spec.workload, net, seed);
-    auto sched = Registry::make_scheduler(spec.scheduler, net);
+    const FaultPlan fault = Registry::make_fault_plan(spec.fault, seed);
+    auto sched = Registry::make_scheduler(spec.scheduler, net, &fault);
     RunOptions opts;
     opts.engine.mode = spec.engine_mode();
     opts.engine.latency_factor = spec.latency_factor;
+    opts.engine.fault = fault;
     opts.ratio_window = spec.ratio_window;
     opts.validate = spec.validate;
     opts.collect_schedule = false;

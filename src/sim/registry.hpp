@@ -22,6 +22,7 @@
 
 #include "batch/batch_scheduler.hpp"
 #include "core/scheduler.hpp"
+#include "fault/plan.hpp"
 #include "net/topology.hpp"
 #include "sim/runner.hpp"
 #include "sim/trials.hpp"
@@ -74,6 +75,10 @@ struct RunSpec {
   Spec topology{"clique", {{"n", "8"}}};
   Spec workload{"synthetic", {}};
   Spec scheduler{"greedy", {}};
+  /// Fault-injection plan: "none" (default) or
+  /// "fault:drop=...,dup=...,jitter=...,...". Absent from old JSON spec
+  /// files, which therefore keep meaning "no faults".
+  Spec fault{"none", {}};
   std::string mode = "calendar";  ///< scan | calendar | verify
   std::int64_t latency_factor = 1;
   std::uint64_t seed = 42;
@@ -100,6 +105,7 @@ class Registry {
   [[nodiscard]] static const std::vector<Entry>& schedulers();
   [[nodiscard]] static const std::vector<Entry>& workloads();
   [[nodiscard]] static const std::vector<Entry>& batch_algos();
+  [[nodiscard]] static const std::vector<Entry>& fault_plans();
 
   [[nodiscard]] static Network make_network(const Spec& spec);
 
@@ -112,11 +118,26 @@ class Registry {
   /// algo=auto picks the per-topology offline algorithm, and the cluster /
   /// star / grid batch algorithms read their structural parameters from
   /// net.build_params.
+  /// `fault`, when non-null, is copied into schedulers that take a plan
+  /// (dist-bucket arms its FaultyBus + timeout protocol from it). Bus-level
+  /// faults have no effect on schedulers that exchange no messages; the
+  /// transport stall knob acts through EngineOptions instead.
   [[nodiscard]] static std::unique_ptr<OnlineScheduler> make_scheduler(
-      const Spec& spec, const Network& net);
+      const Spec& spec, const Network& net,
+      const FaultPlan* fault = nullptr);
 
   [[nodiscard]] static std::shared_ptr<const BatchScheduler> make_batch_algo(
       const std::string& name, const Network& net);
+
+  /// Builds a FaultPlan from a "none" or "fault:..." spec. Unknown knobs
+  /// are hard errors; knob ranges are validated. `default_seed` seeds the
+  /// plan unless the spec carries its own "seed" parameter.
+  [[nodiscard]] static FaultPlan make_fault_plan(
+      const Spec& spec, std::uint64_t default_seed = FaultPlan{}.seed);
+
+  /// Inverse of make_fault_plan: "none" for a null plan, otherwise a
+  /// "fault" spec listing every knob that differs from the defaults.
+  [[nodiscard]] static Spec fault_to_spec(const FaultPlan& plan);
 };
 
 /// Builds everything the RunSpec names and runs one experiment (the spec's

@@ -1,5 +1,7 @@
 #include "sim/transport.hpp"
 
+#include <algorithm>
+
 namespace dtm {
 
 TxnId SyncObjectTransport::reroute_target_scan(
@@ -50,10 +52,38 @@ void SyncObjectTransport::reroute(ObjId o, Time now) {
     }
   }
   if (best == kNoTxn) return;
+  // Leg signature before routing, to detect a genuinely new/redirected leg.
+  const bool was_transit = e.state.in_transit();
+  const NodeId old_to = was_transit ? e.state.dest() : kNoNode;
+  const Time old_depart = was_transit ? e.state.depart_time() : kNoTime;
+  const Time old_arrive = was_transit ? e.state.arrive_time() : kNoTime;
   e.state.route_to(store_->live().at(best).txn.node, now, *oracle_,
                    opts_.latency_factor);
+  if (stalling_ && e.state.in_transit() &&
+      (!was_transit || e.state.dest() != old_to ||
+       e.state.depart_time() != old_depart ||
+       e.state.arrive_time() != old_arrive))
+    maybe_stall(e, best);
   if (opts_.mode != EngineOptions::Mode::kScan && e.state.in_transit())
     settle_queue_.emplace(e.state.arrive_time(), store_->obj_index(e));
+}
+
+void SyncObjectTransport::maybe_stall(TxnStore::ObjEntry& e, TxnId best) {
+  // One draw per fresh leg (no-op reroutes never reach here, so repeated
+  // reroutes toward an unchanged target cannot compound stalls). Reroute
+  // order is mode-invariant, so the draw sequence — and hence the whole
+  // simulation — stays identical across kScan/kCalendar/kVerify.
+  if (!stall_rng_.bernoulli(opts_.fault.stall)) return;
+  // The stall may consume at most the slack before the earliest scheduled
+  // user runs: schedules already committed to by ANY policy remain feasible,
+  // and time_to()'s two-route bound stays valid on the stretched leg.
+  const Time slack = store_->live().at(best).exec - e.state.arrive_time();
+  if (slack <= 0) return;
+  const Time extra =
+      std::min<Time>(slack, stall_rng_.uniform_int(1, opts_.fault.stall_max));
+  e.state.delay_arrival(extra);
+  ++stalls_;
+  stall_steps_ += extra;
 }
 
 void SyncObjectTransport::settle_arrivals(Time now) {

@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "fault/plan.hpp"
 #include "sim/store.hpp"
 
 namespace dtm {
@@ -23,6 +24,12 @@ struct EngineOptions {
   /// equivalence tests prove it), different asymptotics.
   enum class Mode { kCalendar, kScan, kVerify };
   Mode mode = Mode::kCalendar;
+
+  /// Fault-injection plan for the transport's stall hook (and, through the
+  /// RunSpec, the distributed protocol's FaultyBus). The default null plan
+  /// takes the exact pre-fault code path — zero draws, zero delays — so
+  /// golden sequences stay byte-identical without a plan.
+  FaultPlan fault;
 };
 
 class ObjectTransport {
@@ -50,7 +57,15 @@ class SyncObjectTransport final : public ObjectTransport {
  public:
   SyncObjectTransport(TxnStore& store, const DistanceOracle& oracle,
                       EngineOptions opts)
-      : store_(&store), oracle_(&oracle), opts_(opts) {}
+      : store_(&store),
+        oracle_(&oracle),
+        opts_(opts),
+        stall_rng_(opts_.fault.transport_rng()),
+        stalling_(opts_.fault.stall > 0.0) {}
+
+  /// Transfer stalls applied / extra steps added (chaos bench observability).
+  [[nodiscard]] std::int64_t stalls_applied() const { return stalls_; }
+  [[nodiscard]] std::int64_t stall_steps() const { return stall_steps_; }
 
   void reroute(ObjId o, Time now) override;
   void settle_arrivals(Time now) override;
@@ -63,9 +78,21 @@ class SyncObjectTransport final : public ObjectTransport {
   /// Heap-based selection (prunes committed users); kNoTxn when none.
   [[nodiscard]] TxnId reroute_target_calendar(TxnStore::ObjEntry& e);
 
+  /// Fault hook: maybe stretches a freshly laid transit leg for `e`, bounded
+  /// by the slack before `best`'s execution so commitments stay feasible.
+  void maybe_stall(TxnStore::ObjEntry& e, TxnId best);
+
   TxnStore* store_;
   const DistanceOracle* oracle_;
   EngineOptions opts_;
+
+  /// Transfer-stall injection state. The RNG stream is salted per the
+  /// FaultPlan; with stall == 0 the hook is a single branch and zero draws,
+  /// keeping the no-fault path byte-identical.
+  Rng stall_rng_;
+  bool stalling_ = false;
+  std::int64_t stalls_ = 0;
+  std::int64_t stall_steps_ = 0;
 
   /// Pending object arrivals: (arrive time, index into the store's object
   /// array). Entries outlive redirects; settle() is idempotent, so early

@@ -110,6 +110,126 @@ TEST_F(TrackingTest, ChainOfHops) {
   EXPECT_EQ(dir.current_terminus(0), 11);
 }
 
+TEST_F(TrackingTest, QueryBeforeFirstObservation) {
+  // A probe can race ahead of the first observe() (e.g. a transaction
+  // arrives on the same step the object is created): every query must give
+  // the "still at birth" answer, not crash or mislead.
+  ObjectTrailDirectory dir;
+  dir.register_object(0, 4);
+  EXPECT_FALSE(dir.lookup(0, 4, 0).departed);
+  EXPECT_FALSE(dir.lookup(0, 4, 1000).departed);
+  EXPECT_FALSE(dir.lookup(0, 9, 1000).departed);  // any other node: nothing
+  EXPECT_EQ(dir.current_terminus(0), 4);
+  EXPECT_THROW((void)dir.lookup(7, 4, 0), CheckError);  // unknown object
+  EXPECT_THROW((void)dir.current_terminus(7), CheckError);
+}
+
+TEST_F(TrackingTest, ProbeAtRevisitedNodeTerminatesViaMinDepart) {
+  // Object goes 0 -> 6 and comes back: the trail now contains a cycle of
+  // pointers (0 -> 6 at t=0, 6 -> 0 at t=7). A chase walking forward in
+  // time (min_depart = previous hop's departure) must conclude "object is
+  // here" at the revisited node instead of looping forever.
+  ObjectTrailDirectory dir;
+  ObjectState obj(0, 0, 0);
+  dir.register_object(0, 0);
+  dir.observe(obj, 0);
+  obj.route_to(6, 0, *net_.oracle);
+  dir.observe(obj, 0);
+  obj.settle(6);
+  dir.observe(obj, 6);
+  obj.route_to(0, 7, *net_.oracle);
+  dir.observe(obj, 7);
+  obj.settle(13);
+  dir.observe(obj, 13);
+  EXPECT_EQ(dir.current_terminus(0), 0);
+
+  const auto h0 = dir.lookup(0, 0, 100);
+  ASSERT_TRUE(h0.departed);
+  EXPECT_EQ(h0.next, 6);
+  const auto h1 = dir.lookup(0, 6, 100, h0.depart_time);
+  ASSERT_TRUE(h1.departed);
+  EXPECT_EQ(h1.next, 0);
+  // Back at node 0: the only pointer there departed at t=0, before the
+  // previous hop (t=7) — filtered out, so the chase stops: object is here.
+  EXPECT_FALSE(dir.lookup(0, 0, 100, h1.depart_time).departed);
+}
+
+TEST_F(TrackingTest, MissedSettleStillChainsPointers) {
+  // Event-driven engines may not surface the resting interval between two
+  // legs to observe(); the second leg must still lay its pointer.
+  ObjectTrailDirectory dir;
+  ObjectState obj(0, 0, 0);
+  dir.register_object(0, 0);
+  obj.route_to(5, 0, *net_.oracle);
+  dir.observe(obj, 0);
+  obj.settle(5);           // rest at 5 never observed
+  obj.route_to(11, 6, *net_.oracle);
+  dir.observe(obj, 6);
+  const auto h = dir.lookup(0, 5, 100);
+  ASSERT_TRUE(h.departed);
+  EXPECT_EQ(h.next, 11);
+  EXPECT_EQ(h.depart_time, 6);
+  EXPECT_EQ(dir.current_terminus(0), 11);
+}
+
+TEST_F(TrackingTest, RepeatedLegRefreshesDepartureStamp) {
+  // Round trip 0 -> 3 -> 0 -> 3 where only the two 0 -> 3 legs are ever
+  // observed: same (from, to) signature, different departure. The pointer
+  // at 0 must carry the LATEST departure time, or a forward-in-time chase
+  // (min_depart) would wrongly conclude the object never left again.
+  ObjectTrailDirectory dir;
+  ObjectState obj(0, 0, 0);
+  dir.register_object(0, 0);
+  obj.route_to(3, 0, *net_.oracle);
+  dir.observe(obj, 0);
+  obj.settle(3);
+  obj.route_to(0, 4, *net_.oracle);   // unobserved return leg
+  obj.settle(7);
+  obj.route_to(3, 20, *net_.oracle);  // same signature as the first leg
+  dir.observe(obj, 20);
+  const auto h = dir.lookup(0, 0, 100, /*min_depart=*/10);
+  ASSERT_TRUE(h.departed);
+  EXPECT_EQ(h.next, 3);
+  EXPECT_EQ(h.depart_time, 20);
+  EXPECT_EQ(dir.current_terminus(0), 3);
+}
+
+TEST_F(TrackingTest, MidFlightRedirectOverwritesPointer) {
+  // 0 -> 9 redirected at t=2 back toward 1: the pointer at 0 must follow
+  // the redirect (latest leg wins) so probes chase the real trajectory.
+  ObjectTrailDirectory dir;
+  ObjectState obj(0, 0, 0);
+  dir.register_object(0, 0);
+  obj.route_to(9, 0, *net_.oracle);
+  dir.observe(obj, 0);
+  obj.route_to(1, 2, *net_.oracle);  // backtrack via node 0 wins
+  dir.observe(obj, 2);
+  const auto h = dir.lookup(0, 0, 100);
+  ASSERT_TRUE(h.departed);
+  EXPECT_EQ(h.next, 1);
+  EXPECT_EQ(dir.current_terminus(0), 1);
+}
+
+TEST_F(TrackingTest, MidFlightRedirectForwardExtendsChain) {
+  // 0 -> 9 redirected at t=2 to 8: continuing via 9 is shorter, so the leg
+  // rebases from 9 and the chain gains a hop (0 -> 9 -> 8) instead of
+  // overwriting the pointer at 0.
+  ObjectTrailDirectory dir;
+  ObjectState obj(0, 0, 0);
+  dir.register_object(0, 0);
+  obj.route_to(9, 0, *net_.oracle);
+  dir.observe(obj, 0);
+  obj.route_to(8, 2, *net_.oracle);
+  dir.observe(obj, 2);
+  const auto h0 = dir.lookup(0, 0, 100);
+  ASSERT_TRUE(h0.departed);
+  EXPECT_EQ(h0.next, 9);
+  const auto h1 = dir.lookup(0, 9, 100, h0.depart_time);
+  ASSERT_TRUE(h1.departed);
+  EXPECT_EQ(h1.next, 8);
+  EXPECT_EQ(dir.current_terminus(0), 8);
+}
+
 TEST_F(TrackingTest, ObserveIsIdempotentPerLeg) {
   ObjectTrailDirectory dir;
   ObjectState obj(0, 2, 0);

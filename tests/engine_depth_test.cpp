@@ -52,7 +52,9 @@ TEST(EngineDepth, IndependentCommitsShareAStep) {
 TEST(EngineDepth, RedirectUnderLatencyFactorMeetsPromise) {
   // The two-route bound must hold with half-speed objects too.
   const Network net = make_line(12);
-  SyncEngine e(net.oracle, {origin(0, 0)}, EngineOptions{2});
+  EngineOptions opts;
+  opts.latency_factor = 2;
+  SyncEngine e(net.oracle, {origin(0, 0)}, opts);
   e.begin_step({{txn(1, 11, 0, {0})}});
   // Far deadline with slack: the minimum would be 22 (11 hops at factor
   // 2); 42 leaves room for the detour the pairwise gap rule requires
@@ -92,8 +94,9 @@ TEST(EngineDepth, OriginsAccessorReflectsConstruction) {
 
 TEST(EngineDepth, ZeroLatencyFactorRejected) {
   const Network net = make_line(4);
-  EXPECT_THROW((void)SyncEngine(net.oracle, {origin(0, 0)}, EngineOptions{0}),
-               CheckError);
+  EngineOptions opts;
+  opts.latency_factor = 0;
+  EXPECT_THROW((void)SyncEngine(net.oracle, {origin(0, 0)}, opts), CheckError);
 }
 
 TEST(EngineDepth, AssignmentAtCurrentStepWithRemoteObjectFails) {

@@ -187,7 +187,9 @@ TEST_F(EngineTest, NextExecDue) {
 }
 
 TEST_F(EngineTest, LatencyFactorSlowsObjects) {
-  SyncEngine e(net_.oracle, {origin(0, 0)}, EngineOptions{2});
+  EngineOptions opts;
+  opts.latency_factor = 2;
+  SyncEngine e(net_.oracle, {origin(0, 0)}, opts);
   e.begin_step({{txn(1, 4, 0, {0})}});
   e.apply({{Assignment{1, 8}}});  // 4 hops * factor 2
   e.finish_step();

@@ -101,8 +101,9 @@ TEST(FastPathEquivalence, ScriptedRedirectScenario) {
        {EngineOptions::Mode::kScan, EngineOptions::Mode::kVerify,
         EngineOptions::Mode::kCalendar}) {
     const Network net = make_line(10);
-    SyncEngine e(net.oracle, {origin(0, 0), origin(1, 9)},
-                 {1, mode});
+    EngineOptions opts;
+    opts.mode = mode;
+    SyncEngine e(net.oracle, {origin(0, 0), origin(1, 9)}, opts);
     e.begin_step({{txn(1, 9, 0, {0}), txn(2, 5, 0, {1})}});
     e.apply({{Assignment{1, 20}, Assignment{2, 4}}});
     e.finish_step();

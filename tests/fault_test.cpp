@@ -1,0 +1,313 @@
+// Tests for fault/plan and the FaultyBus chaos decorator: knob validation,
+// registry construction (unknown knobs are hard errors), deterministic
+// seeded fault streams, and each perturbation in isolation. The transport
+// stall hook is exercised end-to-end through run_spec, which validates the
+// resulting schedule — the slack-bounded stall must never break feasibility.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dist/bus.hpp"
+#include "fault/plan.hpp"
+#include "net/topology.hpp"
+#include "sim/registry.hpp"
+#include "sim/runner.hpp"
+#include "util/check.hpp"
+
+namespace dtm {
+namespace {
+
+TEST(FaultPlan, NullAndMessageFaultClassification) {
+  FaultPlan p;
+  EXPECT_TRUE(p.is_null());
+  EXPECT_FALSE(p.message_faults());
+
+  p.stall = 0.5;  // stall-only: faulty, but the bus stays untouched
+  EXPECT_FALSE(p.is_null());
+  EXPECT_FALSE(p.message_faults());
+
+  FaultPlan q;
+  q.drop = 0.1;
+  EXPECT_TRUE(q.message_faults());
+  q = FaultPlan{};
+  q.jitter = 3;
+  EXPECT_TRUE(q.message_faults());
+  q = FaultPlan{};
+  q.pauses = 1;
+  EXPECT_TRUE(q.message_faults());
+  // Degradation needs both an amount and a nonzero link fraction.
+  q = FaultPlan{};
+  q.degrade = 5;
+  EXPECT_FALSE(q.message_faults());
+  q.degrade_frac = 0.5;
+  EXPECT_TRUE(q.message_faults());
+
+  // A different seed alone is still the null plan.
+  FaultPlan r;
+  r.seed = 999;
+  EXPECT_TRUE(r.is_null());
+}
+
+TEST(FaultPlan, ValidateRejectsOutOfRangeKnobs) {
+  const auto bad = [](auto&& tweak) {
+    FaultPlan p;
+    tweak(p);
+    EXPECT_THROW(p.validate(), CheckError);
+  };
+  bad([](FaultPlan& p) { p.drop = 1.5; });
+  bad([](FaultPlan& p) { p.drop = -0.1; });
+  bad([](FaultPlan& p) { p.dup = 2.0; });
+  bad([](FaultPlan& p) { p.jitter = -1; });
+  bad([](FaultPlan& p) { p.degrade = -2; });
+  bad([](FaultPlan& p) { p.degrade_frac = 1.01; });
+  bad([](FaultPlan& p) { p.pauses = -1; });
+  bad([](FaultPlan& p) { p.pause_len = 0; });
+  bad([](FaultPlan& p) { p.pause_within = 0; });
+  bad([](FaultPlan& p) { p.stall = -0.5; });
+  bad([](FaultPlan& p) { p.stall_max = 0; });
+  FaultPlan ok;
+  ok.drop = 1.0;
+  ok.stall = 1.0;
+  EXPECT_NO_THROW(ok.validate());
+}
+
+TEST(FaultPlan, LinkDegradationIsDeterministicAndSymmetric) {
+  FaultPlan p;
+  p.degrade = 4;
+  p.degrade_frac = 0.5;
+  p.seed = 7;
+  int degraded = 0;
+  for (NodeId u = 0; u < 16; ++u) {
+    for (NodeId v = 0; v < 16; ++v) {
+      EXPECT_EQ(p.link_degraded(u, v), p.link_degraded(v, u));
+      EXPECT_EQ(p.link_degraded(u, v), p.link_degraded(u, v));  // stable
+      if (u < v && p.link_degraded(u, v)) ++degraded;
+    }
+  }
+  EXPECT_GT(degraded, 0);
+  EXPECT_LT(degraded, 16 * 15 / 2);  // frac=0.5: neither none nor all
+
+  p.degrade_frac = 1.0;
+  EXPECT_TRUE(p.link_degraded(0, 1));
+  p.degrade = 0;  // no amount: nothing is degraded regardless of frac
+  EXPECT_FALSE(p.link_degraded(0, 1));
+}
+
+TEST(FaultPlan, PauseWindowsAreSeededAndBounded) {
+  FaultPlan p;
+  p.pauses = 5;
+  p.pause_len = 10;
+  p.pause_within = 64;
+  p.seed = 21;
+  const auto a = p.pause_windows(8);
+  const auto b = p.pause_windows(8);
+  ASSERT_EQ(a.size(), 5u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].start, b[i].start);
+    EXPECT_EQ(a[i].end, b[i].end);
+    EXPECT_GE(a[i].node, 0);
+    EXPECT_LT(a[i].node, 8);
+    EXPECT_GE(a[i].start, 0);
+    EXPECT_LT(a[i].start, 64);
+    EXPECT_EQ(a[i].end, a[i].start + 10);
+  }
+  FaultPlan none;
+  EXPECT_TRUE(none.pause_windows(8).empty());
+}
+
+TEST(FaultRegistry, ParsesKnobsAndDefaults) {
+  const FaultPlan none = Registry::make_fault_plan(parse_spec("none"), 99);
+  EXPECT_TRUE(none.is_null());
+
+  const FaultPlan p = Registry::make_fault_plan(
+      parse_spec("fault:drop=0.25,dup=0.1,jitter=3,degrade=2,"
+                 "degrade-frac=0.5,pauses=2,pause-len=8,pause-within=100,"
+                 "stall=0.4,stall-max=6,seed=77"),
+      99);
+  EXPECT_DOUBLE_EQ(p.drop, 0.25);
+  EXPECT_DOUBLE_EQ(p.dup, 0.1);
+  EXPECT_EQ(p.jitter, 3);
+  EXPECT_EQ(p.degrade, 2);
+  EXPECT_DOUBLE_EQ(p.degrade_frac, 0.5);
+  EXPECT_EQ(p.pauses, 2);
+  EXPECT_EQ(p.pause_len, 8);
+  EXPECT_EQ(p.pause_within, 100);
+  EXPECT_DOUBLE_EQ(p.stall, 0.4);
+  EXPECT_EQ(p.stall_max, 6);
+  EXPECT_EQ(p.seed, 77u);
+
+  // No explicit seed: the run's seed (default_seed argument) wins.
+  const FaultPlan q =
+      Registry::make_fault_plan(parse_spec("fault:drop=0.1"), 1234);
+  EXPECT_EQ(q.seed, 1234u);
+}
+
+TEST(FaultRegistry, UnknownKnobAndKindAreHardErrors) {
+  EXPECT_THROW((void)Registry::make_fault_plan(parse_spec("fault:drip=0.1"),
+                                               1),
+               CheckError);
+  EXPECT_THROW((void)Registry::make_fault_plan(parse_spec("chaos:drop=0.1"),
+                                               1),
+               CheckError);
+  EXPECT_THROW((void)Registry::make_fault_plan(parse_spec("none:drop=0.1"),
+                                               1),
+               CheckError);
+  // Range errors surface at construction, not first use.
+  EXPECT_THROW((void)Registry::make_fault_plan(parse_spec("fault:drop=1.5"),
+                                               1),
+               CheckError);
+}
+
+TEST(FaultRegistry, SpecRoundTrip) {
+  // Null plan collapses to "none".
+  EXPECT_EQ(Registry::fault_to_spec(FaultPlan{}).kind, "none");
+
+  FaultPlan p;
+  p.drop = 0.25;
+  p.jitter = 2;
+  p.pauses = 1;
+  p.stall = 0.5;
+  p.seed = 31;
+  const Spec s = Registry::fault_to_spec(p);
+  EXPECT_EQ(Registry::make_fault_plan(s), p);
+  // And through the compact text form.
+  EXPECT_EQ(Registry::make_fault_plan(parse_spec(to_string(s))), p);
+  // Default-valued knobs are omitted from the spec.
+  EXPECT_EQ(s.params.count("dup"), 0u);
+  EXPECT_EQ(s.params.count("pause-len"), 0u);
+
+  // A plan whose seed is the default round-trips without emitting it.
+  FaultPlan d;
+  d.drop = 0.1;
+  const Spec sd = Registry::fault_to_spec(d);
+  EXPECT_EQ(sd.params.count("seed"), 0u);
+  EXPECT_EQ(Registry::make_fault_plan(sd), d);
+}
+
+class FaultyBusTest : public ::testing::Test {
+ protected:
+  Network net_ = make_line(10);
+};
+
+TEST_F(FaultyBusTest, RejectsNullPlan) {
+  const FaultPlan null;
+  EXPECT_THROW((void)FaultyBus(*net_.oracle, null), CheckError);
+}
+
+TEST_F(FaultyBusTest, DropEverything) {
+  FaultPlan p;
+  p.drop = 1.0;
+  FaultyBus bus(*net_.oracle, p);
+  for (int i = 0; i < 20; ++i) bus.send(0, 5, 0, ReportMsg{i});
+  EXPECT_TRUE(bus.drain(1000).empty());
+  EXPECT_EQ(bus.fault_stats().offered, 20);
+  EXPECT_EQ(bus.fault_stats().dropped, 20);
+  EXPECT_EQ(bus.next_delivery(), kNoTime);
+}
+
+TEST_F(FaultyBusTest, DuplicateEverything) {
+  FaultPlan p;
+  p.dup = 1.0;
+  FaultyBus bus(*net_.oracle, p);
+  for (int i = 0; i < 10; ++i) bus.send(0, 5, 0, ReportMsg{i});
+  EXPECT_EQ(bus.drain(1000).size(), 20u);
+  EXPECT_EQ(bus.fault_stats().duplicated, 10);
+  EXPECT_EQ(bus.fault_stats().dropped, 0);
+}
+
+TEST_F(FaultyBusTest, DropPlusDupLeavesOneCopy) {
+  // Both fire on the same message: the duplicate survives the drop, so a
+  // message is never amplified and lost at the same time.
+  FaultPlan p;
+  p.drop = 1.0;
+  p.dup = 1.0;
+  FaultyBus bus(*net_.oracle, p);
+  for (int i = 0; i < 10; ++i) bus.send(0, 5, 0, ReportMsg{i});
+  EXPECT_EQ(bus.drain(1000).size(), 10u);
+  EXPECT_EQ(bus.fault_stats().dropped, 10);
+  EXPECT_EQ(bus.fault_stats().duplicated, 10);
+}
+
+TEST_F(FaultyBusTest, JitterStaysInBoundsAndIsDeterministic) {
+  FaultPlan p;
+  p.jitter = 4;
+  p.seed = 5;
+  FaultyBus a(*net_.oracle, p);
+  FaultyBus b(*net_.oracle, p);
+  for (int i = 0; i < 30; ++i) {
+    a.send(0, 6, 10, ReportMsg{i});
+    b.send(0, 6, 10, ReportMsg{i});
+  }
+  const auto da = a.drain(1000);
+  const auto db = b.drain(1000);
+  ASSERT_EQ(da.size(), 30u);
+  ASSERT_EQ(db.size(), 30u);
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_GE(da[i].deliver, 10 + 6);
+    EXPECT_LE(da[i].deliver, 10 + 6 + 4);
+    // Same plan, same send sequence: byte-identical fault stream.
+    EXPECT_EQ(da[i].deliver, db[i].deliver);
+    EXPECT_EQ(std::get<ReportMsg>(da[i].payload).txn,
+              std::get<ReportMsg>(db[i].payload).txn);
+  }
+  EXPECT_EQ(a.fault_stats().jitter_total, b.fault_stats().jitter_total);
+}
+
+TEST_F(FaultyBusTest, DegradedLinkAddsFixedLatency) {
+  FaultPlan p;
+  p.degrade = 5;
+  p.degrade_frac = 1.0;  // every link
+  FaultyBus bus(*net_.oracle, p);
+  bus.send(2, 6, 0, ReportMsg{1});
+  const auto msgs = bus.drain(1000);
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].deliver, 4 + 5);
+  EXPECT_EQ(bus.fault_stats().degraded, 1);
+}
+
+TEST_F(FaultyBusTest, PausedNodeDefersTraffic) {
+  FaultPlan p;
+  p.pauses = 1;
+  p.pause_len = 12;
+  p.pause_within = 40;
+  p.seed = 3;
+  const auto w = p.pause_windows(net_.oracle->num_nodes()).at(0);
+  FaultyBus bus(*net_.oracle, p);
+  // Sent by the paused node inside its window: departs at window end.
+  const NodeId other = w.node == 0 ? 1 : 0;
+  bus.send(w.node, other, w.start, ReportMsg{1});
+  const auto msgs = bus.drain(100000);
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_GE(msgs[0].deliver, w.end + net_.oracle->dist(w.node, other));
+  EXPECT_GE(bus.fault_stats().pause_deferred, 1);
+}
+
+TEST(FaultTransport, StallKeepsSchedulesValidAndDeterministic) {
+  // stall=1 forces a stall draw on every fresh transfer leg; run_spec
+  // validates the committed schedule, so this proves the slack bound keeps
+  // every stalled schedule feasible.
+  RunSpec spec;
+  spec.topology = parse_spec("line:n=10");
+  spec.scheduler = parse_spec("greedy");
+  spec.workload = parse_spec("synthetic:objects=8,k=2,rounds=3");
+  spec.seed = 9;
+  spec.fault = parse_spec("fault:stall=1,stall-max=4");
+  const RunResult a = run_spec(spec);
+  const RunResult b = run_spec(spec);
+  EXPECT_GT(a.num_txns, 0);
+  EXPECT_EQ(a.makespan, b.makespan);
+  ASSERT_EQ(a.committed.size(), b.committed.size());
+  for (std::size_t i = 0; i < a.committed.size(); ++i) {
+    EXPECT_EQ(a.committed[i].txn.id, b.committed[i].txn.id);
+    EXPECT_EQ(a.committed[i].exec, b.committed[i].exec);
+  }
+  // Stalls never lose work: same transaction count as the fault-free run.
+  RunSpec clean = spec;
+  clean.fault = parse_spec("none");
+  EXPECT_EQ(run_spec(clean).num_txns, a.num_txns);
+}
+
+}  // namespace
+}  // namespace dtm

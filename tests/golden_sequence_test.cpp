@@ -12,7 +12,10 @@
 #include "core/bucket_scheduler.hpp"
 #include "core/fcfs_scheduler.hpp"
 #include "core/greedy_scheduler.hpp"
+#include "dist/dist_bucket.hpp"
+#include "fault/plan.hpp"
 #include "net/topology.hpp"
+#include "sim/registry.hpp"
 #include "sim/runner.hpp"
 #include "sim/workload.hpp"
 
@@ -27,14 +30,7 @@ std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
   return h;
 }
 
-std::uint64_t run_case(const Network& net, const SyntheticOptions& w,
-                       std::unique_ptr<OnlineScheduler> sched,
-                       EngineOptions::Mode mode, std::int64_t lf) {
-  SyntheticWorkload wl(net, w);
-  RunOptions opts;
-  opts.engine.mode = mode;
-  opts.engine.latency_factor = lf;
-  const RunResult r = run_experiment(net, wl, *sched, opts);
+std::uint64_t hash_result(const RunResult& r) {
   std::uint64_t h = 1469598103934665603ULL;
   for (const auto& s : r.committed) {
     h = fnv(h, static_cast<std::uint64_t>(s.txn.id));
@@ -45,6 +41,16 @@ std::uint64_t run_case(const Network& net, const SyntheticOptions& w,
   h = fnv(h, static_cast<std::uint64_t>(r.makespan));
   h = fnv(h, static_cast<std::uint64_t>(r.active_steps));
   return h;
+}
+
+std::uint64_t run_case(const Network& net, const SyntheticOptions& w,
+                       std::unique_ptr<OnlineScheduler> sched,
+                       EngineOptions::Mode mode, std::int64_t lf) {
+  SyntheticWorkload wl(net, w);
+  RunOptions opts;
+  opts.engine.mode = mode;
+  opts.engine.latency_factor = lf;
+  return hash_result(run_experiment(net, wl, *sched, opts));
 }
 
 enum SchedKind { kGreedy, kGreedyDelay, kBucketColoring, kFcfs };
@@ -131,6 +137,62 @@ TEST(GoldenSequence, MatchesPreRefactorEngineInAllModes) {
           << c.label << " mode " << m
           << ": commit sequence diverged from the pre-refactor engine";
     }
+  }
+}
+
+// Distributed engine mode pins: the full message protocol (probes, replies,
+// reports) over the bus, with and without a fault plan. The chaos pin is
+// the satellite guarantee of the fault subsystem: a FIXED (plan, seed) pair
+// is a deterministic workload, so its commit stream is pinnable exactly
+// like the clean one — any change to the fault draw order, the timeout
+// arithmetic, or the retry protocol flips it.
+std::uint64_t run_dist_case(const Network& net, const FaultPlan& plan,
+                            EngineOptions::Mode mode) {
+  SyntheticOptions w;
+  w.num_objects = 10;
+  w.k = 2;
+  w.rounds = 2;
+  w.seed = 606;
+  SyntheticWorkload wl(net, w);
+  DistBucketOptions o;
+  o.seed = 77;
+  o.fault = plan;
+  DistributedBucketScheduler sched(net, Registry::make_batch_algo("auto", net),
+                                   o);
+  RunOptions opts;
+  opts.engine.mode = mode;
+  opts.engine.latency_factor = 2;  // §V half-speed objects
+  opts.engine.fault = plan;
+  return hash_result(run_experiment(net, wl, sched, opts));
+}
+
+TEST(GoldenSequence, DistBucketNullPlanPinned) {
+  // Captured with the fault subsystem in place but a null plan: this is the
+  // byte-identical no-fault guarantee for the distributed mode.
+  const std::uint64_t kPin = 0xcdd107db4c1159e2ULL;
+  const Network net = make_cluster(2, 3, 4);
+  for (const auto mode :
+       {EngineOptions::Mode::kScan, EngineOptions::Mode::kCalendar,
+        EngineOptions::Mode::kVerify}) {
+    EXPECT_EQ(run_dist_case(net, FaultPlan{}, mode), kPin)
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(GoldenSequence, DistBucketChaosPlanPinned) {
+  const std::uint64_t kPin = 0x7d0e573c8d14d918ULL;
+  FaultPlan plan;
+  plan.drop = 0.3;
+  plan.jitter = 2;
+  plan.dup = 0.1;
+  plan.stall = 0.3;
+  plan.seed = 23;
+  const Network net = make_cluster(2, 3, 4);
+  for (const auto mode :
+       {EngineOptions::Mode::kScan, EngineOptions::Mode::kCalendar,
+        EngineOptions::Mode::kVerify}) {
+    EXPECT_EQ(run_dist_case(net, plan, mode), kPin)
+        << "mode " << static_cast<int>(mode);
   }
 }
 

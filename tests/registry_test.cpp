@@ -152,6 +152,7 @@ TEST(RunSpec, JsonRoundTrip) {
   spec.topology = parse_spec("cluster:alpha=2,beta=3,gamma=4");
   spec.workload = parse_spec("synthetic:objects=16,k=3,zipf=0.8");
   spec.scheduler = parse_spec("bucket:max-level=2,retries=5");
+  spec.fault = parse_spec("fault:drop=0.1,jitter=2,stall=0.25");
   spec.mode = "verify";
   spec.latency_factor = 2;
   spec.seed = 77;
@@ -190,6 +191,43 @@ TEST(RunSpec, CompactSpecStringsAcceptedInJson) {
   EXPECT_EQ(spec.topology, parse_spec("star:alpha=2,beta=2"));
   EXPECT_EQ(spec.scheduler.kind, "fcfs");
   EXPECT_EQ(spec.workload.kind, "synthetic");  // untouched default
+}
+
+TEST(RunSpec, FaultSpecRoundTripsThroughEverySurface) {
+  // compact string -> Spec -> JSON -> Spec -> FaultPlan, all agreeing.
+  const std::string text = "fault:drop=0.2,dup=0.05,jitter=3,pauses=2,seed=9";
+  const Spec s = parse_spec(text);
+  EXPECT_EQ(parse_spec(to_string(s)), s);
+
+  RunSpec spec;
+  spec.fault = s;
+  const RunSpec back = RunSpec::from_json(spec.to_json());
+  EXPECT_EQ(back.fault, s);
+
+  const FaultPlan p = Registry::make_fault_plan(back.fault, spec.seed);
+  EXPECT_DOUBLE_EQ(p.drop, 0.2);
+  EXPECT_EQ(p.jitter, 3);
+  EXPECT_EQ(p.seed, 9u);
+  // And back out: plan -> spec -> plan is the identity.
+  EXPECT_EQ(Registry::make_fault_plan(Registry::fault_to_spec(p)), p);
+}
+
+TEST(RunSpec, OldJsonWithoutFaultMeansNoFaults) {
+  // Spec files written before the fault subsystem keep their meaning.
+  const RunSpec spec = RunSpec::from_json(
+      Json::parse("{\"topology\": \"line:n=8\", \"scheduler\": \"greedy\"}"));
+  EXPECT_EQ(spec.fault.kind, "none");
+  EXPECT_TRUE(
+      Registry::make_fault_plan(spec.fault, spec.seed).is_null());
+}
+
+TEST(RunSpec, UnknownFaultKnobIsHardError) {
+  // A typo'd fault knob aborts the run like every other spec typo.
+  RunSpec spec;
+  spec.fault = parse_spec("fault:drp=0.1");
+  EXPECT_THROW((void)run_spec(spec), CheckError);
+  spec.fault = parse_spec("storm");
+  EXPECT_THROW((void)run_spec(spec), CheckError);
 }
 
 TEST(RunSpec, TrialsAverageMatchesManualSeeds) {
