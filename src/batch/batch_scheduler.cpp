@@ -25,17 +25,35 @@ Time estimate_fa(const BatchScheduler& a, const BatchProblem& p, Rng& rng) {
 }
 
 BatchResult chain_evaluate(const BatchProblem& p,
-                           const std::vector<std::size_t>& order) {
+                           const std::vector<std::size_t>& order,
+                           bool validate) {
   DTM_REQUIRE(order.size() == p.txns.size(),
               "order size " << order.size() << " != " << p.txns.size());
   struct Cursor {
+    ObjId id;
     NodeId node;
     Time free_at;
     bool from_txn;
   };
-  std::map<ObjId, Cursor> cur;
+  // Flat sorted cursor table instead of a node-based map: this runs under
+  // every F_A estimate, and the per-call rebuild of a std::map used to be
+  // the single largest allocation source in the bucket schedulers. The
+  // thread_local scratch keeps the capacity across calls.
+  static thread_local std::vector<Cursor> cur;
+  cur.clear();
+  cur.reserve(p.objects.size());
   for (const auto& o : p.objects)
-    cur[o.id] = {o.node, o.ready, o.from_txn};
+    cur.push_back({o.id, o.node, o.ready, o.from_txn});
+  std::sort(cur.begin(), cur.end(),
+            [](const Cursor& a, const Cursor& b) { return a.id < b.id; });
+  const auto find = [&](ObjId o) -> Cursor& {
+    const auto it = std::lower_bound(
+        cur.begin(), cur.end(), o,
+        [](const Cursor& c, ObjId v) { return c.id < v; });
+    DTM_CHECK(it != cur.end() && it->id == o,
+              "object " << o << " missing from problem");
+    return *it;
+  };
 
   BatchResult r;
   r.assignments.reserve(p.txns.size());
@@ -43,18 +61,16 @@ BatchResult chain_evaluate(const BatchProblem& p,
     const BatchTxn& t = p.txns[idx];
     Time e = p.now;
     for (const ObjId o : t.objects) {
-      const auto it = cur.find(o);
-      DTM_CHECK(it != cur.end(), "object " << o << " missing from problem");
-      const Cursor& c = it->second;
+      const Cursor& c = find(o);
       Time arrive = c.free_at + p.travel(c.node, t.node);
       if (c.from_txn) arrive = std::max(arrive, c.free_at + 1);
       e = std::max(e, arrive);
     }
-    for (const ObjId o : t.objects) cur[o] = {t.node, e, true};
+    for (const ObjId o : t.objects) find(o) = {o, t.node, e, true};
     r.assignments.push_back({t.id, e});
     r.makespan = std::max(r.makespan, e - p.now);
   }
-  check_batch_result(p, r);
+  if (validate) check_batch_result(p, r);
   return r;
 }
 

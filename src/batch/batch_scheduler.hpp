@@ -44,9 +44,12 @@ class BatchScheduler {
 
 /// Evaluates the earliest feasible execution times for `p.txns` visited in
 /// the given order (object chains from availability). The workhorse shared
-/// by every ordering-based scheduler; exposed for tests.
+/// by every ordering-based scheduler; exposed for tests. `validate` runs
+/// check_batch_result on the output — search loops that evaluate many
+/// candidate orders and validate only the winner pass false.
 [[nodiscard]] BatchResult chain_evaluate(const BatchProblem& p,
-                                         const std::vector<std::size_t>& order);
+                                         const std::vector<std::size_t>& order,
+                                         bool validate = true);
 
 /// A batch scheduler defined by an ordering policy over the problem's
 /// transactions. The policy returns a permutation of indices into p.txns.

@@ -1,0 +1,319 @@
+#include "batch/bucket_insertion.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace dtm {
+
+namespace {
+
+// Stream salts: probes and activation trials must never share a stream
+// even when they fingerprint the same problem.
+constexpr std::uint64_t kProbeSalt = 0xB0CC37F257A11D01ULL;
+constexpr std::uint64_t kTrialSalt = 0xAC71DA7E5EEDBEEFULL;
+
+constexpr std::uint64_t kBasis = 1469598103934665603ULL;
+
+/// Cap before the memo is dropped wholesale. Entries are never invalid
+/// (the key fully determines the value), so eviction is purely a memory
+/// bound and a full clear is the cheapest correct policy.
+constexpr std::size_t kMemoCap = std::size_t{1} << 16;
+
+std::uint64_t row_hash(const BatchTxn& t) {
+  std::uint64_t h = hash_mix(0x517E0FULL);
+  h = hash_combine(h, static_cast<std::uint64_t>(t.id));
+  h = hash_combine(h, static_cast<std::uint64_t>(t.node));
+  for (const ObjId o : t.objects)
+    h = hash_combine(h, static_cast<std::uint64_t>(o));
+  return h;
+}
+
+std::uint64_t avail_chain(std::uint64_t h, const BatchObject& o, Time now) {
+  h = hash_combine(h, static_cast<std::uint64_t>(o.id));
+  h = hash_combine(h, static_cast<std::uint64_t>(o.node));
+  h = hash_combine(h, static_cast<std::uint64_t>(o.ready - now));
+  h = hash_combine(h, o.from_txn ? 1u : 0u);
+  return h;
+}
+
+std::uint64_t finish_fp(std::uint64_t txn_fp, std::uint64_t avail_fp,
+                        std::int64_t latency_factor) {
+  return hash_combine(hash_combine(txn_fp, avail_fp),
+                      static_cast<std::uint64_t>(latency_factor));
+}
+
+}  // namespace
+
+std::uint64_t problem_fingerprint(const BatchProblem& p) {
+  std::uint64_t txn_fp = kBasis;
+  for (const BatchTxn& t : p.txns) txn_fp = hash_combine(txn_fp, row_hash(t));
+  std::uint64_t avail_fp = kBasis;
+  for (const BatchObject& o : p.objects)
+    avail_fp = avail_chain(avail_fp, o, p.now);
+  return finish_fp(txn_fp, avail_fp, p.latency_factor);
+}
+
+Time estimate_fa_seeded(const BatchScheduler& a, const BatchProblem& p,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  return estimate_fa(a, p, rng);
+}
+
+BucketInsertionCore::BucketInsertionCore(
+    std::shared_ptr<const BatchScheduler> algo, BucketFastPath path,
+    std::uint64_t seed)
+    : algo_(std::move(algo)), path_(path), seed_(seed) {
+  DTM_REQUIRE(algo_ != nullptr, "bucket insertion core needs a batch algo");
+}
+
+void BucketInsertionCore::make_candidate(const SystemView& view,
+                                         const Transaction& t,
+                                         const ExtraAssignments& extra,
+                                         Candidate& out) {
+  out.id = t.id;
+  out.row.id = t.id;
+  out.row.node = t.node;
+  out.row.objects = t.object_ids();
+  std::sort(out.row.objects.begin(), out.row.objects.end());
+  out.row.objects.erase(
+      std::unique(out.row.objects.begin(), out.row.objects.end()),
+      out.row.objects.end());
+  out.row_hash = row_hash(out.row);
+
+  out.avail.clear();
+  lb_pts_.clear();
+  const Time now = view.now();
+  for (const ObjId o : out.row.objects) {
+    const BatchObject bo = object_availability(view, o, extra);
+    out.avail.push_back(bo);
+    lb_pts_.push_back({bo.node, bo.ready - now, bo.from_txn});
+  }
+  out.lb = single_txn_lower_bound(t.node, lb_pts_, view.oracle(),
+                                  view.latency_factor());
+}
+
+BucketInsertionCore::CachedBucket& BucketInsertionCore::cached(BucketId id) {
+  return cache_[id];
+}
+
+void BucketInsertionCore::ensure_fresh(const SystemView& view,
+                                       CachedBucket& cb,
+                                       const ExtraAssignments& extra) {
+  if (cb.at_now == view.now() && cb.at_world == world_) return;
+  ++stats_.refreshes;
+  cb.p.oracle = &view.oracle();
+  cb.p.latency_factor = view.latency_factor();
+  cb.p.now = view.now();
+  // Membership (and thus the object id set) is unchanged; only the
+  // availability snapshot behind it can have moved.
+  for (BatchObject& o : cb.p.objects)
+    o = object_availability(view, o.id, extra);
+  cb.at_now = view.now();
+  cb.at_world = world_;
+}
+
+Time BucketInsertionCore::estimate(const BatchProblem& p, std::uint64_t fp,
+                                   bool use_memo) {
+  ++stats_.probes;
+  last_memo_hit_ = false;
+  if (use_memo) {
+    const auto it = memo_.find(fp);
+    if (it != memo_.end()) {
+      ++stats_.memo_hits;
+      last_memo_hit_ = true;
+      return it->second;
+    }
+  }
+  ++stats_.estimates;
+  const Time f =
+      estimate_fa_seeded(*algo_, p, derive_seed(seed_, kProbeSalt, fp));
+  if (use_memo) {
+    if (memo_.size() >= kMemoCap) memo_.clear();
+    memo_.emplace(fp, f);
+  }
+  return f;
+}
+
+Time BucketInsertionCore::probe_naive(const SystemView& view,
+                                      std::span<const TxnId> members,
+                                      const Candidate& cand,
+                                      const ExtraAssignments& extra,
+                                      bool use_memo) {
+  ++stats_.rebuilds;
+  builder_.build(view, members, cand.id, extra, scratch_);
+  return estimate(scratch_, problem_fingerprint(scratch_), use_memo);
+}
+
+Time BucketInsertionCore::probe_cached(const SystemView& view,
+                                       CachedBucket& cb,
+                                       const Candidate& cand,
+                                       const ExtraAssignments& extra) {
+  ensure_fresh(view, cb, extra);
+
+  // Append the candidate in place: one transaction row plus its
+  // not-yet-present objects, merged at their sorted positions. Rolled back
+  // after the estimate; a successful insertion replays this permanently in
+  // on_inserted.
+  cb.p.txns.push_back(cand.row);
+  probe_inserted_.clear();
+  for (const BatchObject& bo : cand.avail) {
+    const auto it = std::lower_bound(
+        cb.p.objects.begin(), cb.p.objects.end(), bo.id,
+        [](const BatchObject& a, ObjId b) { return a.id < b; });
+    if (it != cb.p.objects.end() && it->id == bo.id) continue;
+    probe_inserted_.push_back(
+        static_cast<std::size_t>(it - cb.p.objects.begin()));
+    cb.p.objects.insert(it, bo);
+  }
+
+  std::uint64_t avail_fp = kBasis;
+  for (const BatchObject& o : cb.p.objects)
+    avail_fp = avail_chain(avail_fp, o, cb.p.now);
+  const std::uint64_t fp = finish_fp(hash_combine(cb.txn_fp, cand.row_hash),
+                                     avail_fp, cb.p.latency_factor);
+  const Time f = estimate(cb.p, fp, /*use_memo=*/true);
+
+  // Rollback, highest position first (recorded positions are strictly
+  // increasing, so later erases cannot shift earlier ones).
+  for (std::size_t k = probe_inserted_.size(); k-- > 0;)
+    cb.p.objects.erase(cb.p.objects.begin() +
+                       static_cast<std::ptrdiff_t>(probe_inserted_[k]));
+  cb.p.txns.pop_back();
+  return f;
+}
+
+std::int32_t BucketInsertionCore::choose_level(const SystemView& view,
+                                               const Transaction& t,
+                                               std::int32_t top,
+                                               const LevelFn& levels,
+                                               const ExtraAssignments& extra) {
+  ++stats_.inserts;
+  last_scan_.clear();
+  make_candidate(view, t, extra, cand_);
+  last_lb_ = cand_.lb;
+
+  const bool fast = path_ != BucketFastPath::kNaive;
+  std::int32_t start = 0;
+  if (fast) {
+    // Every feasible schedule of B_i ∪ {t} executes t no earlier than LB,
+    // and estimate_fa majorizes the availability horizon, so all levels
+    // with 2^i < LB fail the F_A test — skipping them is exact, not a
+    // heuristic (kVerify re-checks below; bucket_fastpath_test asserts it
+    // on randomized workloads).
+    start = std::min(cand_.lb <= 1 ? 0 : ceil_log2_i64(cand_.lb), top);
+    stats_.levels_skipped += start;
+  }
+
+  std::int32_t chosen = top;  // over-horizon tail parks in the top bucket
+  for (std::int32_t i = start; i <= top; ++i) {
+    const LevelView lv = levels(i);
+    Time f;
+    if (fast) {
+      CachedBucket& cb = cached(lv.id);
+      DTM_CHECK(cb.p.txns.size() == lv.members.size(),
+                "bucket cache out of sync at level "
+                    << i << ": " << cb.p.txns.size() << " cached vs "
+                    << lv.members.size() << " members");
+      f = probe_cached(view, cb, cand_, extra);
+    } else {
+      f = probe_naive(view, lv.members, cand_, extra, /*use_memo=*/false);
+    }
+    last_scan_.push_back({i, f, last_memo_hit_});
+    if (f <= (Time{1} << i)) {
+      chosen = i;
+      break;
+    }
+  }
+
+  if (path_ == BucketFastPath::kVerify) {
+    // Cross-check against the paper-verbatim scan from level 0 (memo
+    // bypassed so the estimates are recomputed from scratch).
+    ++stats_.verify_checks;
+    std::int32_t naive = top;
+    for (std::int32_t i = 0; i <= top; ++i) {
+      const Time f = probe_naive(view, levels(i).members, cand_, extra,
+                                 /*use_memo=*/false);
+      if (f <= (Time{1} << i)) {
+        naive = i;
+        break;
+      }
+    }
+    DTM_CHECK(naive == chosen,
+              "bucket fast path diverged: naive scan chose level "
+                  << naive << ", incremental chose " << chosen << " for txn "
+                  << t.id << " (lb=" << cand_.lb << ")");
+  }
+  return chosen;
+}
+
+void BucketInsertionCore::on_inserted(const SystemView& view, BucketId id,
+                                      const Transaction& t,
+                                      const ExtraAssignments& extra) {
+  if (path_ == BucketFastPath::kNaive) return;
+  if (cand_.id != t.id) make_candidate(view, t, extra, cand_);
+  CachedBucket& cb = cache_[id];
+  cb.p.oracle = &view.oracle();
+  cb.p.latency_factor = view.latency_factor();
+  ensure_fresh(view, cb, extra);
+  ++stats_.appends;
+  cb.p.txns.push_back(cand_.row);
+  cb.txn_fp = hash_combine(cb.txn_fp, cand_.row_hash);
+  for (const BatchObject& bo : cand_.avail) {
+    const auto it = std::lower_bound(
+        cb.p.objects.begin(), cb.p.objects.end(), bo.id,
+        [](const BatchObject& a, ObjId b) { return a.id < b; });
+    if (it != cb.p.objects.end() && it->id == bo.id) continue;
+    cb.p.objects.insert(it, bo);
+  }
+}
+
+const BatchProblem& BucketInsertionCore::activation_problem(
+    const SystemView& view, BucketId id, std::span<const TxnId> members,
+    const ExtraAssignments& extra) {
+  ++stats_.activations;
+  if (path_ == BucketFastPath::kNaive) {
+    ++stats_.rebuilds;
+    builder_.build(view, members, kNoTxn, extra, scratch_);
+    return scratch_;
+  }
+  CachedBucket& cb = cached(id);
+  DTM_CHECK(cb.p.txns.size() == members.size(),
+            "activation cache out of sync: " << cb.p.txns.size()
+                                             << " cached vs "
+                                             << members.size() << " members");
+  cb.p.oracle = &view.oracle();
+  cb.p.latency_factor = view.latency_factor();
+  ensure_fresh(view, cb, extra);
+  if (path_ == BucketFastPath::kVerify) {
+    ++stats_.verify_checks;
+    builder_.build(view, members, kNoTxn, extra, scratch_);
+    DTM_CHECK(problem_fingerprint(scratch_) == problem_fingerprint(cb.p),
+              "activation problem diverged from fresh build for bucket "
+                  << id);
+    return scratch_;  // hand the naive build out: byte-equal by the check
+  }
+  return cb.p;
+}
+
+BatchResult BucketInsertionCore::run_activation(const BatchProblem& p,
+                                                const BatchScheduler& runner,
+                                                std::int32_t retries) {
+  const std::uint64_t fp = problem_fingerprint(p);
+  Rng rng(derive_seed(seed_, kTrialSalt, fp, 0));
+  BatchResult best = runner.schedule(p, rng);
+  if (runner.randomized()) {
+    for (std::int32_t r = 1; r < retries; ++r) {
+      Rng trial(derive_seed(seed_, kTrialSalt, fp,
+                            static_cast<std::uint64_t>(r)));
+      BatchResult alt = runner.schedule(p, trial);
+      if (alt.makespan < best.makespan) best = std::move(alt);
+    }
+  }
+  return best;
+}
+
+void BucketInsertionCore::on_drained(BucketId id) { cache_.erase(id); }
+
+}  // namespace dtm

@@ -1,0 +1,220 @@
+// Incremental bucket-insertion core shared by core/bucket_scheduler and
+// dist/dist_bucket (the paper's Algorithm 2 insertion rule and its
+// Algorithm 3 twin).
+//
+// The naive transcription rebuilds the full BatchProblem and re-runs the
+// offline estimator A once per level from 0 upward for EVERY arrival —
+// O(arrivals x levels x |B_i| * cost(A)). This core removes each factor
+// without changing a single scheduling decision:
+//
+//   cached problems   every bucket keeps its BatchProblem alive across
+//                     probes and arrivals; inserting a member appends one
+//                     transaction row (+ merges its objects) instead of
+//                     rebuilding all rows, and the cache dies only on
+//                     bucket activation/drain. Availability is refreshed
+//                     lazily, once per (step, world-change).
+//
+//   memoized F_A      estimates are keyed by a 64-bit content fingerprint
+//                     of the probed problem (membership + relative
+//                     availability + latency). Identical problems recur
+//                     constantly — every empty level probed above the
+//                     chosen one, and every untouched bucket re-probed by
+//                     the next arrival — and cost one hash lookup instead
+//                     of a run of A.
+//
+//   level lower bound the scan starts at ceil(log2(LB)) where LB is the
+//                     candidate's single-transaction makespan lower bound
+//                     (core/lower_bound): any feasible schedule of
+//                     B_i ∪ {t} executes t no earlier than its farthest
+//                     object can arrive, so every level with 2^i < LB
+//                     fails the F_A test without being probed.
+//
+// Byte-identity is the design invariant, not an afterthought: randomized
+// estimates and activation retries draw from RNG streams derived purely
+// from (scheduler seed, salt, problem fingerprint, trial index), so the
+// naive and incremental paths — and any mix of memo hits and misses —
+// produce bit-equal schedules. kVerify runs both paths and cross-checks
+// every level choice; the golden commit-sequence pins hold across all
+// three paths.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "batch/batch_scheduler.hpp"
+#include "batch/problem_builder.hpp"
+#include "core/lower_bound.hpp"
+
+namespace dtm {
+
+/// Insertion-path selector, wired through BucketOptions / DistBucketOptions
+/// (registry knob `fastpath=off|on|verify`).
+enum class BucketFastPath {
+  kNaive,        ///< rebuild + estimate every level from 0 (paper verbatim)
+  kIncremental,  ///< cached problems + memoized F_A + level lower bound
+  kVerify,       ///< incremental, cross-checked against the naive scan
+};
+
+struct FastPathStats {
+  std::int64_t inserts = 0;         ///< choose_level calls
+  std::int64_t probes = 0;          ///< F_A estimates requested
+  std::int64_t memo_hits = 0;       ///< estimates answered from the memo
+  std::int64_t estimates = 0;       ///< estimates that actually ran A
+  std::int64_t levels_skipped = 0;  ///< levels below the lower-bound start
+  std::int64_t rebuilds = 0;        ///< full problem (re)builds
+  std::int64_t refreshes = 0;       ///< cached availability refreshes
+  std::int64_t appends = 0;         ///< incremental member appends
+  std::int64_t activations = 0;     ///< activation problems produced
+  std::int64_t verify_checks = 0;   ///< naive cross-checks (kVerify)
+};
+
+/// Canonical 64-bit content fingerprint of a batch problem: transaction
+/// rows in order, objects in (sorted) order with availability RELATIVE to
+/// p.now, plus the latency factor. Excluding the absolute clock is what
+/// makes memo hits valid across steps: every batch algorithm schedules
+/// relative to p.now, so time-shifted problems have identical relative
+/// schedules.
+[[nodiscard]] std::uint64_t problem_fingerprint(const BatchProblem& p);
+
+/// F_A with a dedicated RNG stream: estimate_fa over a fresh Rng(seed).
+/// Derive `seed` from the problem fingerprint so equal problems draw equal
+/// streams (the memoization soundness condition).
+[[nodiscard]] Time estimate_fa_seeded(const BatchScheduler& a,
+                                      const BatchProblem& p,
+                                      std::uint64_t seed);
+
+class BucketInsertionCore {
+ public:
+  /// Stable caller-chosen bucket identity (core scheduler: the level;
+  /// dist: a dense id per BucketKey).
+  using BucketId = std::uint64_t;
+
+  /// Callback mapping a level to the bucket it would probe: identity +
+  /// current membership.
+  struct LevelView {
+    BucketId id = 0;
+    std::span<const TxnId> members;
+  };
+  using LevelFn = std::function<LevelView(std::int32_t)>;
+
+  BucketInsertionCore(std::shared_ptr<const BatchScheduler> algo,
+                      BucketFastPath path, std::uint64_t seed);
+
+  [[nodiscard]] BucketFastPath path() const { return path_; }
+  [[nodiscard]] const FastPathStats& stats() const { return stats_; }
+
+  /// One probe of the most recent choose_level scan (testing hook for the
+  /// level-scan invariants).
+  struct ProbeRecord {
+    std::int32_t level = -1;
+    Time estimate = 0;
+    bool memo_hit = false;
+  };
+  [[nodiscard]] const std::vector<ProbeRecord>& last_scan() const {
+    return last_scan_;
+  }
+  /// Lower bound used by the most recent scan (relative to its step).
+  [[nodiscard]] Time last_lower_bound() const { return last_lb_; }
+
+  /// Algorithm 2 line 4: lowest level i in [0, top] with
+  /// F_A(B_i ∪ {t}) <= 2^i, or top when none fits. `levels(i)` names the
+  /// bucket probed at level i. On the incremental path the scan starts at
+  /// ceil(log2(LB)); kVerify re-runs the naive scan from 0 and checks the
+  /// same level wins.
+  [[nodiscard]] std::int32_t choose_level(const SystemView& view,
+                                          const Transaction& t,
+                                          std::int32_t top,
+                                          const LevelFn& levels,
+                                          const ExtraAssignments& extra);
+
+  /// Records that `t` (the transaction most recently passed to
+  /// choose_level, or any other unscheduled txn) joined bucket `id`; keeps
+  /// the cached problem in sync by appending one row.
+  void on_inserted(const SystemView& view, BucketId id, const Transaction& t,
+                   const ExtraAssignments& extra);
+
+  /// The activation problem for bucket `id` with the given members:
+  /// refreshed cache on the incremental path, fresh build otherwise.
+  /// The reference stays valid until the next core call.
+  [[nodiscard]] const BatchProblem& activation_problem(
+      const SystemView& view, BucketId id, std::span<const TxnId> members,
+      const ExtraAssignments& extra);
+
+  /// Best-of-`retries` schedule of `p` under `runner` (the suffix-wrapped
+  /// algorithm when the scheduler enforces the suffix property). Each trial
+  /// draws from an independent stream derived from the problem fingerprint
+  /// and the trial index; deterministic runners run once.
+  [[nodiscard]] BatchResult run_activation(const BatchProblem& p,
+                                           const BatchScheduler& runner,
+                                           std::int32_t retries);
+
+  /// Bucket `id` drained (activation consumed its members): drop its cache.
+  void on_drained(BucketId id);
+
+  /// The world changed under the caches (assignments were made): cached
+  /// availability must be refreshed before next use.
+  void note_world_change() { ++world_; }
+
+ private:
+  static constexpr std::uint64_t kFpBasis = 1469598103934665603ULL;
+
+  /// Cached per-bucket problem, maintained incrementally.
+  struct CachedBucket {
+    BatchProblem p;
+    std::uint64_t txn_fp = kFpBasis;  ///< chained row hashes
+    Time at_now = kNoTime;            ///< step of last availability refresh
+    std::uint64_t at_world = 0;       ///< world version of last refresh
+  };
+
+  /// Candidate context, computed once per choose_level: the appended row,
+  /// its availability points, its hash, and its lower bound.
+  struct Candidate {
+    TxnId id = kNoTxn;
+    BatchTxn row;
+    std::uint64_t row_hash = 0;
+    std::vector<BatchObject> avail;  ///< sorted by object id, absolute times
+    Time lb = 0;                     ///< single-txn LB relative to now
+  };
+
+  void make_candidate(const SystemView& view, const Transaction& t,
+                      const ExtraAssignments& extra, Candidate& out);
+  CachedBucket& cached(BucketId id);
+  /// Refreshes `cb`'s availability (and fingerprint) for the current
+  /// (step, world) if stale.
+  void ensure_fresh(const SystemView& view, CachedBucket& cb,
+                    const ExtraAssignments& extra);
+  /// F_A(B ∪ {t}) via the cached problem: append candidate in place,
+  /// estimate (memo first), roll back.
+  Time probe_cached(const SystemView& view, CachedBucket& cb,
+                    const Candidate& cand, const ExtraAssignments& extra);
+  /// F_A(B ∪ {t}) via a fresh build (the naive path; also the verify
+  /// cross-check, which bypasses the memo).
+  Time probe_naive(const SystemView& view, std::span<const TxnId> members,
+                   const Candidate& cand, const ExtraAssignments& extra,
+                   bool use_memo);
+  /// Memoized estimate of `p` under its fingerprint.
+  Time estimate(const BatchProblem& p, std::uint64_t fp, bool use_memo);
+
+  std::shared_ptr<const BatchScheduler> algo_;
+  BucketFastPath path_;
+  std::uint64_t seed_;
+  std::uint64_t world_ = 1;
+
+  ProblemBuilder builder_;
+  BatchProblem scratch_;  ///< naive probe / activation build target
+  Candidate cand_;
+  std::unordered_map<BucketId, CachedBucket> cache_;
+  std::unordered_map<std::uint64_t, Time> memo_;
+  std::vector<ProbeRecord> last_scan_;
+  Time last_lb_ = 0;
+  bool last_memo_hit_ = false;
+  std::vector<std::size_t> probe_inserted_;  ///< rollback scratch
+  std::vector<AvailPoint> lb_pts_;           ///< lower-bound scratch
+  FastPathStats stats_;
+};
+
+}  // namespace dtm

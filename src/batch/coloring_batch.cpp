@@ -3,9 +3,7 @@
 // near-optimal on low-diameter graphs (clique: O(k) of optimal, matching
 // Theorem 3's argument).
 #include <algorithm>
-#include <map>
 #include <numeric>
-#include <set>
 
 #include "batch/batch_scheduler.hpp"
 #include "core/coloring.hpp"
@@ -19,57 +17,87 @@ class ColoringBatch final : public BatchScheduler {
   [[nodiscard]] BatchResult schedule(const BatchProblem& p,
                                      Rng&) const override {
     const std::size_t n = p.txns.size();
+    // Scratch arena: this scheduler is the workhorse behind every bucket
+    // F_A probe on generic topologies, so the per-call map/set churn of the
+    // original transcription dominated insertion cost. All buffers persist
+    // across calls; output is unchanged.
+    Scratch& s = scratch();
 
     // Availability floor per transaction: the object must be able to reach
     // it from its availability point. One-sided (the object simply does not
     // exist for us before `ready`), hence a floor rather than a gap.
-    std::vector<Time> floor(n, 0);
-    std::map<ObjId, std::vector<std::size_t>> users;
+    s.floor.assign(n, 0);
+    s.users.clear();
     for (std::size_t i = 0; i < n; ++i) {
       const BatchTxn& t = p.txns[i];
       for (const ObjId o : t.objects) {
         const BatchObject& avail = p.object(o);
         Time arrive = (avail.ready - p.now) + p.travel(avail.node, t.node);
         if (avail.from_txn) arrive = std::max(arrive, avail.ready - p.now + 1);
-        floor[i] = std::max(floor[i], std::max<Time>(arrive, 0));
-        users[o].push_back(i);
+        s.floor[i] = std::max(s.floor[i], std::max<Time>(arrive, 0));
+        s.users.emplace_back(o, i);
       }
     }
+    // Flat user lists: sorting (object, index) pairs groups each object's
+    // users contiguously in ascending index order — the same enumeration
+    // order the former per-object vectors had.
+    std::sort(s.users.begin(), s.users.end());
 
     // Color in ascending-floor order so cheap transactions commit early
     // (the property the online greedy schedule also has).
-    std::vector<std::size_t> order(n);
-    std::iota(order.begin(), order.end(), 0);
-    std::stable_sort(order.begin(), order.end(),
+    s.order.resize(n);
+    std::iota(s.order.begin(), s.order.end(), 0);
+    std::stable_sort(s.order.begin(), s.order.end(),
                      [&](std::size_t a, std::size_t b) {
-                       if (floor[a] != floor[b]) return floor[a] < floor[b];
+                       if (s.floor[a] != s.floor[b])
+                         return s.floor[a] < s.floor[b];
                        return p.txns[a].id < p.txns[b].id;
                      });
 
-    std::vector<Time> color(n, kNoTime);
+    s.color.assign(n, kNoTime);
+    s.seen_tick.assign(n, 0);
+    std::size_t tick = 0;
     BatchResult r;
     r.assignments.resize(n);
-    for (const std::size_t i : order) {
-      std::vector<ColorConstraint> cs;
-      std::set<std::size_t> seen;
+    for (const std::size_t i : s.order) {
+      s.cs.clear();
+      ++tick;
       for (const ObjId o : p.txns[i].objects) {
-        for (const std::size_t j : users[o]) {
-          if (j == i || color[j] == kNoTime || !seen.insert(j).second)
+        auto it = std::lower_bound(
+            s.users.begin(), s.users.end(), std::pair<ObjId, std::size_t>{o, 0});
+        for (; it != s.users.end() && it->first == o; ++it) {
+          const std::size_t j = it->second;
+          if (j == i || s.color[j] == kNoTime || s.seen_tick[j] == tick)
             continue;
-          cs.push_back(
-              {color[j],
+          s.seen_tick[j] = tick;
+          s.cs.push_back(
+              {s.color[j],
                std::max<Weight>(1, p.travel(p.txns[j].node, p.txns[i].node))});
         }
       }
-      color[i] = min_feasible_color(cs, floor[i]);
-      r.assignments[i] = {p.txns[i].id, p.now + color[i]};
-      r.makespan = std::max(r.makespan, color[i]);
+      s.color[i] = min_feasible_color(s.cs, s.floor[i]);
+      r.assignments[i] = {p.txns[i].id, p.now + s.color[i]};
+      r.makespan = std::max(r.makespan, s.color[i]);
     }
     check_batch_result(p, r);
     return r;
   }
 
   [[nodiscard]] std::string name() const override { return "coloring"; }
+
+ private:
+  struct Scratch {
+    std::vector<Time> floor;
+    std::vector<std::pair<ObjId, std::size_t>> users;
+    std::vector<std::size_t> order;
+    std::vector<Time> color;
+    std::vector<ColorConstraint> cs;
+    std::vector<std::size_t> seen_tick;  ///< dedup marker, epoch = tick
+  };
+  static Scratch& scratch() {
+    static thread_local Scratch s;
+    return s;
+  }
 };
 
 }  // namespace

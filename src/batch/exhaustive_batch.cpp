@@ -27,7 +27,7 @@ class ExhaustiveBatch final : public BatchScheduler {
     std::vector<std::size_t> best_order = order;
     Time best = -1;
     do {
-      const BatchResult r = chain_evaluate(p, order);
+      const BatchResult r = chain_evaluate(p, order, /*validate=*/false);
       if (best < 0 || r.makespan < best) {
         best = r.makespan;
         best_order = order;

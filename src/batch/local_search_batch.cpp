@@ -43,7 +43,9 @@ class LocalSearchBatch final : public BatchScheduler {
       bool improved = false;
       for (std::size_t i = 0; i + 1 < n; ++i) {
         std::swap(order[i], order[i + 1]);
-        const BatchResult cand = chain_evaluate(p, order);
+        // Inner-loop evaluations skip validation; the winning order is
+        // checked once below.
+        const BatchResult cand = chain_evaluate(p, order, /*validate=*/false);
         if (cand.makespan < best.makespan) {
           best = cand;
           improved = true;
@@ -58,7 +60,7 @@ class LocalSearchBatch final : public BatchScheduler {
             rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
         if (i == j) continue;
         std::swap(order[i], order[j]);
-        const BatchResult cand = chain_evaluate(p, order);
+        const BatchResult cand = chain_evaluate(p, order, /*validate=*/false);
         if (cand.makespan < best.makespan) {
           best = cand;
           improved = true;

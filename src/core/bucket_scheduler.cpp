@@ -2,27 +2,15 @@
 
 #include <algorithm>
 
-#include "batch/problem_builder.hpp"
+#include "util/bits.hpp"
 
 namespace dtm {
 
-namespace {
-
-std::int32_t ceil_log2_i64(std::int64_t x) {
-  std::int32_t l = 0;
-  std::int64_t p = 1;
-  while (p < x) {
-    p <<= 1;
-    ++l;
-  }
-  return l;
-}
-
-}  // namespace
-
 BucketScheduler::BucketScheduler(std::shared_ptr<const BatchScheduler> algo,
                                  Options opts)
-    : algo_(std::move(algo)), opts_(opts), rng_(opts.seed) {
+    : algo_(std::move(algo)),
+      opts_(opts),
+      core_(algo_, opts.fastpath, opts.seed) {
   DTM_REQUIRE(algo_ != nullptr, "bucket scheduler needs a batch algorithm");
   if (opts_.enforce_suffix_property)
     wrapped_ = std::make_unique<SuffixWrapper>(algo_);
@@ -41,35 +29,21 @@ void BucketScheduler::ensure_levels(const SystemView& view) {
   buckets_.assign(static_cast<std::size_t>(levels) + 1, {});
 }
 
-BatchResult BucketScheduler::run_algo(const BatchProblem& p) {
-  const BatchScheduler& a =
-      wrapped_ ? static_cast<const BatchScheduler&>(*wrapped_) : *algo_;
-  BatchResult best = a.schedule(p, rng_);
-  if (a.randomized()) {
-    for (std::int32_t r = 1; r < opts_.randomized_retries; ++r) {
-      BatchResult alt = a.schedule(p, rng_);
-      if (alt.makespan < best.makespan) best = std::move(alt);
-    }
-  }
-  return best;
-}
-
-std::int32_t BucketScheduler::choose_level(
-    const SystemView& view, const Transaction& t,
-    const std::map<TxnId, Time>& extra) {
+std::int32_t BucketScheduler::choose_level(const SystemView& view,
+                                           const Transaction& t,
+                                           const ExtraAssignments& extra) {
   const auto top = static_cast<std::int32_t>(buckets_.size()) - 1;
   if (opts_.force_level >= 0) return std::min(opts_.force_level, top);
-  for (std::int32_t i = 0; i <= top; ++i) {
-    std::vector<TxnId> members = buckets_[static_cast<std::size_t>(i)];
-    members.push_back(t.id);
-    const BatchProblem p = build_batch_problem(view, members, extra);
-    // F_A estimates use the raw algorithm: the paper's F_A is "the time to
-    // execute X using A", and the suffix wrapper only refines final
-    // schedules.
-    const Time f = estimate_fa(*algo_, p, rng_);
-    if (f <= (Time{1} << i)) return i;
-  }
-  return top;  // over-horizon tail: park in the top bucket
+  // F_A estimates use the raw algorithm: the paper's F_A is "the time to
+  // execute X using A", and the suffix wrapper only refines final schedules.
+  return core_.choose_level(
+      view, t, top,
+      [&](std::int32_t i) {
+        return BucketInsertionCore::LevelView{
+            static_cast<BucketInsertionCore::BucketId>(i),
+            buckets_[static_cast<std::size_t>(i)]};
+      },
+      extra);
 }
 
 std::vector<Assignment> BucketScheduler::on_step(
@@ -77,12 +51,14 @@ std::vector<Assignment> BucketScheduler::on_step(
   ensure_levels(view);
   const Time now = view.now();
   std::vector<Assignment> out;
-  std::map<TxnId, Time> extra;  // assignments made during this step
+  ExtraAssignments extra;  // assignments made during this step
 
   // Insertion (Algorithm 2 line 4).
   for (const Transaction& t : arrivals) {
     const std::int32_t level = choose_level(view, t, extra);
     buckets_[static_cast<std::size_t>(level)].push_back(t.id);
+    core_.on_inserted(
+        view, static_cast<BucketInsertionCore::BucketId>(level), t, extra);
     max_level_used_ = std::max(max_level_used_, level);
     trace_index_[t.id] = traces_.size();
     traces_.push_back({t.id, now, level, kNoTime, kNoTime});
@@ -91,20 +67,27 @@ std::vector<Assignment> BucketScheduler::on_step(
   // Activations, lowest level first (Algorithm 2 lines 5-8): level i fires
   // every 2^i steps.
   if (now > 0) {
+    const BatchScheduler& runner =
+        wrapped_ ? static_cast<const BatchScheduler&>(*wrapped_) : *algo_;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
       if (i < 63 && (now % (Time{1} << i)) != 0) continue;
       auto& bucket = buckets_[i];
       if (bucket.empty()) continue;
-      const BatchProblem p = build_batch_problem(view, bucket, extra);
-      const BatchResult r = run_algo(p);
+      const auto id = static_cast<BucketInsertionCore::BucketId>(i);
+      const BatchProblem& p =
+          core_.activation_problem(view, id, bucket, extra);
+      const BatchResult r =
+          core_.run_activation(p, runner, opts_.randomized_retries);
       for (const auto& a : r.assignments) {
         out.push_back(a);
-        extra[a.txn] = a.exec;
+        extra.set(a.txn, a.exec);
         auto& tr = traces_[trace_index_.at(a.txn)];
         tr.scheduled = now;
         tr.exec = a.exec;
       }
       bucket.clear();
+      core_.on_drained(id);
+      core_.note_world_change();
     }
   }
   return out;

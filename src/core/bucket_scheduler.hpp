@@ -8,6 +8,11 @@
 // its contents irrevocably. Lemma 3 bounds the number of levels by
 // log2(n*D) + O(1); Theorem 4 bounds the competitive ratio by
 // O(b_A log^3(nD)).
+//
+// Insertion runs through the shared incremental core
+// (batch/bucket_insertion.hpp): cached per-bucket problems, memoized F_A
+// estimates, and a lower-bound start level — byte-identical to the naive
+// scan, selectable via BucketOptions::fastpath.
 #pragma once
 
 #include <map>
@@ -15,6 +20,7 @@
 #include <vector>
 
 #include "batch/batch_scheduler.hpp"
+#include "batch/bucket_insertion.hpp"
 #include "batch/suffix_wrapper.hpp"
 #include "core/scheduler.hpp"
 
@@ -36,6 +42,11 @@ struct BucketOptions {
     /// separation that Lemma 4 relies on — the ablation bench quantifies
     /// what the bucket hierarchy actually buys.
     std::int32_t force_level = -1;
+    /// Insertion path: kIncremental (default) probes via cached problems,
+    /// memoized F_A, and the lower-bound start level; kNaive rebuilds every
+    /// level from 0 (the paper-verbatim baseline bench_bucket_fastpath
+    /// measures against); kVerify runs both and checks every decision.
+    BucketFastPath fastpath = BucketFastPath::kIncremental;
   };
 
 class BucketScheduler final : public OnlineScheduler {
@@ -67,17 +78,23 @@ class BucketScheduler final : public OnlineScheduler {
   [[nodiscard]] std::int32_t num_levels() const {
     return static_cast<std::int32_t>(buckets_.size());
   }
+  /// The insertion core's counters / last-scan trace (bench + tests).
+  [[nodiscard]] const FastPathStats& fastpath_stats() const {
+    return core_.stats();
+  }
+  [[nodiscard]] const BucketInsertionCore& insertion_core() const {
+    return core_;
+  }
 
  private:
   void ensure_levels(const SystemView& view);
   std::int32_t choose_level(const SystemView& view, const Transaction& t,
-                            const std::map<TxnId, Time>& extra);
-  [[nodiscard]] BatchResult run_algo(const BatchProblem& p);
+                            const ExtraAssignments& extra);
 
   std::shared_ptr<const BatchScheduler> algo_;
   std::unique_ptr<SuffixWrapper> wrapped_;
   Options opts_;
-  mutable Rng rng_;
+  BucketInsertionCore core_;
 
   std::vector<std::vector<TxnId>> buckets_;
   std::map<TxnId, std::size_t> trace_index_;

@@ -47,4 +47,21 @@ LowerBoundBreakdown makespan_lower_bound(
   return lb;
 }
 
+Time single_txn_lower_bound(NodeId txn_node, std::span<const AvailPoint> objs,
+                            const DistanceOracle& oracle,
+                            std::int64_t latency_factor) {
+  // The transaction executes no earlier than the latest of its objects'
+  // earliest possible arrivals. If another transaction uses the object
+  // first, triangle inequality keeps the bound valid: routing via that
+  // user's node is never shorter than the direct trip, and a commit en
+  // route only adds (+1 when from_txn).
+  Time lb = 0;
+  for (const AvailPoint& a : objs) {
+    Time arrive = a.ready_rel + latency_factor * oracle.dist(a.node, txn_node);
+    if (a.from_txn) arrive = std::max(arrive, a.ready_rel + 1);
+    lb = std::max(lb, arrive);
+  }
+  return lb;
+}
+
 }  // namespace dtm

@@ -12,6 +12,7 @@
 //   spread: the object must visit both endpoints of its farthest user pair.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/schedule.hpp"
@@ -38,5 +39,29 @@ struct LowerBoundBreakdown {
     const std::vector<Transaction>& txns,
     const std::vector<ObjectOrigin>& origins, const DistanceOracle& oracle,
     std::int64_t latency_factor = 1);
+
+/// Availability point of one object relative to a batch problem's `now`:
+/// the object sits at `node`, free of commitments from `ready_rel` steps in
+/// the future; `from_txn` marks availability points that are transaction
+/// commits (the next user then executes at least one step later even at
+/// distance zero).
+struct AvailPoint {
+  NodeId node = kNoNode;
+  Time ready_rel = 0;
+  bool from_txn = false;
+};
+
+/// Lower bound (relative to now) on the execution time of a single
+/// transaction at `txn_node` requesting exactly the objects in `objs`: every
+/// feasible schedule must route each object from its availability point to
+/// the transaction, no matter what else is scheduled around it. Chain
+/// feasibility and the triangle inequality make this a valid bound on
+/// F_A(B ∪ {t}) for EVERY bucket B and every batch algorithm A, which is
+/// what lets the bucket fast path start its level scan at ceil(log2(LB))
+/// instead of level 0 (batch/bucket_insertion.hpp).
+[[nodiscard]] Time single_txn_lower_bound(NodeId txn_node,
+                                          std::span<const AvailPoint> objs,
+                                          const DistanceOracle& oracle,
+                                          std::int64_t latency_factor);
 
 }  // namespace dtm

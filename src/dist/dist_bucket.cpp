@@ -2,23 +2,9 @@
 
 #include <algorithm>
 
-#include "batch/problem_builder.hpp"
+#include "util/bits.hpp"
 
 namespace dtm {
-
-namespace {
-
-std::int32_t ceil_log2_i64(std::int64_t x) {
-  std::int32_t l = 0;
-  std::int64_t p = 1;
-  while (p < x) {
-    p <<= 1;
-    ++l;
-  }
-  return l;
-}
-
-}  // namespace
 
 DistributedBucketScheduler::DistributedBucketScheduler(
     const Network& net, std::shared_ptr<const BatchScheduler> algo,
@@ -27,7 +13,7 @@ DistributedBucketScheduler::DistributedBucketScheduler(
       cover_(net.graph, *net.oracle, opts.cover),
       algo_(std::move(algo)),
       opts_(opts),
-      rng_(opts.seed) {
+      core_(algo_, opts.fastpath, opts.seed) {
   DTM_REQUIRE(algo_ != nullptr, "distributed bucket needs a batch algorithm");
   opts_.fault.validate();
   if (opts_.fault.message_faults()) {
@@ -70,7 +56,7 @@ std::vector<Assignment> DistributedBucketScheduler::on_step(
   ensure_levels(view);
   const Time now = view.now();
   std::vector<Assignment> out;
-  std::map<TxnId, Time> extra;
+  ExtraAssignments extra;
 
   if (opts_.message_level_discovery) track_objects(view);
 
@@ -255,8 +241,8 @@ void DistributedBucketScheduler::service_timeouts(const SystemView& view) {
   }
 }
 
-void DistributedBucketScheduler::pump_messages(
-    const SystemView& view, const std::map<TxnId, Time>& extra) {
+void DistributedBucketScheduler::pump_messages(const SystemView& view,
+                                               const ExtraAssignments& extra) {
   (void)extra;
   const Time now = view.now();
   // Multiple drain rounds: a probe answered locally can produce a reply
@@ -351,9 +337,9 @@ void DistributedBucketScheduler::finish_discovery(const SystemView& view,
     report_retries_.push({retry_deadline(now, 0), txn, 0});
 }
 
-void DistributedBucketScheduler::handle_report(
-    const SystemView& view, const PendingReport& rep,
-    const std::map<TxnId, Time>& extra) {
+void DistributedBucketScheduler::handle_report(const SystemView& view,
+                                               const PendingReport& rep,
+                                               const ExtraAssignments& extra) {
   BucketKey base{rep.home, -1};
   const std::int32_t level = choose_level(view, base, rep.txn, extra);
   base.level = level;
@@ -377,31 +363,40 @@ void DistributedBucketScheduler::handle_report(
   }
 
   bucket.push_back(rep.txn);
+  core_.on_inserted(view, bucket_id(base), view.txn(rep.txn), extra);
   max_level_used_ = std::max(max_level_used_, level);
   auto& tr = traces_[trace_index_.at(rep.txn)];
   tr.reported = rep.when;
   tr.level = level;
 }
 
+BucketInsertionCore::BucketId DistributedBucketScheduler::bucket_id(
+    const BucketKey& key) {
+  const auto [it, fresh] = bucket_ids_.try_emplace(
+      key, static_cast<BucketInsertionCore::BucketId>(bucket_ids_.size()));
+  (void)fresh;
+  return it->second;
+}
+
 std::int32_t DistributedBucketScheduler::choose_level(
     const SystemView& view, const BucketKey& base, TxnId txn,
-    const std::map<TxnId, Time>& extra) {
-  for (std::int32_t i = 0; i < num_levels_; ++i) {
-    BucketKey key = base;
-    key.level = i;
-    std::vector<TxnId> members;
-    const auto it = partial_buckets_.find(key);
-    if (it != partial_buckets_.end()) members = it->second;
-    members.push_back(txn);
-    const BatchProblem p = build_batch_problem(view, members, extra);
-    if (estimate_fa(*algo_, p, rng_) <= (Time{1} << i)) return i;
-  }
-  return num_levels_ - 1;
+    const ExtraAssignments& extra) {
+  return core_.choose_level(
+      view, view.txn(txn), num_levels_ - 1,
+      [&](std::int32_t i) {
+        BucketKey key = base;
+        key.level = i;
+        BucketInsertionCore::LevelView lv{bucket_id(key), {}};
+        const auto it = partial_buckets_.find(key);
+        if (it != partial_buckets_.end()) lv.members = it->second;
+        return lv;
+      },
+      extra);
 }
 
 void DistributedBucketScheduler::activate(const SystemView& view,
                                           std::int32_t level,
-                                          std::map<TxnId, Time>& extra,
+                                          ExtraAssignments& extra,
                                           std::vector<Assignment>& out) {
   // Collect this level's nonempty partial buckets in height order (the
   // lexicographic serialization of Lemma 8).
@@ -414,7 +409,11 @@ void DistributedBucketScheduler::activate(const SystemView& view,
   for (const BucketKey& key : keys) {
     auto& members = partial_buckets_.at(key);
     const CoverCluster& cluster = cover_.cluster(key.home);
-    BatchProblem p = build_batch_problem(view, members, extra);
+    const auto id = bucket_id(key);
+    // Gather shift below must not touch the cached problem, so the
+    // activation works on a copy.
+    activation_scratch_ = core_.activation_problem(view, id, members, extra);
+    BatchProblem& p = activation_scratch_;
     // Leader gather round: object commitments cannot be consumed before the
     // leader has collected state and redistributed decisions inside the
     // cluster (weak-diameter round trip).
@@ -423,13 +422,8 @@ void DistributedBucketScheduler::activate(const SystemView& view,
 
     const BatchScheduler& a =
         wrapped_ ? static_cast<const BatchScheduler&>(*wrapped_) : *algo_;
-    BatchResult r = a.schedule(p, rng_);
-    if (a.randomized()) {
-      for (std::int32_t t = 1; t < opts_.randomized_retries; ++t) {
-        BatchResult alt = a.schedule(p, rng_);
-        if (alt.makespan < r.makespan) r = std::move(alt);
-      }
-    }
+    const BatchResult r =
+        core_.run_activation(p, a, opts_.randomized_retries);
     // Leader -> transaction notification: a commit cannot happen before the
     // decision physically reaches the node. A uniform shift preserves every
     // chain gap and all availability floors.
@@ -444,11 +438,13 @@ void DistributedBucketScheduler::activate(const SystemView& view,
     for (const auto& asg : r.assignments) {
       const Assignment final{asg.txn, asg.exec + shift};
       out.push_back(final);
-      extra[final.txn] = final.exec;
+      extra.set(final.txn, final.exec);
       auto& tr = traces_[trace_index_.at(final.txn)];
       tr.exec = final.exec;
     }
     members.clear();
+    core_.on_drained(id);
+    core_.note_world_change();
   }
 }
 

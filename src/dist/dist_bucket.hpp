@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "batch/batch_scheduler.hpp"
+#include "batch/bucket_insertion.hpp"
 #include "batch/suffix_wrapper.hpp"
 #include "core/scheduler.hpp"
 #include "dist/bus.hpp"
@@ -64,6 +65,10 @@ struct DistBucketOptions {
   /// message faults.
   std::int64_t timeout_mult = 4;
   SparseCoverOptions cover;
+  /// Insertion path for the partial i-buckets (same semantics as
+  /// BucketOptions::fastpath): cached per-bucket problems, memoized F_A and
+  /// the lower-bound start level, byte-identical to the naive scan.
+  BucketFastPath fastpath = BucketFastPath::kIncremental;
 };
 
 /// Message-accounting for the communication-overhead experiment (F4).
@@ -113,6 +118,13 @@ class DistributedBucketScheduler final : public OnlineScheduler {
   [[nodiscard]] const DistStats& stats() const { return stats_; }
   [[nodiscard]] const SparseCover& cover() const { return cover_; }
   [[nodiscard]] std::int32_t max_level_used() const { return max_level_used_; }
+  /// Insertion-core counters / last-scan trace (bench + tests).
+  [[nodiscard]] const FastPathStats& fastpath_stats() const {
+    return core_.stats();
+  }
+  [[nodiscard]] const BucketInsertionCore& insertion_core() const {
+    return core_;
+  }
 
   /// Trace of where each transaction landed, for the Lemma 7/8 experiments.
   struct TxnTrace {
@@ -143,12 +155,14 @@ class DistributedBucketScheduler final : public OnlineScheduler {
   };
 
   void ensure_levels(const SystemView& view);
+  /// Stable dense id for a partial bucket (the insertion core's handle).
+  BucketInsertionCore::BucketId bucket_id(const BucketKey& key);
   std::int32_t choose_level(const SystemView& view, const BucketKey& base,
-                            TxnId txn, const std::map<TxnId, Time>& extra);
+                            TxnId txn, const ExtraAssignments& extra);
   void handle_report(const SystemView& view, const PendingReport& rep,
-                     const std::map<TxnId, Time>& extra);
+                     const ExtraAssignments& extra);
   void activate(const SystemView& view, std::int32_t level,
-                std::map<TxnId, Time>& extra, std::vector<Assignment>& out);
+                ExtraAssignments& extra, std::vector<Assignment>& out);
 
   // -- analytic discovery (message_level_discovery = false) --
   void start_analytic_discovery(const SystemView& view, const Transaction& t);
@@ -156,8 +170,7 @@ class DistributedBucketScheduler final : public OnlineScheduler {
   // -- message-level discovery --
   void track_objects(const SystemView& view);
   void start_probe_discovery(const SystemView& view, const Transaction& t);
-  void pump_messages(const SystemView& view,
-                     const std::map<TxnId, Time>& extra);
+  void pump_messages(const SystemView& view, const ExtraAssignments& extra);
   void finish_discovery(const SystemView& view, TxnId txn);
 
   // -- resilience protocol (armed only when the plan has message faults) --
@@ -214,7 +227,9 @@ class DistributedBucketScheduler final : public OnlineScheduler {
   std::shared_ptr<const BatchScheduler> algo_;
   std::unique_ptr<SuffixWrapper> wrapped_;
   DistBucketOptions opts_;
-  mutable Rng rng_;
+  BucketInsertionCore core_;
+  std::map<BucketKey, BucketInsertionCore::BucketId> bucket_ids_;
+  BatchProblem activation_scratch_;  ///< gather-shifted activation copy
 
   std::int32_t num_levels_ = 0;
   std::unique_ptr<MessageBus> bus_;

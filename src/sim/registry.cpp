@@ -71,6 +71,15 @@ std::string structural_param(const Network& net, const std::string& key,
   return it->second;
 }
 
+/// Bucket insertion-path knob: off = paper-verbatim naive scan, on =
+/// incremental fast path, verify = fast path cross-checked per decision.
+BucketFastPath parse_fastpath(const std::string& v) {
+  if (v == "off") return BucketFastPath::kNaive;
+  if (v == "on") return BucketFastPath::kIncremental;
+  if (v == "verify") return BucketFastPath::kVerify;
+  throw CheckError("spec: fastpath must be off|on|verify, got '" + v + "'");
+}
+
 }  // namespace
 
 Spec parse_spec(const std::string& text) {
@@ -264,11 +273,12 @@ const std::vector<Registry::Entry>& Registry::schedulers() {
        "beta=0,delay=0  (Lemma 2 uniform colors; beta=0 -> diameter)"},
       {"fcfs", "(distance-oblivious arrival-order baseline)"},
       {"bucket",
-       "algo=auto,max-level=0,retries=3,seed=...,suffix=true,force-level=-1"
-       "  (Algorithm 2 over offline algo)"},
+       "algo=auto,max-level=0,retries=3,seed=...,suffix=true,force-level=-1,"
+       "fastpath=on  (Algorithm 2 over offline algo)"},
       {"dist-bucket",
-       "algo=auto,max-level=0,retries=3,seed=...,msg=true,timeout-mult=4"
-       "  (Algorithm 3 over a sparse cover; forces latency factor >= 2)"},
+       "algo=auto,max-level=0,retries=3,seed=...,msg=true,timeout-mult=4,"
+       "fastpath=on  (Algorithm 3 over a sparse cover; forces latency factor "
+       ">= 2)"},
   };
   return kEntries;
 }
@@ -520,6 +530,7 @@ std::unique_ptr<OnlineScheduler> Registry::make_scheduler(
         a.integer("seed", static_cast<std::int64_t>(o.seed)));
     o.enforce_suffix_property = a.boolean("suffix", true);
     o.force_level = static_cast<std::int32_t>(a.integer("force-level", -1));
+    o.fastpath = parse_fastpath(a.str("fastpath", "on"));
     s = std::make_unique<BucketScheduler>(
         make_batch_algo(a.str("algo", "auto"), net), o);
   } else if (a.kind() == "dist-bucket") {
@@ -530,6 +541,7 @@ std::unique_ptr<OnlineScheduler> Registry::make_scheduler(
         a.integer("seed", static_cast<std::int64_t>(o.seed)));
     o.message_level_discovery = a.boolean("msg", true);
     o.timeout_mult = a.integer("timeout-mult", o.timeout_mult);
+    o.fastpath = parse_fastpath(a.str("fastpath", "on"));
     if (fault != nullptr) o.fault = *fault;
     s = std::make_unique<DistributedBucketScheduler>(
         net, make_batch_algo(a.str("algo", "auto"), net), o);

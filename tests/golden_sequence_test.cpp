@@ -140,6 +140,58 @@ TEST(GoldenSequence, MatchesPreRefactorEngineInAllModes) {
   }
 }
 
+// Bucket fast-path pins: the same workload through the bucket scheduler
+// must hash identically for every fastpath mode (naive / incremental /
+// verify) × engine mode pair — one pinned value per topology. This is the
+// byte-identity guarantee of the insertion fast path in golden form: a
+// cached problem gone stale, a memo key collision, or a drifted derived
+// RNG stream flips the hash. line exercises a deterministic A; cluster and
+// star exercise randomized A, where the per-probe / per-trial derived
+// streams carry the identity.
+std::uint64_t run_bucket_fastpath_case(const Network& net, BucketFastPath fp,
+                                       EngineOptions::Mode mode) {
+  SyntheticOptions w;
+  w.num_objects = 8;
+  w.k = 2;
+  w.rounds = 3;
+  w.arrival_prob = 0.3;
+  w.seed = 909;
+  SyntheticWorkload wl(net, w);
+  BucketOptions o;
+  o.fastpath = fp;
+  BucketScheduler sched(Registry::make_batch_algo("auto", net), o);
+  RunOptions opts;
+  opts.engine.mode = mode;
+  return hash_result(run_experiment(net, wl, sched, opts));
+}
+
+TEST(GoldenSequence, BucketFastPathPinnedOnAllTopologies) {
+  struct FpCase {
+    const char* label;
+    Network net;
+    std::uint64_t pin;
+  };
+  const FpCase cases[] = {
+      {"line12", make_line(12), 0x1476a1655424f9b0ULL},
+      {"cluster234", make_cluster(2, 3, 4), 0x0cf2ffb9c53e06ffULL},
+      {"star33", make_star(3, 3), 0xd00a62eecafac274ULL},
+  };
+  for (const auto& c : cases) {
+    for (const auto fp :
+         {BucketFastPath::kNaive, BucketFastPath::kIncremental,
+          BucketFastPath::kVerify}) {
+      for (const auto mode :
+           {EngineOptions::Mode::kScan, EngineOptions::Mode::kCalendar,
+            EngineOptions::Mode::kVerify}) {
+        const std::uint64_t h = run_bucket_fastpath_case(c.net, fp, mode);
+        EXPECT_EQ(h, c.pin)
+            << c.label << " fastpath " << static_cast<int>(fp) << " mode "
+            << static_cast<int>(mode) << " actual 0x" << std::hex << h;
+      }
+    }
+  }
+}
+
 // Distributed engine mode pins: the full message protocol (probes, replies,
 // reports) over the bus, with and without a fault plan. The chaos pin is
 // the satellite guarantee of the fault subsystem: a FIXED (plan, seed) pair
@@ -147,7 +199,8 @@ TEST(GoldenSequence, MatchesPreRefactorEngineInAllModes) {
 // like the clean one — any change to the fault draw order, the timeout
 // arithmetic, or the retry protocol flips it.
 std::uint64_t run_dist_case(const Network& net, const FaultPlan& plan,
-                            EngineOptions::Mode mode) {
+                            EngineOptions::Mode mode,
+                            BucketFastPath fp = BucketFastPath::kIncremental) {
   SyntheticOptions w;
   w.num_objects = 10;
   w.k = 2;
@@ -157,6 +210,7 @@ std::uint64_t run_dist_case(const Network& net, const FaultPlan& plan,
   DistBucketOptions o;
   o.seed = 77;
   o.fault = plan;
+  o.fastpath = fp;
   DistributedBucketScheduler sched(net, Registry::make_batch_algo("auto", net),
                                    o);
   RunOptions opts;
@@ -193,6 +247,32 @@ TEST(GoldenSequence, DistBucketChaosPlanPinned) {
         EngineOptions::Mode::kVerify}) {
     EXPECT_EQ(run_dist_case(net, plan, mode), kPin)
         << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(GoldenSequence, DistBucketFastPathModesMatchTheSamePins) {
+  // The distributed scheduler's partial i-buckets go through the same
+  // insertion core: all three fastpath modes must land on the exact pins
+  // above, under both the null and the chaos plan. Scan engine mode only —
+  // the mode × plan cross-product is already pinned by the two tests above.
+  const std::uint64_t kNullPin = 0xcdd107db4c1159e2ULL;
+  const std::uint64_t kChaosPin = 0x7d0e573c8d14d918ULL;
+  FaultPlan chaos;
+  chaos.drop = 0.3;
+  chaos.jitter = 2;
+  chaos.dup = 0.1;
+  chaos.stall = 0.3;
+  chaos.seed = 23;
+  const Network net = make_cluster(2, 3, 4);
+  for (const auto fp :
+       {BucketFastPath::kNaive, BucketFastPath::kIncremental,
+        BucketFastPath::kVerify}) {
+    EXPECT_EQ(run_dist_case(net, FaultPlan{}, EngineOptions::Mode::kScan, fp),
+              kNullPin)
+        << "fastpath " << static_cast<int>(fp);
+    EXPECT_EQ(run_dist_case(net, chaos, EngineOptions::Mode::kScan, fp),
+              kChaosPin)
+        << "fastpath " << static_cast<int>(fp);
   }
 }
 

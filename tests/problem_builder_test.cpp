@@ -45,7 +45,7 @@ TEST(ProblemBuilder, ExtraAssignmentsVisible) {
   eng.begin_step({{txn(1, 5, 0, {0}), txn(2, 8, 0, {0})}});
   // txn1 scheduled earlier in the same step, not yet applied to the
   // engine: passed through the extra map.
-  const std::map<TxnId, Time> extra{{1, 7}};
+  const ExtraAssignments extra{{1, 7}};
   const std::vector<TxnId> batch{2};
   const BatchProblem p = build_batch_problem(eng, batch, extra);
   EXPECT_EQ(p.objects[0].ready, 7);
