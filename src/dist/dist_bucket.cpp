@@ -34,6 +34,18 @@ DistributedBucketScheduler::DistributedBucketScheduler(
     wrapped_ = std::make_unique<SuffixWrapper>(algo_);
 }
 
+void DistributedBucketScheduler::set_fault(const FaultPlan& plan) {
+  DTM_REQUIRE(resilient_,
+              "live fault toggle requires a scheduler constructed with "
+              "message faults (start the service with chaos armed)");
+  plan.validate();
+  // The FaultyBus reads every knob through its plan pointer per send, so
+  // this assignment is the whole toggle. The timeout/retry protocol stays
+  // armed even when the new plan is benign — retries on a clean bus are
+  // harmless (duplicates are ignored end-to-end).
+  opts_.fault = plan;
+}
+
 void DistributedBucketScheduler::ensure_levels(const SystemView& view) {
   if (num_levels_ > 0) return;
   DTM_REQUIRE(view.latency_factor() >= 2,

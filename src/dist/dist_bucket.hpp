@@ -111,6 +111,20 @@ class DistributedBucketScheduler final : public OnlineScheduler {
     return faulty_ ? &faulty_->fault_stats() : nullptr;
   }
 
+  /// Whether the timeout/retry protocol is armed (the construction plan had
+  /// message faults). Only resilient schedulers accept live fault toggles.
+  [[nodiscard]] bool resilient() const { return resilient_; }
+
+  /// Live fault-plan swap (serve-mode resilience drills). The FaultyBus
+  /// reads its knobs through a pointer into opts_.fault on every send, so
+  /// assigning here changes drop/dup/jitter/degrade behavior from the next
+  /// message on. Requires a resilient scheduler: arming the chaos bus (or
+  /// the timeout protocol) mid-run would swap the bus under in-flight
+  /// traffic. Pause windows stay as materialized at construction, and the
+  /// bus RNG stream continues uninterrupted — documented limits of the
+  /// live toggle.
+  void set_fault(const FaultPlan& plan);
+
   [[nodiscard]] std::string name() const override {
     return "dist-bucket[" + algo_->name() + "]";
   }

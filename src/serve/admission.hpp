@@ -1,0 +1,103 @@
+// AdmissionController — token bucket + max-in-flight gate in front of the
+// engine (serve layer; docs/ARCHITECTURE.md §7).
+//
+// A long-running service cannot let an adversarially paced source push
+// unbounded work into the scheduler: admission is the backpressure point.
+// Two independent limits apply to every offered transaction:
+//   - a token bucket (rate tokens per simulated step, capacity `burst`;
+//     rate 0 = unlimited) bounding the sustained admit rate, and
+//   - `max_inflight`, bounding transactions admitted but not yet committed.
+// A transaction that does not fit is handled by the configured policy:
+// kShed rejects it immediately; kQueue parks it in a bounded FIFO and
+// admits it when capacity frees up (overflow sheds). Everything is plain
+// sim-time arithmetic — no RNG — so an (options, offer-sequence) pair
+// reproduces the exact admit/shed/queue decisions run after run.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/json.hpp"
+
+namespace dtm {
+
+struct AdmissionOptions {
+  /// Token refill per simulated step; 0 disables the token limit.
+  double rate = 0.0;
+  /// Token bucket capacity (burst allowance). Floored at 1 when rate > 0.
+  double burst = 16.0;
+  /// Max transactions admitted but not yet committed; 0 = unlimited.
+  std::int64_t max_inflight = 256;
+
+  enum class Policy { kShed, kQueue };
+  Policy policy = Policy::kShed;
+  /// Pending-queue bound under kQueue; overflow sheds.
+  std::int64_t queue_cap = 1024;
+
+  void validate() const;
+};
+
+struct AdmissionStats {
+  std::int64_t offered = 0;      ///< transactions presented to the gate
+  std::int64_t admitted = 0;     ///< entered the engine
+  std::int64_t shed = 0;         ///< rejected (all causes)
+  std::int64_t shed_tokens = 0;  ///< ... for lack of tokens (kShed)
+  std::int64_t shed_inflight = 0;  ///< ... for in-flight cap (kShed)
+  std::int64_t shed_queue_full = 0;  ///< ... bounded queue overflow (kQueue)
+  std::int64_t queued = 0;           ///< entered the wait queue
+  std::int64_t max_queue_depth = 0;
+  std::int64_t max_inflight_seen = 0;
+  Time max_queue_wait = 0;  ///< worst offered -> admitted queue delay
+
+  [[nodiscard]] Json to_json() const;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions opts);
+
+  /// Accrues tokens for the steps since the last call. Monotone `now`.
+  void refill(Time now);
+
+  /// Decision for one offered transaction at `now` given the current
+  /// in-flight count (including admissions already granted this step).
+  enum class Outcome { kAdmit, kQueued, kShed };
+  Outcome offer(const Transaction& txn, Time now, std::int64_t inflight);
+
+  /// Pops queued transactions that now fit (FIFO), appending them with
+  /// their original offer time. Call after refill() and before offering
+  /// fresh arrivals so waiting work keeps priority.
+  struct Release {
+    Transaction txn;
+    Time offered = kNoTime;
+  };
+  void release(Time now, std::int64_t inflight, std::vector<Release>& out);
+
+  /// Earliest future step at which the token bucket alone could admit one
+  /// more transaction; kNoTime when tokens are not the binding constraint
+  /// (rate 0, or a token is already available). In-flight capacity frees on
+  /// commits, which the serve loop already wakes for.
+  [[nodiscard]] Time next_token_time(Time now) const;
+
+  [[nodiscard]] std::int64_t queue_depth() const {
+    return static_cast<std::int64_t>(queue_.size());
+  }
+  [[nodiscard]] bool queue_empty() const { return queue_.empty(); }
+  [[nodiscard]] const AdmissionStats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] bool capacity_ok(std::int64_t inflight) const {
+    return opts_.max_inflight <= 0 || inflight < opts_.max_inflight;
+  }
+  [[nodiscard]] bool take_token();
+
+  AdmissionOptions opts_;
+  double tokens_;
+  Time last_refill_ = 0;
+  std::deque<Release> queue_;
+  AdmissionStats stats_;
+};
+
+}  // namespace dtm

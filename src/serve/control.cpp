@@ -1,0 +1,124 @@
+#include "serve/control.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace dtm {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  DTM_REQUIRE(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+              "control socket: O_NONBLOCK failed (" << std::strerror(errno)
+                                                    << ")");
+}
+
+}  // namespace
+
+ControlEndpoint::ControlEndpoint(std::string path) : path_(std::move(path)) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  DTM_REQUIRE(!path_.empty() && path_.size() < sizeof(addr.sun_path),
+              "control socket path '" << path_ << "' empty or too long (max "
+                                      << sizeof(addr.sun_path) - 1 << ")");
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  DTM_REQUIRE(listen_fd_ >= 0,
+              "control socket: socket() failed (" << std::strerror(errno)
+                                                  << ")");
+  ::unlink(path_.c_str());  // replace a stale socket file
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw CheckError("control socket: bind('" + path_ + "') failed (" +
+                     std::strerror(err) + ")");
+  }
+  if (::listen(listen_fd_, 8) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(path_.c_str());
+    throw CheckError("control socket: listen failed (" +
+                     std::string(std::strerror(err)) + ")");
+  }
+  set_nonblocking(listen_fd_);
+}
+
+ControlEndpoint::~ControlEndpoint() {
+  for (const Conn& c : conns_) ::close(c.fd);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+int ControlEndpoint::poll(const Handler& handler) {
+  // Accept everything pending.
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;  // EAGAIN / EWOULDBLOCK: nothing waiting
+    set_nonblocking(fd);
+    conns_.push_back({fd, {}});
+  }
+
+  int handled = 0;
+  for (std::size_t i = 0; i < conns_.size();) {
+    Conn& c = conns_[i];
+    bool closed = false;
+    char chunk[4096];
+    while (true) {
+      const ssize_t n = ::read(c.fd, chunk, sizeof(chunk));
+      if (n > 0) {
+        c.buf.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) closed = true;  // peer finished sending
+      break;                      // EAGAIN or EOF
+    }
+    // Dispatch complete lines; a trailing unterminated line on a closed
+    // connection counts as a final command (echo without -n, printf, etc.).
+    std::size_t start = 0;
+    while (true) {
+      std::size_t eol = c.buf.find('\n', start);
+      std::string line;
+      if (eol != std::string::npos) {
+        line = c.buf.substr(start, eol - start);
+        start = eol + 1;
+      } else if (closed && start < c.buf.size()) {
+        line = c.buf.substr(start);
+        start = c.buf.size();
+      } else {
+        break;
+      }
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      std::string reply = handler(line);
+      reply.push_back('\n');
+      // Best effort: a slow/gone reader must not wedge the serve loop.
+      (void)!::write(c.fd, reply.data(), reply.size());
+      ++handled;
+    }
+    c.buf.erase(0, start);
+    if (closed) {
+      ::close(c.fd);
+      conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return handled;
+}
+
+}  // namespace dtm

@@ -1,0 +1,26 @@
+#include "serve/metrics.hpp"
+
+#include "util/check.hpp"
+
+namespace dtm {
+
+void MetricsRegistry::add(const std::string& name, Provider provider) {
+  DTM_REQUIRE(provider != nullptr, "metrics '" << name << "': null provider");
+  DTM_REQUIRE(!has(name), "metrics '" << name << "' registered twice");
+  providers_.emplace_back(name, std::move(provider));
+}
+
+bool MetricsRegistry::has(const std::string& name) const {
+  for (const auto& [n, p] : providers_)
+    if (n == name) return true;
+  return false;
+}
+
+Json MetricsRegistry::snapshot() const {
+  Json::Object o;
+  o.emplace("seq", Json(seq_++));
+  for (const auto& [name, provider] : providers_) o.emplace(name, provider());
+  return Json(std::move(o));
+}
+
+}  // namespace dtm

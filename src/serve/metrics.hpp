@@ -1,0 +1,45 @@
+// MetricsRegistry — named live-stats snapshot surface (serve layer;
+// docs/ARCHITECTURE.md §7).
+//
+// Every subsystem the serve loop composes (engine, admission, latency,
+// scheduler protocol counters, fault bus, bucket fast path) registers a
+// snapshot provider under a name; `snapshot()` materializes one JSON
+// object with all of them plus a monotone sequence number. The registry is
+// pull-based on purpose: providers are closures over live objects, so a
+// snapshot always reflects the state at the instant it is taken — on the
+// dump timer, on a SIGUSR1-style trigger, or per control-socket "stats"
+// command — without the instrumented code pushing anything per step.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace dtm {
+
+class MetricsRegistry {
+ public:
+  using Provider = std::function<Json()>;
+
+  /// Registers `provider` under `name` (unique; later registration of the
+  /// same name is an error — metrics names are an API).
+  void add(const std::string& name, Provider provider);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// One snapshot object: {"seq": N, "<name>": provider(), ...} (keys
+  /// serialize in name order — Json objects are sorted maps).
+  [[nodiscard]] Json snapshot() const;
+
+  /// Snapshots taken so far (the next snapshot's sequence number).
+  [[nodiscard]] std::int64_t seq() const { return seq_; }
+
+ private:
+  std::vector<std::pair<std::string, Provider>> providers_;
+  mutable std::int64_t seq_ = 0;
+};
+
+}  // namespace dtm

@@ -1,0 +1,147 @@
+#include "serve/source.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dtm {
+
+SyntheticSource::SyntheticSource(const Network& net,
+                                 SyntheticSourceOptions opts)
+    : net_(net), opts_(opts), rng_(opts.seed) {
+  DTM_REQUIRE(opts_.rate > 0.0, "source rate " << opts_.rate);
+  DTM_REQUIRE(opts_.k >= 1, "source k=" << opts_.k);
+  if (opts_.num_objects <= 0) opts_.num_objects = net.num_nodes();
+  DTM_REQUIRE(opts_.k <= opts_.num_objects,
+              "source k=" << opts_.k << " > objects=" << opts_.num_objects);
+  DTM_REQUIRE(opts_.burst_every >= 0 && opts_.burst_len >= 0 &&
+                  opts_.burst_mult > 0.0,
+              "source burst knobs");
+  if (opts_.burst_every > 0)
+    opts_.burst_len = std::min(opts_.burst_len, opts_.burst_every);
+  if (opts_.zipf_s > 0.0)
+    zipf_ = std::make_unique<ZipfSampler>(opts_.num_objects, opts_.zipf_s);
+  find_next(0);
+}
+
+std::vector<ObjectOrigin> SyntheticSource::objects() {
+  std::vector<ObjectOrigin> out;
+  out.reserve(static_cast<std::size_t>(opts_.num_objects));
+  for (ObjId o = 0; o < opts_.num_objects; ++o) {
+    const auto node =
+        static_cast<NodeId>(rng_.uniform_int(0, net_.num_nodes() - 1));
+    out.push_back({o, node, 0});
+  }
+  return out;
+}
+
+double SyntheticSource::rate_at(Time t) const {
+  const bool in_burst = opts_.burst_every > 0 && opts_.burst_len > 0 &&
+                        (t % opts_.burst_every) < opts_.burst_len;
+  return in_burst ? opts_.rate * opts_.burst_mult : opts_.rate;
+}
+
+void SyntheticSource::find_next(Time from) {
+  // Deterministic pacing: each step adds rate_at(t) to the accumulator;
+  // the integer part is offered that step. Bounded scan: with rate r the
+  // accumulator crosses 1 within ceil(1/r) steps.
+  Time t = from;
+  while (true) {
+    carry_ += rate_at(t);
+    const auto n = static_cast<std::int64_t>(carry_);
+    if (n >= 1) {
+      carry_ -= static_cast<double>(n);
+      next_time_ = t;
+      next_count_ = n;
+      return;
+    }
+    ++t;
+  }
+}
+
+std::vector<ObjId> SyntheticSource::sample_objects() {
+  if (!zipf_) {
+    auto picks = rng_.sample_distinct(opts_.num_objects, opts_.k);
+    return std::vector<ObjId>(picks.begin(), picks.end());
+  }
+  // Zipf-skewed distinct sample: rejection with a cap, then uniform fill
+  // (the SyntheticWorkload recipe).
+  std::vector<ObjId> out;
+  out.reserve(static_cast<std::size_t>(opts_.k));
+  std::int32_t tries = 0;
+  while (static_cast<std::int32_t>(out.size()) < opts_.k &&
+         tries < 64 * opts_.k) {
+    const ObjId o = zipf_->draw(rng_);
+    if (std::find(out.begin(), out.end(), o) == out.end()) out.push_back(o);
+    ++tries;
+  }
+  while (static_cast<std::int32_t>(out.size()) < opts_.k) {
+    const auto o =
+        static_cast<ObjId>(rng_.uniform_int(0, opts_.num_objects - 1));
+    if (std::find(out.begin(), out.end(), o) == out.end()) out.push_back(o);
+  }
+  return out;
+}
+
+std::vector<Transaction> SyntheticSource::offers_at(Time now) {
+  std::vector<Transaction> out;
+  if (now < next_time_) return out;
+  DTM_CHECK(now == next_time_,
+            "source offer at " << next_time_ << " missed (now " << now
+                               << ")");
+  out.reserve(static_cast<std::size_t>(next_count_));
+  for (std::int64_t i = 0; i < next_count_; ++i) {
+    Transaction t;
+    t.id = next_id_++;
+    t.node = static_cast<NodeId>(rng_.uniform_int(0, net_.num_nodes() - 1));
+    t.gen_time = now;
+    t.accesses = write_set(sample_objects());
+    if (opts_.write_fraction < 1.0) {
+      for (auto& a : t.accesses)
+        if (!rng_.bernoulli(opts_.write_fraction)) a.mode = AccessMode::kRead;
+    }
+    out.push_back(std::move(t));
+  }
+  find_next(now + 1);
+  return out;
+}
+
+TraceSource::TraceSource(std::vector<ObjectOrigin> origins,
+                         std::vector<Transaction> txns, Time loop_period)
+    : origins_(std::move(origins)),
+      txns_(std::move(txns)),
+      loop_period_(loop_period) {
+  DTM_REQUIRE(!txns_.empty(), "trace source with no transactions");
+  std::stable_sort(txns_.begin(), txns_.end(),
+                   [](const Transaction& a, const Transaction& b) {
+                     return a.gen_time < b.gen_time;
+                   });
+  if (loop_period_ > 0)
+    DTM_REQUIRE(loop_period_ > txns_.back().gen_time,
+                "trace loop period " << loop_period_
+                                     << " <= last arrival "
+                                     << txns_.back().gen_time);
+}
+
+std::vector<Transaction> TraceSource::offers_at(Time now) {
+  std::vector<Transaction> out;
+  while (next_ < txns_.size() &&
+         txns_[next_].gen_time + cycle_shift_ == now) {
+    Transaction t = txns_[next_++];
+    t.id = next_id_++;
+    t.gen_time = now;
+    out.push_back(std::move(t));
+    if (next_ == txns_.size() && loop_period_ > 0) {
+      next_ = 0;
+      cycle_shift_ += loop_period_;
+    }
+  }
+  return out;
+}
+
+Time TraceSource::next_offer_time() const {
+  if (next_ >= txns_.size()) return kNoTime;
+  return txns_[next_].gen_time + cycle_shift_;
+}
+
+}  // namespace dtm

@@ -1,0 +1,118 @@
+// TxnSource — open-ended transaction generators for the serve loop (serve
+// layer; docs/ARCHITECTURE.md §7).
+//
+// A Workload (sim/workload.hpp) is closed: it owns a finite quota, tracks
+// everything it generated for end-of-run lower bounds, and reports
+// `finished()`. A service source is the opposite: it offers transactions
+// indefinitely at a configured pacing and keeps no per-transaction history
+// (memory stays bounded over unbounded runs); the serve loop decides when
+// to stop listening (duration / drain). Offered transactions carry the
+// source's ids and gen_time == the offer step; the server re-stamps both at
+// admission, so a queued transaction enters the engine at its admission
+// step while latency is still accounted from the offer.
+//
+// Two implementations:
+//   SyntheticSource — rate-paced (deterministic fractional accumulator, so
+//     an average of `rate` offers per step lands on exact steps), Zipf
+//     object hotspots, and square-wave bursts (every `burst_every` steps a
+//     `burst_len`-step wave multiplies the rate by `burst_mult` — the
+//     adversarially paced arrivals of Busch et al.'s stability setting).
+//   TraceSource — replays a dtm-instance v1 file's arrival list at its
+//     recorded gen_times (sim/io.hpp), optionally looping with a period.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+
+class TxnSource {
+ public:
+  virtual ~TxnSource() = default;
+
+  /// Objects and their origins; called once before the run.
+  [[nodiscard]] virtual std::vector<ObjectOrigin> objects() = 0;
+
+  /// Transactions offered at step `now` (monotone calls; the loop lands on
+  /// every step named by next_offer_time).
+  [[nodiscard]] virtual std::vector<Transaction> offers_at(Time now) = 0;
+
+  /// Next step with pending offers; kNoTime when the source is exhausted
+  /// (synthetic sources never are).
+  [[nodiscard]] virtual Time next_offer_time() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+struct SyntheticSourceOptions {
+  double rate = 4.0;             ///< mean offered transactions per step
+  std::int32_t num_objects = 0;  ///< 0 => one object per node
+  std::int32_t k = 2;            ///< objects requested per transaction
+  double zipf_s = 0.0;           ///< 0 = uniform object popularity
+  double write_fraction = 1.0;
+  Time burst_every = 0;  ///< burst wave period; 0 = steady rate
+  Time burst_len = 0;    ///< wave length (clamped to the period)
+  double burst_mult = 1.0;  ///< rate multiplier inside a wave
+  std::uint64_t seed = 42;
+};
+
+class SyntheticSource final : public TxnSource {
+ public:
+  SyntheticSource(const Network& net, SyntheticSourceOptions opts);
+
+  [[nodiscard]] std::vector<ObjectOrigin> objects() override;
+  [[nodiscard]] std::vector<Transaction> offers_at(Time now) override;
+  [[nodiscard]] Time next_offer_time() const override { return next_time_; }
+  [[nodiscard]] std::string name() const override { return "synthetic"; }
+
+  /// Offered rate at step `t` (base rate, or burst_mult times it inside a
+  /// wave).
+  [[nodiscard]] double rate_at(Time t) const;
+
+ private:
+  /// Advances the fractional accumulator until a step with >= 1 offer is
+  /// found, caching (next_time_, next_count_).
+  void find_next(Time from);
+  [[nodiscard]] std::vector<ObjId> sample_objects();
+
+  const Network& net_;
+  SyntheticSourceOptions opts_;
+  Rng rng_;
+  std::unique_ptr<ZipfSampler> zipf_;
+  double carry_ = 0.0;
+  Time next_time_ = kNoTime;
+  std::int64_t next_count_ = 0;
+  TxnId next_id_ = 0;
+};
+
+/// Replays an explicit arrival list at its recorded gen_times. With
+/// `loop_period` > 0 the list repeats shifted by the period each cycle,
+/// turning a finite trace into an open-ended source.
+class TraceSource final : public TxnSource {
+ public:
+  TraceSource(std::vector<ObjectOrigin> origins,
+              std::vector<Transaction> txns, Time loop_period = 0);
+
+  [[nodiscard]] std::vector<ObjectOrigin> objects() override {
+    return origins_;
+  }
+  [[nodiscard]] std::vector<Transaction> offers_at(Time now) override;
+  [[nodiscard]] Time next_offer_time() const override;
+  [[nodiscard]] std::string name() const override { return "trace"; }
+
+ private:
+  std::vector<ObjectOrigin> origins_;
+  std::vector<Transaction> txns_;  ///< sorted by gen_time
+  Time loop_period_ = 0;
+  Time cycle_shift_ = 0;
+  std::size_t next_ = 0;
+  TxnId next_id_ = 0;
+};
+
+}  // namespace dtm

@@ -45,6 +45,8 @@ void Cli::print_registry() {
           Registry::batch_algos());
   section("fault plans (--fault / RunSpec \"fault\")",
           Registry::fault_plans());
+  section("serve configs (dtm_serve --serve / RunSpec \"serve\")",
+          Registry::serve_configs());
 }
 
 bool Cli::parse(int argc, char** argv) {

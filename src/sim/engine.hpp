@@ -104,10 +104,21 @@ class SyncEngine final : public SystemView {
   [[nodiscard]] const std::vector<ScheduledTxn>& committed() const {
     return store_.committed();
   }
-  /// Moves the committed log out (end-of-run result assembly; the engine
-  /// must not be stepped afterwards).
+  /// Drains the committed log (leaving it empty). End-of-run result
+  /// assembly takes it once; the serve loop drains on a cadence so the log
+  /// — the only per-committed state — stays bounded. Stepping continues
+  /// normally afterwards; only post-hoc consumers of the full history
+  /// (validate_schedule, the runner's metrics) must not drain mid-run.
   [[nodiscard]] std::vector<ScheduledTxn> take_committed() {
     return store_.take_committed();
+  }
+
+  /// Swaps the fault plan live (serve-mode resilience drills): the
+  /// transport re-arms its stall hook from the new plan. Scheduler-side
+  /// bus faults are the scheduler's own seam (dist-bucket's set_fault).
+  void set_fault(const FaultPlan& plan) {
+    opts_.fault = plan;
+    transport_->set_fault(plan);
   }
   [[nodiscard]] const std::vector<ObjectOrigin>& origins() const {
     return store_.origins();

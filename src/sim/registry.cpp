@@ -216,6 +216,7 @@ Json RunSpec::to_json() const {
   o.emplace("workload", spec_to_json(workload));
   o.emplace("scheduler", spec_to_json(scheduler));
   o.emplace("fault", spec_to_json(fault));
+  o.emplace("serve", spec_to_json(serve));
   o.emplace("mode", Json(mode));
   o.emplace("latency_factor", Json(latency_factor));
   o.emplace("seed", Json(static_cast<std::int64_t>(seed)));
@@ -233,6 +234,7 @@ RunSpec RunSpec::from_json(const Json& j) {
     else if (k == "workload") s.workload = spec_from_json(v, k);
     else if (k == "scheduler") s.scheduler = spec_from_json(v, k);
     else if (k == "fault") s.fault = spec_from_json(v, k);
+    else if (k == "serve") s.serve = spec_from_json(v, k);
     else if (k == "mode") s.mode = v.as_string();
     else if (k == "latency_factor") s.latency_factor = v.as_int();
     else if (k == "seed") s.seed = static_cast<std::uint64_t>(v.as_int());
@@ -324,6 +326,61 @@ const std::vector<Registry::Entry>& Registry::fault_plans() {
        "pause-len=16,pause-within=256,stall=0,stall-max=8,seed=..."},
   };
   return kEntries;
+}
+
+const std::vector<Registry::Entry>& Registry::serve_configs() {
+  static const std::vector<Entry> kEntries = {
+      {"serve",
+       "rate=4,duration=2048,window=256,drain-every=0,admit-rate=0,burst=16,"
+       "max-inflight=256,policy=shed|queue,queue-cap=1024,source=synthetic|"
+       "trace,trace=PATH,trace-loop=0,objects=0,k=2,zipf=0,write-frac=1,"
+       "burst-every=0,burst-len=0,burst-mult=1,slo-p99=0,seed=...  "
+       "(dtm_serve service shape)"},
+  };
+  return kEntries;
+}
+
+ServeConfig Registry::make_serve_config(const Spec& spec,
+                                        std::uint64_t default_seed) {
+  SpecArgs a(spec);
+  DTM_REQUIRE(a.kind() == "serve",
+              "unknown serve config '" << a.kind()
+                                       << "' (serve:knob=value,...)");
+  ServeConfig c;
+  c.rate = a.real("rate", c.rate);
+  c.duration = a.integer("duration", c.duration);
+  c.window = a.integer("window", c.window);
+  c.drain_every = a.integer("drain-every", c.drain_every);
+  c.admission.rate = a.real("admit-rate", c.admission.rate);
+  c.admission.burst = a.real("burst", c.admission.burst);
+  c.admission.max_inflight =
+      a.integer("max-inflight", c.admission.max_inflight);
+  const std::string policy = a.str("policy", "shed");
+  if (policy == "shed") {
+    c.admission.policy = AdmissionOptions::Policy::kShed;
+  } else if (policy == "queue") {
+    c.admission.policy = AdmissionOptions::Policy::kQueue;
+  } else {
+    throw CheckError("serve: unknown policy '" + policy +
+                     "' (shed | queue)");
+  }
+  c.admission.queue_cap = a.integer("queue-cap", c.admission.queue_cap);
+  c.source = a.str("source", c.source);
+  c.trace_file = a.str("trace", c.trace_file);
+  c.trace_loop = a.integer("trace-loop", c.trace_loop);
+  c.objects = static_cast<std::int32_t>(a.integer("objects", c.objects));
+  c.k = static_cast<std::int32_t>(a.integer("k", c.k));
+  c.zipf = a.real("zipf", c.zipf);
+  c.write_frac = a.real("write-frac", c.write_frac);
+  c.burst_every = a.integer("burst-every", c.burst_every);
+  c.burst_len = a.integer("burst-len", c.burst_len);
+  c.burst_mult = a.real("burst-mult", c.burst_mult);
+  c.slo_p99 = a.integer("slo-p99", c.slo_p99);
+  c.seed = static_cast<std::uint64_t>(
+      a.integer("seed", static_cast<std::int64_t>(default_seed)));
+  a.finish();
+  c.validate();
+  return c;
 }
 
 FaultPlan Registry::make_fault_plan(const Spec& spec,

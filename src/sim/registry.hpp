@@ -24,6 +24,7 @@
 #include "core/scheduler.hpp"
 #include "fault/plan.hpp"
 #include "net/topology.hpp"
+#include "serve/config.hpp"
 #include "sim/runner.hpp"
 #include "sim/trials.hpp"
 #include "sim/workload.hpp"
@@ -79,6 +80,10 @@ struct RunSpec {
   /// "fault:drop=...,dup=...,jitter=...,...". Absent from old JSON spec
   /// files, which therefore keep meaning "no faults".
   Spec fault{"none", {}};
+  /// Service-mode shape: "serve:rate=...,duration=...,admit-rate=...,...".
+  /// Only dtm_serve / make_server consume it; batch binaries carry the
+  /// defaults along untouched. Absent from old JSON spec files.
+  Spec serve{"serve", {}};
   std::string mode = "calendar";  ///< scan | calendar | verify
   std::int64_t latency_factor = 1;
   std::uint64_t seed = 42;
@@ -106,6 +111,7 @@ class Registry {
   [[nodiscard]] static const std::vector<Entry>& workloads();
   [[nodiscard]] static const std::vector<Entry>& batch_algos();
   [[nodiscard]] static const std::vector<Entry>& fault_plans();
+  [[nodiscard]] static const std::vector<Entry>& serve_configs();
 
   [[nodiscard]] static Network make_network(const Spec& spec);
 
@@ -138,6 +144,12 @@ class Registry {
   /// Inverse of make_fault_plan: "none" for a null plan, otherwise a
   /// "fault" spec listing every knob that differs from the defaults.
   [[nodiscard]] static Spec fault_to_spec(const FaultPlan& plan);
+
+  /// Builds a ServeConfig from a "serve:..." spec. Unknown knobs are hard
+  /// errors; ranges are validated. `default_seed` seeds the source unless
+  /// the spec carries its own "seed" parameter.
+  [[nodiscard]] static ServeConfig make_serve_config(
+      const Spec& spec, std::uint64_t default_seed = ServeConfig{}.seed);
 };
 
 /// Builds everything the RunSpec names and runs one experiment (the spec's

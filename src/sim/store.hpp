@@ -10,6 +10,7 @@
 
 #include <map>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/object_state.hpp"
@@ -76,9 +77,13 @@ class TxnStore {
   [[nodiscard]] const std::vector<ScheduledTxn>& committed() const {
     return committed_;
   }
-  /// Destructive move-out for end-of-run result assembly.
+  /// Drains the committed log, leaving it empty (std::exchange, not a bare
+  /// move, so repeated drains are well-defined). End-of-run result assembly
+  /// takes it once; the serve loop calls this periodically so memory stays
+  /// bounded over unbounded runs — the store keeps no other per-committed
+  /// state, so draining never affects future steps.
   [[nodiscard]] std::vector<ScheduledTxn> take_committed() {
-    return std::move(committed_);
+    return std::exchange(committed_, {});
   }
 
  private:

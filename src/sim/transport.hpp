@@ -47,6 +47,11 @@ class ObjectTransport {
   /// kVerify invariant: no object may still be in transit past its arrival
   /// time after settle_arrivals.
   virtual void verify_settled(Time now) const = 0;
+
+  /// Live fault-plan swap (serve-mode resilience drills). Transports that
+  /// inject faults re-arm their stall hook from the new plan; the default
+  /// is a no-op for fault-free substrates.
+  virtual void set_fault(const FaultPlan& /*plan*/) {}
 };
 
 /// The synchronous shortest-path transport: objects move one unit of
@@ -70,6 +75,16 @@ class SyncObjectTransport final : public ObjectTransport {
   void reroute(ObjId o, Time now) override;
   void settle_arrivals(Time now) override;
   void verify_settled(Time now) const override;
+
+  /// Swaps the stall knobs in place and reseeds the stall stream from the
+  /// new plan (site-salted, so toggling to the same plan replays the same
+  /// stall sequence from the start). In-flight transfers keep the legs they
+  /// were already charged.
+  void set_fault(const FaultPlan& plan) override {
+    opts_.fault = plan;
+    stall_rng_ = plan.transport_rng();
+    stalling_ = plan.stall > 0.0;
+  }
 
  private:
   /// The seed's linear selection of the earliest scheduled user; kNoTxn

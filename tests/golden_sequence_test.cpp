@@ -15,6 +15,7 @@
 #include "dist/dist_bucket.hpp"
 #include "fault/plan.hpp"
 #include "net/topology.hpp"
+#include "serve/server.hpp"
 #include "sim/registry.hpp"
 #include "sim/runner.hpp"
 #include "sim/workload.hpp"
@@ -274,6 +275,28 @@ TEST(GoldenSequence, DistBucketFastPathModesMatchTheSamePins) {
               kChaosPin)
         << "fastpath " << static_cast<int>(fp);
   }
+}
+
+TEST(GoldenSequence, ServeModePinned) {
+  // Serve-mode pin: the full service loop (synthetic source -> admission ->
+  // engine -> latency accounting) over the chaos-armed distributed
+  // scheduler must reproduce this exact commit sequence. The hash covers
+  // every commit's (id, node, offered, exec), so it pins admission order
+  // and queue wait, not just engine output. Captured from dtm_serve with
+  // the same spec.
+  const std::uint64_t kPin = 1560900743787214076ULL;
+  RunSpec spec;
+  spec.topology = parse_spec("cluster:alpha=2,beta=3,gamma=4");
+  spec.scheduler = parse_spec("dist-bucket");
+  spec.fault = parse_spec("fault:drop=0.05,jitter=2");
+  spec.serve = parse_spec(
+      "serve:rate=3,duration=512,window=128,admit-rate=4,max-inflight=64");
+  spec.latency_factor = 2;
+  spec.seed = 2026;
+  const Network net = Registry::make_network(spec.topology);
+  const ServeReport r = make_server(net, spec)->run();
+  EXPECT_EQ(r.commit_hash, kPin);
+  EXPECT_EQ(r.admitted, r.commits);
 }
 
 }  // namespace
