@@ -29,6 +29,8 @@ struct BenchCli {
   bool seed_set = false;
   std::int32_t trials = 0;
   bool trials_set = false;
+  std::int32_t threads = 1;
+  bool threads_set = false;
 };
 
 inline BenchCli& bench_cli() {
@@ -45,6 +47,8 @@ inline bool bench_init(Cli& cli, int argc, char** argv) {
   bench_cli().seed = cli.seed(0);
   bench_cli().trials_set = cli.trials_set();
   bench_cli().trials = cli.trials(0);
+  bench_cli().threads_set = cli.threads_set();
+  bench_cli().threads = cli.threads(1);
   return true;
 }
 
@@ -68,6 +72,7 @@ inline CaseResult run_trials(
   topts.trials = cli.trials_set ? cli.trials : trials;
   topts.latency_factor = latency_factor;
   topts.ratio_window = ratio_window;
+  topts.threads = cli.threads;
   return dtm::run_seeded_trials(net, wopts, make_scheduler, topts);
 }
 

@@ -1,0 +1,241 @@
+// Parallel simulation kernel benchmark: full validated runs across a
+// thread ladder, measuring engine steps per second and speedup vs one
+// thread, with the commit-stream hash cross-checked at every thread count
+// (the determinism guarantee is load-bearing — a divergent hash aborts the
+// bench). Emits machine-readable BENCH_parallel.json (schema
+// dtm-bench-parallel-v1; see docs/PERF.md §"Parallel kernel scaling").
+//
+// Three workloads isolate the three parallel surfaces:
+//   clique    bucket over the clique algorithm — wave probing plus engine
+//             reroute sharding on the densest conflict graph
+//   cluster   bucket over the randomized cluster algorithm with a high
+//             retry count — activation-retry fan-out dominates
+//   line      greedy — engine-only sharding, no scheduler parallelism
+//
+// Speedup is only meaningful on a multi-core host; the JSON records
+// hardware_threads so flat curves from single-core CI boxes read as what
+// they are. Oversubscribed thread counts still run real multi-threaded
+// interleavings, so the hash cross-check (and TSan) retain full force.
+//
+// Usage: bench_parallel [--quick] [--out <path>]
+//   --quick  smaller sizes for CI smoke runs
+//   --out    JSON output path (default: BENCH_parallel.json in cwd)
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/bucket_scheduler.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "net/topology.hpp"
+#include "sim/cli.hpp"
+#include "sim/registry.hpp"
+#include "sim/runner.hpp"
+#include "sim/workload.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace dtm;
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_result(const RunResult& r) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& s : r.committed) {
+    h = fnv(h, static_cast<std::uint64_t>(s.txn.id));
+    h = fnv(h, static_cast<std::uint64_t>(s.txn.node));
+    h = fnv(h, static_cast<std::uint64_t>(s.txn.gen_time));
+    h = fnv(h, static_cast<std::uint64_t>(s.exec));
+  }
+  h = fnv(h, static_cast<std::uint64_t>(r.makespan));
+  h = fnv(h, static_cast<std::uint64_t>(r.active_steps));
+  return h;
+}
+
+enum class Kind { kBucket, kBucketRetries, kGreedy };
+
+struct BenchCase {
+  std::string name;
+  Network net;
+  SyntheticOptions w;
+  Kind kind;
+};
+
+std::unique_ptr<OnlineScheduler> make_sched(const BenchCase& c,
+                                            std::int32_t threads) {
+  switch (c.kind) {
+    case Kind::kGreedy:
+      return std::make_unique<GreedyScheduler>();
+    case Kind::kBucketRetries: {
+      BucketOptions o;
+      o.randomized_retries = 8;  // retry fan-out is the parallel surface
+      o.threads = threads;
+      return std::make_unique<BucketScheduler>(
+          Registry::make_batch_algo("auto", c.net), o);
+    }
+    default: {
+      BucketOptions o;
+      o.threads = threads;
+      return std::make_unique<BucketScheduler>(
+          Registry::make_batch_algo("auto", c.net), o);
+    }
+  }
+}
+
+struct Point {
+  std::int32_t threads = 1;
+  double seconds = 0.0;
+  double steps_per_sec = 0.0;
+  double speedup = 1.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "BENCH_parallel.json";
+  Cli cli("bench_parallel",
+          "parallel kernel scaling: steps/sec across a thread ladder");
+  cli.add_flag("quick", "smaller sizes for CI smoke runs", &quick);
+  cli.add_value("out", "JSON output path (default BENCH_parallel.json)", &out);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto hw = static_cast<std::int32_t>(ThreadPool::hardware_threads());
+  std::vector<std::int32_t> ladder = quick ? std::vector<std::int32_t>{1, 2}
+                                           : std::vector<std::int32_t>{1, 2,
+                                                                       4, 8};
+  bool have_hw = false;
+  for (const std::int32_t t : ladder) have_hw = have_hw || t == hw;
+  if (!have_hw) ladder.push_back(hw);
+
+  std::vector<BenchCase> workloads;
+  {
+    SyntheticOptions w;
+    w.num_objects = quick ? 32 : 128;
+    w.k = 2;
+    w.rounds = quick ? 2 : 3;
+    w.zipf_s = 0.5;
+    w.seed = 71;
+    workloads.push_back(
+        {"clique", make_clique(quick ? 64 : 256), w, Kind::kBucket});
+  }
+  {
+    SyntheticOptions w;
+    w.num_objects = quick ? 24 : 48;
+    w.k = 2;
+    w.rounds = 2;
+    w.seed = 72;
+    workloads.push_back({"cluster",
+                         quick ? make_cluster(4, 4, 16)
+                               : make_cluster(8, 8, 16),
+                         w, Kind::kBucketRetries});
+  }
+  {
+    SyntheticOptions w;
+    w.num_objects = quick ? 64 : 256;
+    w.k = 2;
+    w.rounds = 2;
+    w.zipf_s = 0.3;
+    w.seed = 73;
+    workloads.push_back(
+        {"line", make_line(quick ? 128 : 512), w, Kind::kGreedy});
+  }
+
+  std::cout << "### parallel — kernel scaling, hardware_threads=" << hw
+            << (quick ? " (quick)" : "") << "\n";
+  std::cout << std::left << std::setw(10) << "workload" << std::right
+            << std::setw(9) << "threads" << std::setw(12) << "wall_s"
+            << std::setw(14) << "steps/sec" << std::setw(10) << "speedup"
+            << "\n";
+
+  struct Series {
+    const BenchCase* c;
+    std::int64_t txns = 0;
+    std::int64_t active_steps = 0;
+    std::uint64_t hash = 0;
+    std::vector<Point> points;
+  };
+  std::vector<Series> series;
+  for (const auto& c : workloads) {
+    Series s;
+    s.c = &c;
+    for (const std::int32_t t : ladder) {
+      SyntheticWorkload wl(c.net, c.w);
+      auto sched = make_sched(c, t);
+      RunOptions opts;
+      opts.engine.threads = t;
+      const auto t0 = Clock::now();
+      const RunResult r = run_experiment(c.net, wl, *sched, opts);
+      const auto t1 = Clock::now();
+      Point p;
+      p.threads = t;
+      p.seconds = std::chrono::duration<double>(t1 - t0).count();
+      p.steps_per_sec =
+          static_cast<double>(r.active_steps) / std::max(p.seconds, 1e-9);
+      const std::uint64_t h = hash_result(r);
+      if (t == 1) {
+        s.txns = r.num_txns;
+        s.active_steps = r.active_steps;
+        s.hash = h;
+      }
+      // Byte-identity is the contract: any divergence aborts the bench.
+      DTM_CHECK(h == s.hash, "workload " << c.name << ": commit hash at "
+                                         << t << " threads diverges from "
+                                            "the 1-thread run");
+      p.speedup = s.points.empty()
+                      ? 1.0
+                      : p.steps_per_sec / s.points.front().steps_per_sec;
+      std::cout << std::left << std::setw(10) << c.name << std::right
+                << std::setw(9) << t << std::setw(12) << std::fixed
+                << std::setprecision(3) << p.seconds << std::setw(14)
+                << std::setprecision(0) << p.steps_per_sec << std::setw(9)
+                << std::setprecision(2) << p.speedup << "x\n";
+      s.points.push_back(p);
+    }
+    series.push_back(std::move(s));
+  }
+
+  std::ofstream f(out);
+  DTM_CHECK(f.good(), "cannot open " << out << " for writing");
+  f << std::fixed;
+  f << "{\n  \"schema\": \"dtm-bench-parallel-v1\",\n";
+  f << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  f << "  \"hardware_threads\": " << hw << ",\n";
+  f << "  \"metric\": \"engine steps per second over full validated runs; "
+       "commit hash asserted byte-identical across the thread ladder\",\n";
+  f << "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const Series& s = series[i];
+    f << "    {\n";
+    f << "      \"name\": \"" << s.c->name << "\",\n";
+    f << "      \"nodes\": " << s.c->net.num_nodes() << ",\n";
+    f << "      \"txns\": " << s.txns << ",\n";
+    f << "      \"active_steps\": " << s.active_steps << ",\n";
+    f << "      \"commit_hash\": \"0x" << std::hex << s.hash << std::dec
+      << "\",\n";
+    f << "      \"points\": [\n";
+    for (std::size_t j = 0; j < s.points.size(); ++j) {
+      const Point& p = s.points[j];
+      f << "        {\"threads\": " << p.threads
+        << ", \"seconds\": " << std::setprecision(6) << p.seconds
+        << ", \"steps_per_sec\": " << std::setprecision(1) << p.steps_per_sec
+        << ", \"speedup\": " << std::setprecision(3) << p.speedup << "}"
+        << (j + 1 < s.points.size() ? "," : "") << "\n";
+    }
+    f << "      ]\n";
+    f << "    }" << (i + 1 < series.size() ? "," : "") << "\n";
+  }
+  f << "  ]\n}\n";
+  std::cout << "\nwrote " << out << "\n";
+  return 0;
+}

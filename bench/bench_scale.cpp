@@ -66,6 +66,8 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
 
+  // parallel_map now rides the persistent process-wide ThreadPool
+  // (util/parallel.hpp) instead of spawning threads per call.
   std::cout << "\n### F12b — parallel sweep harness (one thread per config)\n";
   {
     const auto t0 = Clock::now();

@@ -54,7 +54,9 @@ int main(int argc, char** argv) {
   cli.add_value("fault", "fault plan, e.g. fault:drop=0.1,jitter=2 (default "
                 "none)",
                 &fault);
-  cli.add_value("mode", "engine mode: scan | calendar | verify", &mode);
+  cli.add_value("mode", "engine mode: scan | calendar | verify | "
+                "verify-parallel",
+                &mode);
   cli.add_value("lf", "latency factor (steps per unit distance)", &lf);
   cli.add_value("window", "Definition-1 ratio window, 0 = off", &window);
   cli.add_flag("dump-spec", "print the resolved RunSpec as JSON and exit",
@@ -79,6 +81,7 @@ int main(int argc, char** argv) {
     if (!window.empty()) spec.ratio_window = std::stoll(window);
     spec.seed = cli.seed(spec.seed);
     spec.trials = cli.trials(spec.trials);
+    spec.threads = cli.threads(spec.threads);
     // §V half-speed objects: the distributed protocol's probe-catching
     // argument needs latency factor >= 2.
     if (spec.scheduler.kind == "dist-bucket" && spec.latency_factor < 2)
@@ -119,11 +122,13 @@ int main(int argc, char** argv) {
     const Network net = Registry::make_network(spec.topology);
     auto wl = Registry::make_workload(spec.workload, net, spec.seed);
     const FaultPlan plan = Registry::make_fault_plan(spec.fault, spec.seed);
-    auto sched = Registry::make_scheduler(spec.scheduler, net, &plan);
+    auto sched =
+        Registry::make_scheduler(spec.scheduler, net, &plan, spec.threads);
     RunOptions ropts;
     ropts.engine.mode = spec.engine_mode();
     ropts.engine.latency_factor = spec.latency_factor;
     ropts.engine.fault = plan;
+    ropts.engine.threads = spec.threads;
     ropts.ratio_window = spec.ratio_window;
     ropts.validate = spec.validate;
     const RunResult r = run_experiment(net, *wl, *sched, ropts);

@@ -4,6 +4,7 @@
 
 #include "util/bits.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace dtm {
 
@@ -63,9 +64,10 @@ Time estimate_fa_seeded(const BatchScheduler& a, const BatchProblem& p,
 
 BucketInsertionCore::BucketInsertionCore(
     std::shared_ptr<const BatchScheduler> algo, BucketFastPath path,
-    std::uint64_t seed)
-    : algo_(std::move(algo)), path_(path), seed_(seed) {
+    std::uint64_t seed, std::int32_t threads)
+    : algo_(std::move(algo)), path_(path), seed_(seed), threads_(threads) {
   DTM_REQUIRE(algo_ != nullptr, "bucket insertion core needs a batch algo");
+  DTM_REQUIRE(threads_ >= 0, "bucket insertion threads " << threads_);
 }
 
 void BucketInsertionCore::make_candidate(const SystemView& view,
@@ -207,23 +209,28 @@ std::int32_t BucketInsertionCore::choose_level(const SystemView& view,
   }
 
   std::int32_t chosen = top;  // over-horizon tail parks in the top bucket
-  for (std::int32_t i = start; i <= top; ++i) {
-    const LevelView lv = levels(i);
-    Time f;
-    if (fast) {
-      CachedBucket& cb = cached(lv.id);
-      DTM_CHECK(cb.p.txns.size() == lv.members.size(),
-                "bucket cache out of sync at level "
-                    << i << ": " << cb.p.txns.size() << " cached vs "
-                    << lv.members.size() << " members");
-      f = probe_cached(view, cb, cand_, extra);
-    } else {
-      f = probe_naive(view, lv.members, cand_, extra, /*use_memo=*/false);
-    }
-    last_scan_.push_back({i, f, last_memo_hit_});
-    if (f <= (Time{1} << i)) {
-      chosen = i;
-      break;
+  const unsigned par = resolve_threads(threads_);
+  if (path_ == BucketFastPath::kIncremental && par > 1 && start < top) {
+    chosen = choose_level_waves(view, start, top, levels, extra, par);
+  } else {
+    for (std::int32_t i = start; i <= top; ++i) {
+      const LevelView lv = levels(i);
+      Time f;
+      if (fast) {
+        CachedBucket& cb = cached(lv.id);
+        DTM_CHECK(cb.p.txns.size() == lv.members.size(),
+                  "bucket cache out of sync at level "
+                      << i << ": " << cb.p.txns.size() << " cached vs "
+                      << lv.members.size() << " members");
+        f = probe_cached(view, cb, cand_, extra);
+      } else {
+        f = probe_naive(view, lv.members, cand_, extra, /*use_memo=*/false);
+      }
+      last_scan_.push_back({i, f, last_memo_hit_});
+      if (f <= (Time{1} << i)) {
+        chosen = i;
+        break;
+      }
     }
   }
 
@@ -246,6 +253,91 @@ std::int32_t BucketInsertionCore::choose_level(const SystemView& view,
                   << t.id << " (lb=" << cand_.lb << ")");
   }
   return chosen;
+}
+
+std::int32_t BucketInsertionCore::choose_level_waves(
+    const SystemView& view, std::int32_t start, std::int32_t top,
+    const LevelFn& levels, const ExtraAssignments& extra, unsigned par) {
+  for (std::int32_t lo = start; lo <= top;
+       lo += static_cast<std::int32_t>(par)) {
+    const std::int32_t hi =
+        std::min<std::int32_t>(lo + static_cast<std::int32_t>(par) - 1, top);
+    const std::size_t n = static_cast<std::size_t>(hi - lo + 1);
+    if (wave_.size() < n) wave_.resize(n);
+
+    // Phase 1 (serial): materialize each level's probe problem — a copy of
+    // the cached bucket with the candidate appended, so caches stay
+    // untouched and workers never share a problem — and resolve memo hits.
+    // The fingerprint is chained exactly as probe_cached chains it, so the
+    // memo keys (and the derived estimate seeds) are path-invariant.
+    wave_miss_.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::int32_t i = lo + static_cast<std::int32_t>(j);
+      const LevelView lv = levels(i);
+      CachedBucket& cb = cached(lv.id);
+      DTM_CHECK(cb.p.txns.size() == lv.members.size(),
+                "bucket cache out of sync at level "
+                    << i << ": " << cb.p.txns.size() << " cached vs "
+                    << lv.members.size() << " members");
+      ensure_fresh(view, cb, extra);
+      ProbeSlot& s = wave_[j];
+      s.level = i;
+      s.p.oracle = cb.p.oracle;
+      s.p.latency_factor = cb.p.latency_factor;
+      s.p.now = cb.p.now;
+      s.p.txns = cb.p.txns;
+      s.p.txns.push_back(cand_.row);
+      s.p.objects = cb.p.objects;
+      for (const BatchObject& bo : cand_.avail) {
+        const auto it = std::lower_bound(
+            s.p.objects.begin(), s.p.objects.end(), bo.id,
+            [](const BatchObject& a, ObjId b) { return a.id < b; });
+        if (it != s.p.objects.end() && it->id == bo.id) continue;
+        s.p.objects.insert(it, bo);
+      }
+      std::uint64_t avail_fp = kBasis;
+      for (const BatchObject& o : s.p.objects)
+        avail_fp = avail_chain(avail_fp, o, s.p.now);
+      s.fp = finish_fp(hash_combine(cb.txn_fp, cand_.row_hash), avail_fp,
+                       s.p.latency_factor);
+      ++stats_.probes;
+      const auto mit = memo_.find(s.fp);
+      s.memo_hit = mit != memo_.end();
+      if (s.memo_hit) {
+        ++stats_.memo_hits;
+        s.f = mit->second;
+      } else {
+        wave_miss_.push_back(j);
+      }
+    }
+
+    // Phase 2 (parallel): the misses run A concurrently. Estimates are
+    // pure functions of (problem, derived seed), so speculative evaluation
+    // of levels the serial scan would have skipped cannot change anything
+    // but the stats.
+    stats_.estimates += static_cast<std::int64_t>(wave_miss_.size());
+    ThreadPool::shared().run(
+        static_cast<std::int64_t>(wave_miss_.size()),
+        [&](std::int64_t k) {
+          ProbeSlot& s = wave_[wave_miss_[static_cast<std::size_t>(k)]];
+          s.f = estimate_fa_seeded(*algo_, s.p,
+                                   derive_seed(seed_, kProbeSalt, s.fp));
+        },
+        par, 1);
+
+    // Phase 3 (serial, ascending): memoize the fresh estimates and stop at
+    // the lowest fitting level — the same first-fit the serial scan takes.
+    for (std::size_t j = 0; j < n; ++j) {
+      const ProbeSlot& s = wave_[j];
+      if (!s.memo_hit) {
+        if (memo_.size() >= kMemoCap) memo_.clear();
+        memo_.emplace(s.fp, s.f);
+      }
+      last_scan_.push_back({s.level, s.f, s.memo_hit});
+      if (s.f <= (Time{1} << s.level)) return s.level;
+    }
+  }
+  return top;
 }
 
 void BucketInsertionCore::on_inserted(const SystemView& view, BucketId id,
@@ -301,6 +393,24 @@ BatchResult BucketInsertionCore::run_activation(const BatchProblem& p,
                                                 const BatchScheduler& runner,
                                                 std::int32_t retries) {
   const std::uint64_t fp = problem_fingerprint(p);
+  if (runner.randomized() && retries > 1 && resolve_threads(threads_) > 1) {
+    // Trial r's schedule depends only on (seed_, fp, r) — batch schedulers
+    // are const with thread-local scratch — so all retries evaluate
+    // concurrently. Keeping the FIRST index achieving the minimum makespan
+    // reproduces the serial strict-< scan's winner exactly.
+    std::vector<BatchResult> trials = parallel_map<BatchResult>(
+        retries,
+        [&](std::int64_t r) {
+          Rng trial(derive_seed(seed_, kTrialSalt, fp,
+                                static_cast<std::uint64_t>(r)));
+          return runner.schedule(p, trial);
+        },
+        resolve_threads(threads_));
+    std::size_t best = 0;
+    for (std::size_t r = 1; r < trials.size(); ++r)
+      if (trials[r].makespan < trials[best].makespan) best = r;
+    return std::move(trials[best]);
+  }
   Rng rng(derive_seed(seed_, kTrialSalt, fp, 0));
   BatchResult best = runner.schedule(p, rng);
   if (runner.randomized()) {

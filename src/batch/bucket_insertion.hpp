@@ -36,6 +36,20 @@
 // produce bit-equal schedules. kVerify runs both paths and cross-checks
 // every level choice; the golden commit-sequence pins hold across all
 // three paths.
+//
+// That same purity is what makes the core parallelizable without touching
+// a single decision (ARCHITECTURE.md §8): with threads > 1,
+//   - activation retries evaluate concurrently (each trial's stream
+//     depends only on (seed, fingerprint, trial index)) and merge as
+//     min-by-(makespan, trial index) — exactly the serial strict-< scan;
+//   - the incremental level scan probes levels in waves of `threads`
+//     speculative F_A estimates (memo hits resolved serially first), then
+//     picks the lowest fitting level in ascending order — the same level
+//     the one-at-a-time scan stops at, because estimates are pure.
+// Speculative probes can run A for levels the serial scan would never
+// reach, so FastPathStats counters (probes/estimates/memo_hits) are
+// thread-count-DEPENDENT introspection; decisions, schedules, and
+// last_lower_bound() are thread-count-invariant.
 #pragma once
 
 #include <cstdint>
@@ -101,8 +115,11 @@ class BucketInsertionCore {
   };
   using LevelFn = std::function<LevelView(std::int32_t)>;
 
+  /// `threads`: 1 = serial (default), 0 = all hardware threads, N = up to
+  /// N participants for wave probing and activation retries.
   BucketInsertionCore(std::shared_ptr<const BatchScheduler> algo,
-                      BucketFastPath path, std::uint64_t seed);
+                      BucketFastPath path, std::uint64_t seed,
+                      std::int32_t threads = 1);
 
   [[nodiscard]] BucketFastPath path() const { return path_; }
   [[nodiscard]] const FastPathStats& stats() const { return stats_; }
@@ -199,9 +216,28 @@ class BucketInsertionCore {
   /// Memoized estimate of `p` under its fingerprint.
   Time estimate(const BatchProblem& p, std::uint64_t fp, bool use_memo);
 
+  /// One level's speculative probe during a parallel wave: a materialized
+  /// copy of the cached problem with the candidate appended (copies keep
+  /// the caches untouched while workers estimate concurrently).
+  struct ProbeSlot {
+    BatchProblem p;
+    std::uint64_t fp = 0;
+    std::int32_t level = -1;
+    Time f = 0;
+    bool memo_hit = false;
+  };
+
+  /// The incremental scan with `par` speculative probes per wave; returns
+  /// the same level as the serial scan (estimates are pure, and the lowest
+  /// fitting level wins in ascending order).
+  std::int32_t choose_level_waves(const SystemView& view, std::int32_t start,
+                                  std::int32_t top, const LevelFn& levels,
+                                  const ExtraAssignments& extra, unsigned par);
+
   std::shared_ptr<const BatchScheduler> algo_;
   BucketFastPath path_;
   std::uint64_t seed_;
+  std::int32_t threads_ = 1;
   std::uint64_t world_ = 1;
 
   ProblemBuilder builder_;
@@ -214,6 +250,8 @@ class BucketInsertionCore {
   bool last_memo_hit_ = false;
   std::vector<std::size_t> probe_inserted_;  ///< rollback scratch
   std::vector<AvailPoint> lb_pts_;           ///< lower-bound scratch
+  std::vector<ProbeSlot> wave_;              ///< parallel-probe scratch
+  std::vector<std::size_t> wave_miss_;       ///< memo misses of the wave
   FastPathStats stats_;
 };
 

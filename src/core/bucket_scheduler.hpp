@@ -47,6 +47,10 @@ struct BucketOptions {
     /// level from 0 (the paper-verbatim baseline bench_bucket_fastpath
     /// measures against); kVerify runs both and checks every decision.
     BucketFastPath fastpath = BucketFastPath::kIncremental;
+    /// Worker threads for the insertion core's wave probing and activation
+    /// retries (1 = serial, 0 = all hardware threads). Decisions are
+    /// thread-count-invariant (ARCHITECTURE.md §8).
+    std::int32_t threads = 1;
   };
 
 class BucketScheduler final : public OnlineScheduler {

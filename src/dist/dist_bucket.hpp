@@ -69,6 +69,9 @@ struct DistBucketOptions {
   /// BucketOptions::fastpath): cached per-bucket problems, memoized F_A and
   /// the lower-bound start level, byte-identical to the naive scan.
   BucketFastPath fastpath = BucketFastPath::kIncremental;
+  /// Worker threads for the insertion core (same semantics as
+  /// BucketOptions::threads; 1 = serial, 0 = all hardware threads).
+  std::int32_t threads = 1;
 };
 
 /// Message-accounting for the communication-overhead experiment (F4).

@@ -404,7 +404,8 @@ std::unique_ptr<DtmServer> make_server(const Network& net, const RunSpec& spec,
                                        DtmServer::Hooks hooks) {
   ServeConfig cfg = Registry::make_serve_config(spec.serve, spec.seed);
   const FaultPlan fault = Registry::make_fault_plan(spec.fault, spec.seed);
-  auto scheduler = Registry::make_scheduler(spec.scheduler, net, &fault);
+  auto scheduler =
+      Registry::make_scheduler(spec.scheduler, net, &fault, spec.threads);
 
   EngineOptions eopts;
   eopts.mode = spec.engine_mode();
@@ -412,6 +413,7 @@ std::unique_ptr<DtmServer> make_server(const Network& net, const RunSpec& spec,
   if (spec.scheduler.kind == "dist-bucket")
     eopts.latency_factor = std::max<std::int64_t>(eopts.latency_factor, 2);
   eopts.fault = fault;
+  eopts.threads = spec.threads;
 
   std::unique_ptr<TxnSource> source;
   if (cfg.source == "trace") {

@@ -25,7 +25,8 @@ void Cli::print_usage() const {
             << "  --help         this message\n"
             << "  --list         enumerate registered components\n"
             << "  --seed N       base RNG seed override\n"
-            << "  --trials N     trials per averaged data point\n";
+            << "  --trials N     trials per averaged data point\n"
+            << "  --threads N    worker threads (0 = all hardware threads)\n";
   for (const auto& f : flags_)
     std::cout << "  --" << f.name << (f.value ? " V" : "  ")
               << "   " << f.help << "\n";
@@ -75,6 +76,14 @@ bool Cli::parse(int argc, char** argv) {
       trials_set_ = true;
       DTM_REQUIRE(trials_ >= 1,
                   "" << program_ << ": --trials must be >= 1");
+      continue;
+    }
+    if (arg == "--threads") {
+      threads_ = static_cast<std::int32_t>(std::stol(value_of(arg)));
+      threads_set_ = true;
+      DTM_REQUIRE(threads_ >= 0 && threads_ <= 1024,
+                  "" << program_ << ": --threads must be in [0, 1024], got "
+                     << threads_);
       continue;
     }
     bool matched = false;

@@ -6,6 +6,7 @@
 //                     workloads, batch algorithms)
 //   --seed N          base RNG seed override
 //   --trials N        trial-count override for averaged benches
+//   --threads N       worker threads (0 = all hardware threads)
 // — plus whatever flags the binary registers. Unknown flags are hard
 // errors: a typo'd flag aborts instead of silently running defaults.
 #pragma once
@@ -40,6 +41,12 @@ class Cli {
   [[nodiscard]] std::int32_t trials(std::int32_t def) const {
     return trials_set_ ? trials_ : def;
   }
+  [[nodiscard]] bool threads_set() const { return threads_set_; }
+  /// Worker-thread count: 0 = all hardware threads, N = exactly N. The
+  /// default stays serial; results are byte-identical at every value.
+  [[nodiscard]] std::int32_t threads(std::int32_t def) const {
+    return threads_set_ ? threads_ : def;
+  }
 
   void print_usage() const;
   /// The shared --list output: every registered component, one per line.
@@ -60,6 +67,8 @@ class Cli {
   bool seed_set_ = false;
   std::int32_t trials_ = 0;
   bool trials_set_ = false;
+  std::int32_t threads_ = 1;
+  bool threads_set_ = false;
 };
 
 }  // namespace dtm

@@ -17,6 +17,16 @@ SyncEngine::SyncEngine(std::shared_ptr<const DistanceOracle> oracle,
           std::make_unique<SyncObjectTransport>(store_, *oracle_, opts_)) {
   DTM_REQUIRE(opts_.latency_factor >= 1,
               "latency factor " << opts_.latency_factor);
+  DTM_REQUIRE(opts_.threads >= 0, "engine threads " << opts_.threads);
+  if (opts_.mode == Mode::kVerifyParallel) {
+    // Same oracle, same origins, same fault plan — only the bookkeeping
+    // differs: the twin runs the plain serial calendar path, so every
+    // lockstep divergence indicts the parallel sharding.
+    Options twin = opts_;
+    twin.mode = Mode::kCalendar;
+    twin.threads = 1;
+    shadow_ = std::make_unique<SyncEngine>(oracle_, store_.origins(), twin);
+  }
 }
 
 const ObjectState& SyncEngine::object(ObjId o) const {
@@ -57,6 +67,7 @@ void SyncEngine::begin_step(std::span<const Transaction> arrivals) {
                   "txn " << t.id << " requests unknown object " << a.obj);
     store_.add_live(t);
   }
+  if (shadow_) shadow_->begin_step(arrivals);
 }
 
 void SyncEngine::apply(std::span<const Assignment> assignments) {
@@ -78,10 +89,14 @@ void SyncEngine::apply(std::span<const Assignment> assignments) {
     }
   }
   // Re-route after all assignments land so each object sees the final
-  // earliest-deadline user of this step.
+  // earliest-deadline user of this step. The request list goes through
+  // reroute_many so the transport can shard it by object ownership.
+  reroute_scratch_.clear();
   for (const Assignment& a : assignments)
     for (const auto& acc : live.at(a.txn).txn.accesses)
-      transport_->reroute(acc.obj, now);
+      reroute_scratch_.push_back(acc.obj);
+  transport_->reroute_many(reroute_scratch_, now);
+  if (shadow_) shadow_->apply(assignments);
 }
 
 std::vector<SyncEngine::Commit> SyncEngine::finish_step() {
@@ -148,8 +163,24 @@ std::vector<SyncEngine::Commit> SyncEngine::finish_step() {
     store_.commit(lit, lt.exec);
   }
   // Forward released objects to their next scheduled user.
-  for (const ObjId o : released) transport_->reroute(o, now);
+  transport_->reroute_many(released, now);
   clock_.tick();
+  if (shadow_) {
+    const std::vector<Commit> twin = shadow_->finish_step();
+    DTM_CHECK(twin.size() == commits.size(),
+              "parallel engine committed " << commits.size()
+                                           << " txns at step " << now
+                                           << ", serial twin " << twin.size());
+    for (std::size_t i = 0; i < commits.size(); ++i)
+      DTM_CHECK(commits[i].txn == twin[i].txn &&
+                    commits[i].node == twin[i].node &&
+                    commits[i].gen == twin[i].gen &&
+                    commits[i].exec == twin[i].exec,
+                "parallel engine diverges from serial twin at step "
+                    << now << ": commit " << i << " is txn " << commits[i].txn
+                    << "@" << commits[i].exec << " vs " << twin[i].txn << "@"
+                    << twin[i].exec);
+  }
   return commits;
 }
 
@@ -160,9 +191,18 @@ void SyncEngine::advance_to(Time t) {
   DTM_CHECK(due == kNoTime || due >= t,
             "advance_to(" << t << ") would skip execution at " << due);
   clock_.advance_to(t);
+  if (shadow_) shadow_->advance_to(t);
 }
 
 Time SyncEngine::next_exec_due() const {
+  if (opts_.mode == Mode::kVerifyParallel) {
+    const Time cal = clock_.next_scheduled();
+    DTM_CHECK(cal == shadow_->next_exec_due(),
+              "parallel engine next_exec_due " << cal
+                                               << " diverges from serial twin "
+                                               << shadow_->next_exec_due());
+    return cal;
+  }
   if (opts_.mode == Mode::kCalendar) return clock_.next_scheduled();
   Time due = kNoTime;
   for (const auto& [_, lt] : store_.live()) {

@@ -27,6 +27,14 @@
 // kVerify runs the calendar path while re-deriving every decision with the
 // scan path and asserting equivalence — the debug harness behind the
 // equivalence test suite.
+//
+// With EngineOptions::threads > 1 the reroute fan-outs of apply() and
+// finish_step() run sharded across the process-wide ThreadPool (object
+// ownership by dense index, per-worker settle buffers merged after the
+// barrier — ARCHITECTURE.md §8); commit sequences stay byte-identical at
+// every thread count. kVerifyParallel is the corresponding debug harness:
+// it steps a serial calendar twin engine in lockstep and cross-checks the
+// commit stream of every step.
 #pragma once
 
 #include <memory>
@@ -110,6 +118,7 @@ class SyncEngine final : public SystemView {
   /// normally afterwards; only post-hoc consumers of the full history
   /// (validate_schedule, the runner's metrics) must not drain mid-run.
   [[nodiscard]] std::vector<ScheduledTxn> take_committed() {
+    if (shadow_) (void)shadow_->take_committed();  // keep the twin bounded
     return store_.take_committed();
   }
 
@@ -119,6 +128,7 @@ class SyncEngine final : public SystemView {
   void set_fault(const FaultPlan& plan) {
     opts_.fault = plan;
     transport_->set_fault(plan);
+    if (shadow_) shadow_->set_fault(plan);
   }
   [[nodiscard]] const std::vector<ObjectOrigin>& origins() const {
     return store_.origins();
@@ -137,7 +147,12 @@ class SyncEngine final : public SystemView {
   std::unique_ptr<ObjectTransport> transport_;
   EventClock clock_;
 
+  /// kVerifyParallel: a serial calendar twin stepped in lockstep; every
+  /// finish_step cross-checks the two commit streams.
+  std::unique_ptr<SyncEngine> shadow_;
+
   std::vector<TxnId> due_scratch_;
+  std::vector<ObjId> reroute_scratch_;
 };
 
 }  // namespace dtm

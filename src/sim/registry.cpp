@@ -166,8 +166,9 @@ EngineOptions::Mode RunSpec::engine_mode() const {
   if (mode == "scan") return EngineOptions::Mode::kScan;
   if (mode == "calendar") return EngineOptions::Mode::kCalendar;
   if (mode == "verify") return EngineOptions::Mode::kVerify;
+  if (mode == "verify-parallel") return EngineOptions::Mode::kVerifyParallel;
   throw CheckError("run spec: unknown engine mode '" + mode +
-                   "' (scan | calendar | verify)");
+                   "' (scan | calendar | verify | verify-parallel)");
 }
 
 namespace {
@@ -221,6 +222,7 @@ Json RunSpec::to_json() const {
   o.emplace("latency_factor", Json(latency_factor));
   o.emplace("seed", Json(static_cast<std::int64_t>(seed)));
   o.emplace("trials", Json(trials));
+  o.emplace("threads", Json(threads));
   o.emplace("ratio_window", Json(ratio_window));
   o.emplace("validate", Json(validate));
   return Json(std::move(o));
@@ -239,12 +241,15 @@ RunSpec RunSpec::from_json(const Json& j) {
     else if (k == "latency_factor") s.latency_factor = v.as_int();
     else if (k == "seed") s.seed = static_cast<std::uint64_t>(v.as_int());
     else if (k == "trials") s.trials = static_cast<std::int32_t>(v.as_int());
+    else if (k == "threads") s.threads = static_cast<std::int32_t>(v.as_int());
     else if (k == "ratio_window") s.ratio_window = v.as_int();
     else if (k == "validate") s.validate = v.as_bool();
     else
       throw CheckError("run spec: unknown key '" + k + "'");
   }
   (void)s.engine_mode();  // validate the mode string eagerly
+  DTM_REQUIRE(s.threads >= 0 && s.threads <= 1024,
+              "run spec: threads must be in [0, 1024], got " << s.threads);
   return s;
 }
 
@@ -276,11 +281,11 @@ const std::vector<Registry::Entry>& Registry::schedulers() {
       {"fcfs", "(distance-oblivious arrival-order baseline)"},
       {"bucket",
        "algo=auto,max-level=0,retries=3,seed=...,suffix=true,force-level=-1,"
-       "fastpath=on  (Algorithm 2 over offline algo)"},
+       "fastpath=on,threads=1  (Algorithm 2 over offline algo)"},
       {"dist-bucket",
        "algo=auto,max-level=0,retries=3,seed=...,msg=true,timeout-mult=4,"
-       "fastpath=on  (Algorithm 3 over a sparse cover; forces latency factor "
-       ">= 2)"},
+       "fastpath=on,threads=1  (Algorithm 3 over a sparse cover; forces "
+       "latency factor >= 2)"},
   };
   return kEntries;
 }
@@ -564,7 +569,8 @@ std::shared_ptr<const BatchScheduler> Registry::make_batch_algo(
 }
 
 std::unique_ptr<OnlineScheduler> Registry::make_scheduler(
-    const Spec& spec, const Network& net, const FaultPlan* fault) {
+    const Spec& spec, const Network& net, const FaultPlan* fault,
+    std::int32_t threads) {
   SpecArgs a(spec);
   std::unique_ptr<OnlineScheduler> s;
   if (a.kind() == "greedy" || a.kind() == "greedy-uniform") {
@@ -588,6 +594,9 @@ std::unique_ptr<OnlineScheduler> Registry::make_scheduler(
     o.enforce_suffix_property = a.boolean("suffix", true);
     o.force_level = static_cast<std::int32_t>(a.integer("force-level", -1));
     o.fastpath = parse_fastpath(a.str("fastpath", "on"));
+    o.threads = static_cast<std::int32_t>(a.integer("threads", threads));
+    DTM_REQUIRE(o.threads >= 0,
+                "bucket: threads must be >= 0, got " << o.threads);
     s = std::make_unique<BucketScheduler>(
         make_batch_algo(a.str("algo", "auto"), net), o);
   } else if (a.kind() == "dist-bucket") {
@@ -599,6 +608,9 @@ std::unique_ptr<OnlineScheduler> Registry::make_scheduler(
     o.message_level_discovery = a.boolean("msg", true);
     o.timeout_mult = a.integer("timeout-mult", o.timeout_mult);
     o.fastpath = parse_fastpath(a.str("fastpath", "on"));
+    o.threads = static_cast<std::int32_t>(a.integer("threads", threads));
+    DTM_REQUIRE(o.threads >= 0,
+                "dist-bucket: threads must be >= 0, got " << o.threads);
     if (fault != nullptr) o.fault = *fault;
     s = std::make_unique<DistributedBucketScheduler>(
         net, make_batch_algo(a.str("algo", "auto"), net), o);
@@ -617,11 +629,13 @@ RunResult run_spec(const RunSpec& spec, bool collect_schedule) {
   const Network net = Registry::make_network(spec.topology);
   auto wl = Registry::make_workload(spec.workload, net, spec.seed);
   const FaultPlan fault = Registry::make_fault_plan(spec.fault, spec.seed);
-  auto sched = Registry::make_scheduler(spec.scheduler, net, &fault);
+  auto sched =
+      Registry::make_scheduler(spec.scheduler, net, &fault, spec.threads);
   RunOptions opts;
   opts.engine.mode = spec.engine_mode();
   opts.engine.latency_factor = spec.latency_factor;
   opts.engine.fault = fault;
+  opts.engine.threads = spec.threads;
   opts.ratio_window = spec.ratio_window;
   opts.validate = spec.validate;
   opts.collect_schedule = collect_schedule;
@@ -637,11 +651,13 @@ TrialSummary run_spec_trials(const RunSpec& spec) {
         spec.seed + static_cast<std::uint64_t>(t) * 7919;
     auto wl = Registry::make_workload(spec.workload, net, seed);
     const FaultPlan fault = Registry::make_fault_plan(spec.fault, seed);
-    auto sched = Registry::make_scheduler(spec.scheduler, net, &fault);
+    auto sched =
+        Registry::make_scheduler(spec.scheduler, net, &fault, spec.threads);
     RunOptions opts;
     opts.engine.mode = spec.engine_mode();
     opts.engine.latency_factor = spec.latency_factor;
     opts.engine.fault = fault;
+    opts.engine.threads = spec.threads;
     opts.ratio_window = spec.ratio_window;
     opts.validate = spec.validate;
     opts.collect_schedule = false;

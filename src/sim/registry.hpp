@@ -84,10 +84,15 @@ struct RunSpec {
   /// Only dtm_serve / make_server consume it; batch binaries carry the
   /// defaults along untouched. Absent from old JSON spec files.
   Spec serve{"serve", {}};
-  std::string mode = "calendar";  ///< scan | calendar | verify
+  std::string mode = "calendar";  ///< scan | calendar | verify | verify-parallel
   std::int64_t latency_factor = 1;
   std::uint64_t seed = 42;
   std::int32_t trials = 1;
+  /// Worker threads for the simulation kernel (engine reroute sharding,
+  /// bucket wave probing, activation retries, trial fan-out). 1 = serial,
+  /// 0 = all hardware threads. Results are byte-identical at every value
+  /// (ARCHITECTURE.md §8).
+  std::int32_t threads = 1;
   Time ratio_window = 0;
   bool validate = true;
 
@@ -128,9 +133,12 @@ class Registry {
   /// (dist-bucket arms its FaultyBus + timeout protocol from it). Bus-level
   /// faults have no effect on schedulers that exchange no messages; the
   /// transport stall knob acts through EngineOptions instead.
+  /// `threads` is the default worker-thread count for schedulers with a
+  /// parallel insertion core (bucket / dist-bucket); a `threads=` spec
+  /// parameter overrides it per scheduler.
   [[nodiscard]] static std::unique_ptr<OnlineScheduler> make_scheduler(
       const Spec& spec, const Network& net,
-      const FaultPlan* fault = nullptr);
+      const FaultPlan* fault = nullptr, std::int32_t threads = 1);
 
   [[nodiscard]] static std::shared_ptr<const BatchScheduler> make_batch_algo(
       const std::string& name, const Network& net);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/parallel.hpp"
+
 namespace dtm {
 
 TxnId SyncObjectTransport::reroute_target_scan(
@@ -34,19 +36,24 @@ TxnId SyncObjectTransport::reroute_target_calendar(TxnStore::ObjEntry& e) {
 }
 
 void SyncObjectTransport::reroute(ObjId o, Time now) {
-  TxnStore::ObjEntry& e = store_->obj_entry(o);
+  reroute_impl(store_->obj_entry(o), now, nullptr);
+}
+
+void SyncObjectTransport::reroute_impl(TxnStore::ObjEntry& e, Time now,
+                                       SettleBuffer* out) {
   TxnId best = kNoTxn;
   switch (opts_.mode) {
     case EngineOptions::Mode::kScan:
       best = reroute_target_scan(e);
       break;
     case EngineOptions::Mode::kCalendar:
+    case EngineOptions::Mode::kVerifyParallel:
       best = reroute_target_calendar(e);
       break;
     case EngineOptions::Mode::kVerify: {
       best = reroute_target_calendar(e);
       const TxnId scan = reroute_target_scan(e);
-      DTM_CHECK(best == scan, "reroute(" << o << ") diverges: calendar "
+      DTM_CHECK(best == scan, "reroute(" << e.id << ") diverges: calendar "
                                          << best << " vs scan " << scan);
       break;
     }
@@ -64,8 +71,50 @@ void SyncObjectTransport::reroute(ObjId o, Time now) {
        e.state.depart_time() != old_depart ||
        e.state.arrive_time() != old_arrive))
     maybe_stall(e, best);
-  if (opts_.mode != EngineOptions::Mode::kScan && e.state.in_transit())
-    settle_queue_.emplace(e.state.arrive_time(), store_->obj_index(e));
+  if (opts_.mode != EngineOptions::Mode::kScan && e.state.in_transit()) {
+    if (out != nullptr)
+      out->emplace_back(e.state.arrive_time(), store_->obj_index(e));
+    else
+      settle_queue_.emplace(e.state.arrive_time(), store_->obj_index(e));
+  }
+}
+
+void SyncObjectTransport::reroute_many(std::span<const ObjId> objs, Time now) {
+  const unsigned shards = std::min<std::uint64_t>(
+      {resolve_threads(opts_.threads), objs.size(), 64});
+  // Stall injection draws one RNG value per fresh leg in request order —
+  // a shared sequential stream — so an active stall plan forces the serial
+  // path (chaos runs are thread-count-invariant by construction).
+  if (shards <= 1 || stalling_) {
+    for (const ObjId o : objs) reroute(o, now);
+    return;
+  }
+  // Ownership sharding: object with dense index i belongs to worker
+  // i % shards. Every worker scans the full request list and handles only
+  // its own objects, preserving each object's request order, so the final
+  // per-object state is identical to the serial loop's. Settle pushes are
+  // buffered per worker and merged after the barrier — the queue is a heap
+  // keyed on unique (time, index) pairs, so insertion order is invisible.
+  shard_idx_.clear();
+  shard_idx_.reserve(objs.size());
+  for (const ObjId o : objs)
+    shard_idx_.push_back(store_->obj_index(store_->obj_entry(o)));
+  if (shard_settles_.size() < shards) shard_settles_.resize(shards);
+  ThreadPool::shared().run(
+      shards,
+      [&](std::int64_t w) {
+        SettleBuffer& buf = shard_settles_[static_cast<std::size_t>(w)];
+        buf.clear();
+        for (std::size_t r = 0; r < shard_idx_.size(); ++r) {
+          if (shard_idx_[r] % static_cast<std::int32_t>(shards) != w)
+            continue;
+          reroute_impl(store_->obj_at(shard_idx_[r]), now, &buf);
+        }
+      },
+      shards, 1);
+  for (unsigned w = 0; w < shards; ++w)
+    for (const auto& [at, idx] : shard_settles_[w])
+      settle_queue_.emplace(at, idx);
 }
 
 void SyncObjectTransport::maybe_stall(TxnStore::ObjEntry& e, TxnId best) {
@@ -88,7 +137,20 @@ void SyncObjectTransport::maybe_stall(TxnStore::ObjEntry& e, TxnId best) {
 
 void SyncObjectTransport::settle_arrivals(Time now) {
   if (opts_.mode == EngineOptions::Mode::kScan) {
-    for (auto& e : store_->objects()) e.state.settle(now);
+    auto& objects = store_->objects();
+    const unsigned par = resolve_threads(opts_.threads);
+    if (par > 1 && objects.size() >= 256) {
+      // Settles touch only their own entry; chunked so workers stream
+      // contiguous cache lines.
+      ThreadPool::shared().run(
+          static_cast<std::int64_t>(objects.size()),
+          [&](std::int64_t i) {
+            objects[static_cast<std::size_t>(i)].state.settle(now);
+          },
+          par);
+    } else {
+      for (auto& e : objects) e.state.settle(now);
+    }
     return;
   }
   while (!settle_queue_.empty() && settle_queue_.top().first <= now) {

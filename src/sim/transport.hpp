@@ -9,6 +9,9 @@
 #pragma once
 
 #include <memory>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "fault/plan.hpp"
 #include "sim/store.hpp"
@@ -21,9 +24,19 @@ struct EngineOptions {
   std::int64_t latency_factor = 1;
 
   /// Per-step bookkeeping strategy; identical observable behavior (the
-  /// equivalence tests prove it), different asymptotics.
-  enum class Mode { kCalendar, kScan, kVerify };
+  /// equivalence tests prove it), different asymptotics. kVerifyParallel
+  /// runs the calendar bookkeeping with the parallel sharded phases while
+  /// stepping a serial calendar twin in lockstep and cross-checking every
+  /// commit (the parallel-kernel debug harness).
+  enum class Mode { kCalendar, kScan, kVerify, kVerifyParallel };
   Mode mode = Mode::kCalendar;
+
+  /// Worker threads for the sharded step phases (reroute fan-out, scan
+  /// settles): 1 = serial (default), 0 = all hardware threads, N = exactly
+  /// N participants. Every thread count produces byte-identical commit
+  /// sequences — sharding is by object ownership, and per-worker results
+  /// merge in canonical order (ARCHITECTURE.md §8).
+  std::int32_t threads = 1;
 
   /// Fault-injection plan for the transport's stall hook (and, through the
   /// RunSpec, the distributed protocol's FaultyBus). The default null plan
@@ -39,6 +52,15 @@ class ObjectTransport {
   /// Sends object `o` toward the pending scheduled user with the earliest
   /// execution time (no-op when already heading there / resting there).
   virtual void reroute(ObjId o, Time now) = 0;
+
+  /// Reroutes every object in `objs`, duplicates included, preserving the
+  /// per-object request order. The default loops serially; parallel
+  /// transports shard the list by object ownership (each object's requests
+  /// are handled by exactly one worker, so the final state is
+  /// worker-count-invariant).
+  virtual void reroute_many(std::span<const ObjId> objs, Time now) {
+    for (const ObjId o : objs) reroute(o, now);
+  }
 
   /// Materializes every arrival due by `now` (the scan path settles all
   /// objects; the calendar path drains its settle queue).
@@ -73,6 +95,10 @@ class SyncObjectTransport final : public ObjectTransport {
   [[nodiscard]] std::int64_t stall_steps() const { return stall_steps_; }
 
   void reroute(ObjId o, Time now) override;
+  /// Sharded parallel fan-out when EngineOptions::threads > 1 (serial
+  /// under an active stall plan: the stall stream draws in request order,
+  /// and chaos golden pins depend on that exact sequence).
+  void reroute_many(std::span<const ObjId> objs, Time now) override;
   void settle_arrivals(Time now) override;
   void verify_settled(Time now) const override;
 
@@ -87,11 +113,20 @@ class SyncObjectTransport final : public ObjectTransport {
   }
 
  private:
+  /// (arrive time, object index) pairs buffered by one worker during a
+  /// parallel reroute phase, merged into settle_queue_ after the barrier.
+  using SettleBuffer = std::vector<std::pair<Time, std::int32_t>>;
+
   /// The seed's linear selection of the earliest scheduled user; kNoTxn
   /// when none.
   [[nodiscard]] TxnId reroute_target_scan(const TxnStore::ObjEntry& e) const;
   /// Heap-based selection (prunes committed users); kNoTxn when none.
   [[nodiscard]] TxnId reroute_target_calendar(TxnStore::ObjEntry& e);
+
+  /// The reroute body. `out == nullptr` pushes settle entries straight into
+  /// settle_queue_ (serial path, stall hook armed); non-null buffers them
+  /// per worker (parallel path, which only runs with the stall hook off).
+  void reroute_impl(TxnStore::ObjEntry& e, Time now, SettleBuffer* out);
 
   /// Fault hook: maybe stretches a freshly laid transit leg for `e`, bounded
   /// by the slack before `best`'s execution so commitments stay feasible.
@@ -113,6 +148,11 @@ class SyncObjectTransport final : public ObjectTransport {
   /// array). Entries outlive redirects; settle() is idempotent, so early
   /// pops are no-ops.
   EventClock::MinHeap<std::int32_t> settle_queue_;
+
+  /// Parallel reroute scratch: dense object indices of the current request
+  /// list and the per-worker settle buffers.
+  std::vector<std::int32_t> shard_idx_;
+  std::vector<SettleBuffer> shard_settles_;
 };
 
 }  // namespace dtm

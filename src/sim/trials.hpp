@@ -32,6 +32,12 @@ struct TrialOptions {
   std::int32_t trials = 3;
   std::int64_t latency_factor = 1;
   Time ratio_window = 0;
+  /// Worker threads: trials fan out across the process-wide ThreadPool and
+  /// fold in trial-index order, so the summary is byte-identical at every
+  /// value (1 = serial, 0 = all hardware threads). The scheduler factory
+  /// must be safe to invoke concurrently — every registry/bench factory
+  /// only reads shared immutable state, so this holds by construction.
+  std::int32_t threads = 1;
 };
 
 using SchedulerFactory = std::function<std::unique_ptr<OnlineScheduler>()>;

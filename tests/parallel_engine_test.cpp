@@ -1,0 +1,284 @@
+// Parallel-kernel determinism: the commit stream must be byte-identical at
+// EVERY thread count — not merely self-consistent, but equal to the exact
+// golden pins captured from the serial pre-parallel engine
+// (golden_sequence_test.cpp). The matrix crosses scheduler kinds (engine
+// reroute sharding, bucket wave probing + activation retries, the
+// distributed twin), engine modes, fault plans (chaos forces the transport
+// serial — thread counts must still agree), and thread counts
+// {1, 2, 4, hardware}. kVerifyParallel additionally runs the serial-twin
+// lockstep harness end-to-end.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bucket_scheduler.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "dist/dist_bucket.hpp"
+#include "fault/plan.hpp"
+#include "net/topology.hpp"
+#include "sim/registry.hpp"
+#include "sim/runner.hpp"
+#include "sim/workload.hpp"
+#include "util/parallel.hpp"
+
+namespace dtm {
+namespace {
+
+std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_result(const RunResult& r) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& s : r.committed) {
+    h = fnv(h, static_cast<std::uint64_t>(s.txn.id));
+    h = fnv(h, static_cast<std::uint64_t>(s.txn.node));
+    h = fnv(h, static_cast<std::uint64_t>(s.txn.gen_time));
+    h = fnv(h, static_cast<std::uint64_t>(s.exec));
+  }
+  h = fnv(h, static_cast<std::uint64_t>(r.makespan));
+  h = fnv(h, static_cast<std::uint64_t>(r.active_steps));
+  return h;
+}
+
+/// Thread counts under test: serial, two oversubscribed counts, and
+/// whatever the host actually has (deduplicated).
+std::vector<std::int32_t> thread_ladder() {
+  std::vector<std::int32_t> t = {1, 2, 4};
+  const auto hw = static_cast<std::int32_t>(ThreadPool::hardware_threads());
+  bool have = false;
+  for (const std::int32_t v : t) have = have || v == hw;
+  if (!have) t.push_back(hw);
+  return t;
+}
+
+const EngineOptions::Mode kModes[] = {EngineOptions::Mode::kScan,
+                                      EngineOptions::Mode::kCalendar,
+                                      EngineOptions::Mode::kVerify};
+
+// --- Engine-only sharding: greedy scheduler, golden pin "star33-greedy" ---
+
+std::uint64_t run_greedy(EngineOptions::Mode mode, std::int32_t threads) {
+  const Network net = make_star(3, 3);
+  SyntheticOptions w;
+  w.num_objects = 10;
+  w.k = 2;
+  w.rounds = 2;
+  w.zipf_s = 1.2;
+  w.seed = 505;
+  SyntheticWorkload wl(net, w);
+  GreedyScheduler sched;
+  RunOptions opts;
+  opts.engine.mode = mode;
+  opts.engine.latency_factor = 2;
+  opts.engine.threads = threads;
+  return hash_result(run_experiment(net, wl, sched, opts));
+}
+
+TEST(ParallelEngine, GreedyMatchesGoldenPinAtEveryThreadCount) {
+  const std::uint64_t kPin = 0x15943e0c37a4a3deULL;  // golden star33-greedy
+  for (const auto mode : kModes)
+    for (const std::int32_t t : thread_ladder())
+      EXPECT_EQ(run_greedy(mode, t), kPin)
+          << "mode " << static_cast<int>(mode) << " threads " << t;
+}
+
+// --- Bucket core: wave probing + parallel retries, golden fastpath pin ---
+
+std::uint64_t run_bucket(const Network& net, EngineOptions::Mode mode,
+                         std::int32_t threads, BucketFastPath fp) {
+  SyntheticOptions w;
+  w.num_objects = 8;
+  w.k = 2;
+  w.rounds = 3;
+  w.arrival_prob = 0.3;
+  w.seed = 909;
+  SyntheticWorkload wl(net, w);
+  BucketOptions o;
+  o.fastpath = fp;
+  o.threads = threads;
+  BucketScheduler sched(Registry::make_batch_algo("auto", net), o);
+  RunOptions opts;
+  opts.engine.mode = mode;
+  opts.engine.threads = threads;
+  return hash_result(run_experiment(net, wl, sched, opts));
+}
+
+TEST(ParallelEngine, BucketClusterMatchesGoldenPinAtEveryThreadCount) {
+  // cluster234 pin from GoldenSequence.BucketFastPathPinnedOnAllTopologies:
+  // randomized cluster algo — activation retries AND wave probes in play.
+  const std::uint64_t kPin = 0x0cf2ffb9c53e06ffULL;
+  const Network net = make_cluster(2, 3, 4);
+  for (const auto mode : kModes)
+    for (const std::int32_t t : thread_ladder())
+      EXPECT_EQ(run_bucket(net, mode, t, BucketFastPath::kIncremental), kPin)
+          << "mode " << static_cast<int>(mode) << " threads " << t;
+}
+
+TEST(ParallelEngine, BucketLinePinHoldsAndVerifyFastPathStaysSerial) {
+  const std::uint64_t kPin = 0x1476a1655424f9b0ULL;  // golden line12
+  const Network net = make_line(12);
+  for (const std::int32_t t : thread_ladder()) {
+    EXPECT_EQ(run_bucket(net, EngineOptions::Mode::kCalendar, t,
+                         BucketFastPath::kIncremental),
+              kPin)
+        << "threads " << t;
+    // kVerify cross-checks every probe against the naive scan; it must keep
+    // landing on the same pin with a parallel engine underneath.
+    EXPECT_EQ(run_bucket(net, EngineOptions::Mode::kCalendar, t,
+                         BucketFastPath::kVerify),
+              kPin)
+        << "verify fastpath, threads " << t;
+  }
+}
+
+// --- Distributed twin under null and chaos plans (golden dist pins) ---
+
+std::uint64_t run_dist(const FaultPlan& plan, EngineOptions::Mode mode,
+                       std::int32_t threads) {
+  const Network net = make_cluster(2, 3, 4);
+  SyntheticOptions w;
+  w.num_objects = 10;
+  w.k = 2;
+  w.rounds = 2;
+  w.seed = 606;
+  SyntheticWorkload wl(net, w);
+  DistBucketOptions o;
+  o.seed = 77;
+  o.fault = plan;
+  o.threads = threads;
+  DistributedBucketScheduler sched(net, Registry::make_batch_algo("auto", net),
+                                   o);
+  RunOptions opts;
+  opts.engine.mode = mode;
+  opts.engine.latency_factor = 2;
+  opts.engine.fault = plan;
+  opts.engine.threads = threads;
+  return hash_result(run_experiment(net, wl, sched, opts));
+}
+
+FaultPlan chaos_plan() {
+  FaultPlan plan;
+  plan.drop = 0.3;
+  plan.jitter = 2;
+  plan.dup = 0.1;
+  plan.stall = 0.3;
+  plan.seed = 23;
+  return plan;
+}
+
+TEST(ParallelEngine, DistBucketNullPlanPinAtEveryThreadCount) {
+  const std::uint64_t kPin = 0xcdd107db4c1159e2ULL;
+  for (const auto mode : kModes)
+    for (const std::int32_t t : thread_ladder())
+      EXPECT_EQ(run_dist(FaultPlan{}, mode, t), kPin)
+          << "mode " << static_cast<int>(mode) << " threads " << t;
+}
+
+TEST(ParallelEngine, DistBucketChaosPlanPinAtEveryThreadCount) {
+  // The stall plan forces the transport serial; scheduler-side parallelism
+  // stays on. The chaos pin must hold regardless.
+  const std::uint64_t kPin = 0x7d0e573c8d14d918ULL;
+  for (const auto mode : kModes)
+    for (const std::int32_t t : thread_ladder())
+      EXPECT_EQ(run_dist(chaos_plan(), mode, t), kPin)
+          << "mode " << static_cast<int>(mode) << " threads " << t;
+}
+
+// --- kVerifyParallel: the serial-twin lockstep harness ---
+
+TEST(ParallelEngine, VerifyParallelModeMatchesCalendarPins) {
+  for (const std::int32_t t : thread_ladder()) {
+    EXPECT_EQ(run_greedy(EngineOptions::Mode::kVerifyParallel, t),
+              0x15943e0c37a4a3deULL)
+        << "threads " << t;
+    EXPECT_EQ(run_bucket(make_cluster(2, 3, 4),
+                         EngineOptions::Mode::kVerifyParallel, t,
+                         BucketFastPath::kIncremental),
+              0x0cf2ffb9c53e06ffULL)
+        << "threads " << t;
+    EXPECT_EQ(run_dist(chaos_plan(), EngineOptions::Mode::kVerifyParallel, t),
+              0x7d0e573c8d14d918ULL)
+        << "threads " << t;
+  }
+}
+
+// --- Trial fan-out determinism ---
+
+TEST(ParallelEngine, SeededTrialsIdenticalAcrossThreadCounts) {
+  const Network net = make_cluster(2, 3, 4);
+  SyntheticOptions w;
+  w.num_objects = 8;
+  w.k = 2;
+  w.rounds = 2;
+  w.seed = 1234;
+  const auto factory = [&]() -> std::unique_ptr<OnlineScheduler> {
+    return std::make_unique<BucketScheduler>(
+        Registry::make_batch_algo("auto", net));
+  };
+  TrialOptions base;
+  base.trials = 5;
+  base.threads = 1;
+  const TrialSummary serial = run_seeded_trials(net, w, factory, base);
+  for (const std::int32_t t : {2, 4}) {
+    TrialOptions topts = base;
+    topts.threads = t;
+    const TrialSummary par = run_seeded_trials(net, w, factory, topts);
+    EXPECT_EQ(par.ratio, serial.ratio) << "threads " << t;
+    EXPECT_EQ(par.makespan, serial.makespan) << "threads " << t;
+    EXPECT_EQ(par.mean_latency, serial.mean_latency) << "threads " << t;
+    EXPECT_EQ(par.lb, serial.lb) << "threads " << t;
+    EXPECT_EQ(par.txns, serial.txns) << "threads " << t;
+  }
+}
+
+// --- Spec surface: threads knob round-trips and rejects bad values ---
+
+TEST(ParallelEngine, RunSpecThreadsRoundTripsThroughJson) {
+  RunSpec spec;
+  spec.threads = 4;
+  spec.mode = "verify-parallel";
+  const RunSpec back = RunSpec::from_json(spec.to_json());
+  EXPECT_EQ(back, spec);
+  EXPECT_EQ(back.threads, 4);
+  EXPECT_EQ(back.engine_mode(), EngineOptions::Mode::kVerifyParallel);
+}
+
+TEST(ParallelEngine, InvalidThreadValuesAreHardErrors) {
+  RunSpec spec;
+  spec.threads = -1;
+  EXPECT_THROW((void)RunSpec::from_json(spec.to_json()), CheckError);
+  spec.threads = 2000;
+  EXPECT_THROW((void)RunSpec::from_json(spec.to_json()), CheckError);
+
+  EngineOptions eopts;
+  eopts.threads = -3;
+  EXPECT_THROW(SyncEngine(std::shared_ptr<const DistanceOracle>(
+                              make_clique(4).oracle),
+                          {}, eopts),
+               CheckError);
+}
+
+TEST(ParallelEngine, RunSpecThreadsDriveTheWholeStack) {
+  // run_spec plumbs RunSpec::threads into the engine AND the scheduler
+  // core; the result must equal the serial run of the same spec.
+  RunSpec spec;
+  spec.topology = parse_spec("cluster:alpha=2,beta=3,gamma=4");
+  spec.scheduler = parse_spec("bucket:algo=cluster");
+  spec.workload = parse_spec("synthetic:objects=8,k=2,rounds=2");
+  spec.seed = 77;
+  spec.threads = 1;
+  const std::uint64_t serial = hash_result(run_spec(spec));
+  for (const std::int32_t t : {2, 4}) {
+    spec.threads = t;
+    EXPECT_EQ(hash_result(run_spec(spec)), serial) << "threads " << t;
+  }
+}
+
+}  // namespace
+}  // namespace dtm

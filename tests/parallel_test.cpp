@@ -59,5 +59,80 @@ TEST(Parallel, DeterministicResultsAcrossThreadCounts) {
   EXPECT_EQ(a, b);
 }
 
+// ---------------------------------------------------------------------------
+// ThreadPool: the persistent pool behind parallel_for / parallel_map.
+
+TEST(ThreadPool, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.run(1000, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  }, 4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::int64_t> sum{0};
+    pool.run(64, [&](std::int64_t i) { sum.fetch_add(i); }, 3);
+    EXPECT_EQ(sum.load(), 64 * 63 / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_THROW(
+        pool.run(256, [](std::int64_t i) {
+          if (i == 100) throw std::runtime_error("boom");
+        }, 4),
+        std::runtime_error);
+    // The pool must come back healthy after a failed job.
+    std::atomic<int> ok{0};
+    pool.run(32, [&](std::int64_t) { ok.fetch_add(1); }, 4);
+    EXPECT_EQ(ok.load(), 32);
+  }
+}
+
+TEST(ThreadPool, ExplicitChunkCoversTail) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(37);  // not a multiple of the chunk
+  pool.run(37, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  }, 3, /*chunk=*/5);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedRunFallsBackToSerial) {
+  // A worker re-entering run() must not deadlock on the pool; the nested
+  // sweep executes inline on the calling thread.
+  std::atomic<std::int64_t> total{0};
+  ThreadPool::shared().run(8, [&](std::int64_t) {
+    ThreadPool::shared().run(16, [&](std::int64_t j) { total.fetch_add(j); },
+                             4);
+  }, 4);
+  EXPECT_EQ(total.load(), 8 * (16 * 15 / 2));
+}
+
+TEST(ThreadPool, ResolveThreadsSemantics) {
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(7), 7u);
+  EXPECT_EQ(resolve_threads(0), ThreadPool::hardware_threads());
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+  EXPECT_THROW((void)resolve_threads(-2), CheckError);
+}
+
+TEST(ThreadPool, OversubscriptionBeyondHardware) {
+  // Thread counts above the core count must still complete and cover every
+  // index (the 1-core CI box exercises real interleavings this way).
+  ThreadPool pool(0);  // no pre-spawned workers: grows on demand
+  std::vector<std::atomic<int>> hits(500);
+  pool.run(500, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  }, 16);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 }  // namespace
 }  // namespace dtm
