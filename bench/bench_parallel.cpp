@@ -111,6 +111,15 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 0;
 
   const auto hw = static_cast<std::int32_t>(ThreadPool::hardware_threads());
+  if (hw == 1) {
+    // Loud and unmissable: every speedup below will be ~1.0x because the
+    // ladder is oversubscribing one core, not because the kernel failed to
+    // scale. The JSON carries the same flag for downstream consumers.
+    std::cerr << "bench_parallel: WARNING: hardware_threads=1 — this "
+                 "machine cannot demonstrate scaling; all speedups will be "
+                 "~1.0x (oversubscribed). Treat the curves as a determinism "
+                 "check only.\n";
+  }
   std::vector<std::int32_t> ladder = quick ? std::vector<std::int32_t>{1, 2}
                                            : std::vector<std::int32_t>{1, 2,
                                                                        4, 8};
@@ -211,6 +220,7 @@ int main(int argc, char** argv) {
   f << "{\n  \"schema\": \"dtm-bench-parallel-v1\",\n";
   f << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
   f << "  \"hardware_threads\": " << hw << ",\n";
+  f << "  \"single_core\": " << (hw == 1 ? "true" : "false") << ",\n";
   f << "  \"metric\": \"engine steps per second over full validated runs; "
        "commit hash asserted byte-identical across the thread ladder\",\n";
   f << "  \"workloads\": [\n";

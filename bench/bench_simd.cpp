@@ -1,0 +1,234 @@
+// SoA conflict-scoring kernel benchmark: scans/sec of the per-transaction
+// conflict-degree computation, scalar reference vs bitset popcount rows
+// (util/bitset.hpp over batch/soa_problem.hpp), on batch problems drawn
+// from line / cluster / star placements at several sizes. Emits
+// machine-readable BENCH_simd.json (schema dtm-bench-simd-v1; regeneration
+// recipe in docs/PERF.md §7).
+//
+// One "scan" computes every transaction's conflict degree (number of other
+// transactions sharing at least one object) over the whole batch:
+//   scalar  per scan: rebuild the object → users lists, then walk each
+//           txn's objects' user lists deduplicating partners with an epoch
+//           mark — the access pattern every scalar consumer pays per
+//           evaluation;
+//   soa     per scan: popcount each transaction's conflict row — the SoA
+//           view is built ONCE per instance and amortized, exactly how
+//           coloring_batch / local_search_batch / the insertion core use
+//           it.
+// Both sides are checked to produce identical degree sums (byte-identity
+// is the contract everywhere in this repo, benches included).
+//
+// Usage: bench_simd [--quick] [--out <path>]
+//   --quick  fewer sizes/reps for CI smoke runs
+//   --out    JSON output path (default: BENCH_simd.json in cwd)
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "batch/soa_problem.hpp"
+#include "net/topology.hpp"
+#include "util/bitset.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dtm;
+using Clock = std::chrono::steady_clock;
+
+/// A conflict-heavy batch problem: n transactions on the given network,
+/// k objects each out of m — the object-sharing density (n*k/m users per
+/// object) is what conflict scoring cost scales with.
+BatchProblem make_problem(const Network& net, std::int64_t n, std::int64_t m,
+                          std::int64_t k, std::uint64_t seed) {
+  BatchProblem p;
+  p.oracle = net.oracle.get();
+  p.now = 0;
+  Rng rng(seed);
+  const auto nodes = static_cast<std::int64_t>(net.num_nodes());
+  for (ObjId o = 0; o < m; ++o)
+    p.objects.push_back({o, static_cast<NodeId>(rng.uniform_int(0, nodes - 1)),
+                         rng.uniform_int(0, 8), false});
+  for (TxnId t = 1; t <= n; ++t) {
+    BatchTxn bt;
+    bt.id = t;
+    bt.node = static_cast<NodeId>(rng.uniform_int(0, nodes - 1));
+    while (static_cast<std::int64_t>(bt.objects.size()) < k) {
+      const auto o = static_cast<ObjId>(rng.uniform_int(0, m - 1));
+      if (std::find(bt.objects.begin(), bt.objects.end(), o) ==
+          bt.objects.end())
+        bt.objects.push_back(o);
+    }
+    p.txns.push_back(std::move(bt));
+  }
+  return p;
+}
+
+/// Scalar reference scan. Buffers are reused across repetitions (the
+/// comparison measures arithmetic + access pattern, not allocator churn).
+struct ScalarScan {
+  std::vector<std::vector<std::size_t>> users;  // object id -> txn indices
+  std::vector<std::uint32_t> mark;
+  std::uint32_t epoch = 0;
+
+  std::uint64_t run(const BatchProblem& p) {
+    const std::size_t n = p.txns.size();
+    users.assign(p.objects.size(), {});
+    for (std::size_t i = 0; i < n; ++i)
+      for (const ObjId o : p.txns[i].objects)
+        users[static_cast<std::size_t>(o)].push_back(i);
+    mark.resize(n);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ++epoch;
+      std::uint64_t deg = 0;
+      for (const ObjId o : p.txns[i].objects) {
+        for (const std::size_t j : users[static_cast<std::size_t>(o)]) {
+          if (j == i || mark[j] == epoch) continue;
+          mark[j] = epoch;
+          ++deg;
+        }
+      }
+      total += deg;
+    }
+    return total;
+  }
+};
+
+std::uint64_t soa_scan(const BatchProblemSoA& soa) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < soa.num_txns(); ++i)
+    total += soa.conflict_degree(i);
+  return total;
+}
+
+struct Row {
+  std::string topo;
+  std::int64_t n = 0, m = 0, k = 0;
+  double scalar_sps = 0.0;  // scans/sec
+  double soa_sps = 0.0;
+  double speedup = 0.0;
+  double build_ms = 0.0;  // one-time SoA build, for context
+  std::uint64_t degree_sum = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "BENCH_simd.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--quick") {
+      quick = true;
+    } else if (a == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else if (a == "--help") {
+      std::cout << "bench_simd [--quick] [--out <path>]\n";
+      return 0;
+    } else {
+      std::cerr << "bench_simd: unknown arg '" << a << "'\n";
+      return 1;
+    }
+  }
+
+  struct Topo {
+    const char* name;
+    Network net;
+  };
+  std::vector<Topo> topos;
+  topos.push_back({"line", make_line(32)});
+  topos.push_back({"cluster", make_cluster(4, 4, 8)});
+  topos.push_back({"star", make_star(4, 8)});
+
+  const std::vector<std::int64_t> sizes =
+      quick ? std::vector<std::int64_t>{64, 256}
+            : std::vector<std::int64_t>{64, 256, 1024};
+  const auto reps_for = [&](std::int64_t n) -> std::int64_t {
+    const std::int64_t r = n <= 64 ? 2000 : n <= 256 ? 500 : 60;
+    return quick ? std::max<std::int64_t>(r / 10, 5) : r;
+  };
+
+  std::cout << "### simd — conflict-scoring scans/sec, scalar vs SoA"
+            << (quick ? " (quick)" : "") << "\n";
+  std::cout << std::left << std::setw(9) << "topo" << std::right
+            << std::setw(7) << "n" << std::setw(6) << "m" << std::setw(4)
+            << "k" << std::setw(14) << "scalar/s" << std::setw(14) << "soa/s"
+            << std::setw(10) << "speedup" << std::setw(11) << "build_ms"
+            << "\n";
+
+  std::vector<Row> rows;
+  for (const auto& t : topos) {
+    for (const std::int64_t n : sizes) {
+      Row r;
+      r.topo = t.name;
+      r.n = n;
+      r.m = std::max<std::int64_t>(8, n / 8);
+      r.k = 3;
+      const BatchProblem p =
+          make_problem(t.net, n, r.m, r.k, 0x51D0 + static_cast<std::uint64_t>(n));
+      const std::int64_t reps = reps_for(n);
+
+      ScalarScan scalar;
+      r.degree_sum = scalar.run(p);  // warm + reference value
+      const auto s0 = Clock::now();
+      std::uint64_t sink = 0;
+      for (std::int64_t i = 0; i < reps; ++i) sink += scalar.run(p);
+      const double ssec =
+          std::chrono::duration<double>(Clock::now() - s0).count();
+
+      BatchProblemSoA soa;
+      const auto b0 = Clock::now();
+      soa.build(p);
+      r.build_ms =
+          std::chrono::duration<double>(Clock::now() - b0).count() * 1e3;
+      DTM_CHECK(soa_scan(soa) == r.degree_sum,
+                "SoA degree sum diverged from scalar on " << r.topo << " n="
+                                                          << n);
+      const auto v0 = Clock::now();
+      for (std::int64_t i = 0; i < reps; ++i) sink += soa_scan(soa);
+      const double vsec =
+          std::chrono::duration<double>(Clock::now() - v0).count();
+      DTM_CHECK(sink == 2 * static_cast<std::uint64_t>(reps) * r.degree_sum,
+                "scan checksum drifted");
+
+      r.scalar_sps = static_cast<double>(reps) / std::max(ssec, 1e-9);
+      r.soa_sps = static_cast<double>(reps) / std::max(vsec, 1e-9);
+      r.speedup = r.soa_sps / std::max(r.scalar_sps, 1e-9);
+      std::cout << std::left << std::setw(9) << r.topo << std::right
+                << std::setw(7) << r.n << std::setw(6) << r.m << std::setw(4)
+                << r.k << std::setw(14) << std::fixed << std::setprecision(0)
+                << r.scalar_sps << std::setw(14) << r.soa_sps << std::setw(9)
+                << std::setprecision(2) << r.speedup << "x" << std::setw(11)
+                << std::setprecision(3) << r.build_ms << "\n";
+      rows.push_back(std::move(r));
+    }
+  }
+
+  std::ofstream f(out);
+  DTM_CHECK(f.good(), "cannot open " << out << " for writing");
+  f << std::fixed;
+  f << "{\n  \"schema\": \"dtm-bench-simd-v1\",\n";
+  f << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  f << "  \"metric\": \"full conflict-degree scans per second; scalar "
+       "rebuilds object->user lists per scan, soa popcounts prebuilt bitset "
+       "rows; identical degree sums asserted\",\n";
+  f << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    f << "    {\"topo\": \"" << r.topo << "\", \"n\": " << r.n
+      << ", \"m\": " << r.m << ", \"k\": " << r.k
+      << ", \"scalar_scans_per_sec\": " << std::setprecision(1)
+      << r.scalar_sps << ", \"soa_scans_per_sec\": " << r.soa_sps
+      << ", \"speedup\": " << std::setprecision(3) << r.speedup
+      << ", \"soa_build_ms\": " << r.build_ms
+      << ", \"degree_sum\": " << r.degree_sum << "}"
+      << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  f << "  ]\n}\n";
+  std::cout << "wrote " << out << "\n";
+  return 0;
+}

@@ -64,10 +64,16 @@ Time estimate_fa_seeded(const BatchScheduler& a, const BatchProblem& p,
 
 BucketInsertionCore::BucketInsertionCore(
     std::shared_ptr<const BatchScheduler> algo, BucketFastPath path,
-    std::uint64_t seed, std::int32_t threads)
-    : algo_(std::move(algo)), path_(path), seed_(seed), threads_(threads) {
+    std::uint64_t seed, std::int32_t threads, BatchMathMode math)
+    : algo_(std::move(algo)),
+      path_(path),
+      seed_(seed),
+      threads_(threads),
+      math_(math) {
   DTM_REQUIRE(algo_ != nullptr, "bucket insertion core needs a batch algo");
   DTM_REQUIRE(threads_ >= 0, "bucket insertion threads " << threads_);
+  scratch_.math = math_;
+  run_scratch_.math = math_;
 }
 
 void BucketInsertionCore::make_candidate(const SystemView& view,
@@ -97,7 +103,9 @@ void BucketInsertionCore::make_candidate(const SystemView& view,
 }
 
 BucketInsertionCore::CachedBucket& BucketInsertionCore::cached(BucketId id) {
-  return cache_[id];
+  CachedBucket& cb = cache_[id];
+  cb.p.math = math_;  // freshly default-constructed entries start kScalar
+  return cb;
 }
 
 void BucketInsertionCore::ensure_fresh(const SystemView& view,
@@ -116,7 +124,7 @@ void BucketInsertionCore::ensure_fresh(const SystemView& view,
   cb.at_world = world_;
 }
 
-Time BucketInsertionCore::estimate(const BatchProblem& p, std::uint64_t fp,
+Time BucketInsertionCore::estimate(BatchProblem& p, std::uint64_t fp,
                                    bool use_memo) {
   ++stats_.probes;
   last_memo_hit_ = false;
@@ -129,8 +137,18 @@ Time BucketInsertionCore::estimate(const BatchProblem& p, std::uint64_t fp,
     }
   }
   ++stats_.estimates;
+  // On the SoA paths, amortize one view build across everything the A run
+  // evaluates (the memo made estimate() the only place a probe problem is
+  // actually scheduled, so this is the batched-estimator seam).
+  const bool attach = math_ != BatchMathMode::kScalar && !p.txns.empty() &&
+                      p.soa.get() == nullptr;
+  if (attach) {
+    probe_soa_.build(p);
+    p.soa = &probe_soa_;
+  }
   const Time f =
       estimate_fa_seeded(*algo_, p, derive_seed(seed_, kProbeSalt, fp));
+  if (attach) p.soa = nullptr;  // p outlives probe_soa_'s next rebuild
   if (use_memo) {
     if (memo_.size() >= kMemoCap) memo_.clear();
     memo_.emplace(fp, f);
@@ -285,6 +303,9 @@ std::int32_t BucketInsertionCore::choose_level_waves(
       s.p.oracle = cb.p.oracle;
       s.p.latency_factor = cb.p.latency_factor;
       s.p.now = cb.p.now;
+      s.p.math = cb.p.math;
+      s.p.soa = nullptr;  // slot problems persist across waves; drop any
+                          // view of the slot's previous contents
       s.p.txns = cb.p.txns;
       s.p.txns.push_back(cand_.row);
       s.p.objects = cb.p.objects;
@@ -320,8 +341,15 @@ std::int32_t BucketInsertionCore::choose_level_waves(
         static_cast<std::int64_t>(wave_miss_.size()),
         [&](std::int64_t k) {
           ProbeSlot& s = wave_[wave_miss_[static_cast<std::size_t>(k)]];
+          if (math_ != BatchMathMode::kScalar && !s.p.txns.empty()) {
+            // Slot-local view: one build amortized over the whole A run,
+            // touched by exactly this worker (no sharing, no races).
+            s.soa.build(s.p);
+            s.p.soa = &s.soa;
+          }
           s.f = estimate_fa_seeded(*algo_, s.p,
                                    derive_seed(seed_, kProbeSalt, s.fp));
+          s.p.soa = nullptr;
         },
         par, 1);
 
@@ -345,7 +373,7 @@ void BucketInsertionCore::on_inserted(const SystemView& view, BucketId id,
                                       const ExtraAssignments& extra) {
   if (path_ == BucketFastPath::kNaive) return;
   if (cand_.id != t.id) make_candidate(view, t, extra, cand_);
-  CachedBucket& cb = cache_[id];
+  CachedBucket& cb = cached(id);
   cb.p.oracle = &view.oracle();
   cb.p.latency_factor = view.latency_factor();
   ensure_fresh(view, cb, extra);
@@ -393,6 +421,18 @@ BatchResult BucketInsertionCore::run_activation(const BatchProblem& p,
                                                 const BatchScheduler& runner,
                                                 std::int32_t retries) {
   const std::uint64_t fp = problem_fingerprint(p);
+  // SoA modes: copy the problem once and attach ONE shared view that every
+  // retry trial reads (trials never mutate the problem, and the view is
+  // built eagerly, so concurrent retries stay race-free). This is the
+  // batched F_A estimator: |retries| full schedules off a single build.
+  const BatchProblem* run = &p;
+  if (math_ != BatchMathMode::kScalar && p.soa.get() == nullptr &&
+      !p.txns.empty()) {
+    run_scratch_ = p;
+    run_soa_.build(run_scratch_);
+    run_scratch_.soa = &run_soa_;
+    run = &run_scratch_;
+  }
   if (runner.randomized() && retries > 1 && resolve_threads(threads_) > 1) {
     // Trial r's schedule depends only on (seed_, fp, r) — batch schedulers
     // are const with thread-local scratch — so all retries evaluate
@@ -403,7 +443,7 @@ BatchResult BucketInsertionCore::run_activation(const BatchProblem& p,
         [&](std::int64_t r) {
           Rng trial(derive_seed(seed_, kTrialSalt, fp,
                                 static_cast<std::uint64_t>(r)));
-          return runner.schedule(p, trial);
+          return runner.schedule(*run, trial);
         },
         resolve_threads(threads_));
     std::size_t best = 0;
@@ -412,12 +452,12 @@ BatchResult BucketInsertionCore::run_activation(const BatchProblem& p,
     return std::move(trials[best]);
   }
   Rng rng(derive_seed(seed_, kTrialSalt, fp, 0));
-  BatchResult best = runner.schedule(p, rng);
+  BatchResult best = runner.schedule(*run, rng);
   if (runner.randomized()) {
     for (std::int32_t r = 1; r < retries; ++r) {
       Rng trial(derive_seed(seed_, kTrialSalt, fp,
                             static_cast<std::uint64_t>(r)));
-      BatchResult alt = runner.schedule(p, trial);
+      BatchResult alt = runner.schedule(*run, trial);
       if (alt.makespan < best.makespan) best = std::move(alt);
     }
   }

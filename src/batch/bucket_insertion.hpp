@@ -61,6 +61,7 @@
 
 #include "batch/batch_scheduler.hpp"
 #include "batch/problem_builder.hpp"
+#include "batch/soa_problem.hpp"
 #include "core/lower_bound.hpp"
 
 namespace dtm {
@@ -117,11 +118,17 @@ class BucketInsertionCore {
 
   /// `threads`: 1 = serial (default), 0 = all hardware threads, N = up to
   /// N participants for wave probing and activation retries.
+  /// `math`: batch arithmetic backend stamped on every problem this core
+  /// builds (registry knob `batch_math=scalar|soa|verify`); all modes are
+  /// byte-identical, kSoA additionally attaches shared BatchProblemSoA
+  /// views so one build serves every probe trial / activation retry.
   BucketInsertionCore(std::shared_ptr<const BatchScheduler> algo,
                       BucketFastPath path, std::uint64_t seed,
-                      std::int32_t threads = 1);
+                      std::int32_t threads = 1,
+                      BatchMathMode math = BatchMathMode::kScalar);
 
   [[nodiscard]] BucketFastPath path() const { return path_; }
+  [[nodiscard]] BatchMathMode math() const { return math_; }
   [[nodiscard]] const FastPathStats& stats() const { return stats_; }
 
   /// One probe of the most recent choose_level scan (testing hook for the
@@ -213,14 +220,17 @@ class BucketInsertionCore {
   Time probe_naive(const SystemView& view, std::span<const TxnId> members,
                    const Candidate& cand, const ExtraAssignments& extra,
                    bool use_memo);
-  /// Memoized estimate of `p` under its fingerprint.
-  Time estimate(const BatchProblem& p, std::uint64_t fp, bool use_memo);
+  /// Memoized estimate of `p` under its fingerprint. Non-const `p`: on an
+  /// SoA-mode memo miss the core attaches a freshly built probe_soa_ view
+  /// for the duration of the A run (detached before returning).
+  Time estimate(BatchProblem& p, std::uint64_t fp, bool use_memo);
 
   /// One level's speculative probe during a parallel wave: a materialized
   /// copy of the cached problem with the candidate appended (copies keep
   /// the caches untouched while workers estimate concurrently).
   struct ProbeSlot {
     BatchProblem p;
+    BatchProblemSoA soa;  ///< slot-local SoA view (built by the worker)
     std::uint64_t fp = 0;
     std::int32_t level = -1;
     Time f = 0;
@@ -238,10 +248,14 @@ class BucketInsertionCore {
   BucketFastPath path_;
   std::uint64_t seed_;
   std::int32_t threads_ = 1;
+  BatchMathMode math_ = BatchMathMode::kScalar;
   std::uint64_t world_ = 1;
 
   ProblemBuilder builder_;
   BatchProblem scratch_;  ///< naive probe / activation build target
+  BatchProblemSoA probe_soa_;  ///< SoA view for serial estimate() runs
+  BatchProblem run_scratch_;   ///< run_activation copy carrying a shared SoA
+  BatchProblemSoA run_soa_;    ///< ... built once, read by all retry trials
   Candidate cand_;
   std::unordered_map<BucketId, CachedBucket> cache_;
   std::unordered_map<std::uint64_t, Time> memo_;

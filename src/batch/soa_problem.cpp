@@ -1,0 +1,135 @@
+#include "batch/soa_problem.hpp"
+
+#include <algorithm>
+
+namespace dtm {
+
+void BatchProblemSoA::build(const BatchProblem& p) {
+  n_ = p.txns.size();
+  m_ = p.objects.size();
+
+  // Object arrays in sorted-id order: BatchProblem::objects is sorted in
+  // the bucket core's cached problems but not guaranteed elsewhere, so
+  // sort a rank permutation rather than assuming.
+  obj_id_.resize(m_);
+  obj_node_.resize(m_);
+  obj_ready_.resize(m_);
+  obj_from_.resize(m_);
+  static thread_local std::vector<std::size_t> rank;
+  rank.resize(m_);
+  for (std::size_t j = 0; j < m_; ++j) rank[j] = j;
+  std::sort(rank.begin(), rank.end(), [&](std::size_t a, std::size_t b) {
+    return p.objects[a].id < p.objects[b].id;
+  });
+  for (std::size_t j = 0; j < m_; ++j) {
+    const BatchObject& o = p.objects[rank[j]];
+    obj_id_[j] = o.id;
+    obj_node_[j] = o.node;
+    obj_ready_[j] = o.ready;
+    obj_from_[j] = o.from_txn ? 1 : 0;
+    DTM_CHECK(j == 0 || obj_id_[j - 1] != o.id,
+              "duplicate object " << o.id << " in batch problem");
+  }
+
+  txn_id_.resize(n_);
+  txn_node_.resize(n_);
+
+  // CSR txn → object, preserving each row's access order.
+  txn_off_.assign(n_ + 1, 0);
+  for (std::size_t i = 0; i < n_; ++i)
+    txn_off_[i + 1] = txn_off_[i] + p.txns[i].objects.size();
+  txn_obj_.resize(txn_off_[n_]);
+  for (std::size_t i = 0; i < n_; ++i) {
+    txn_id_[i] = p.txns[i].id;
+    txn_node_[i] = p.txns[i].node;
+    std::size_t k = txn_off_[i];
+    for (const ObjId o : p.txns[i].objects) txn_obj_[k++] = obj_index(o);
+  }
+
+  // CSR object → txn by counting sort over the flat txn→object array;
+  // filling in ascending txn order makes every user row ascending.
+  obj_off_.assign(m_ + 1, 0);
+  for (const std::size_t j : txn_obj_) ++obj_off_[j + 1];
+  for (std::size_t j = 0; j < m_; ++j) obj_off_[j + 1] += obj_off_[j];
+  obj_txn_.resize(txn_obj_.size());
+  static thread_local std::vector<std::size_t> cursor;
+  cursor.assign(obj_off_.begin(), obj_off_.end() - 1);
+  for (std::size_t i = 0; i < n_; ++i)
+    for (const std::size_t j : txn_objects(i)) obj_txn_[cursor[j]++] = i;
+
+  // Conflict rows: for each object, OR its user mask into every user's row
+  // (word-parallel), then clear the diagonal. Built eagerly so a shared
+  // view is read-only during parallel evaluation.
+  row_words_ = bit_words_for(n_);
+  conflict_.assign(n_ * row_words_, 0);
+  user_scratch_.assign(row_words_, 0);
+  for (std::size_t j = 0; j < m_; ++j) {
+    const auto users = object_users(j);
+    if (users.size() < 2) continue;
+    for (const std::size_t i : users)
+      user_scratch_[i / kBitWordBits] |= BitWord{1} << (i % kBitWordBits);
+    for (const std::size_t i : users) {
+      BitWord* row = conflict_.data() + i * row_words_;
+      for (std::size_t w = 0; w < row_words_; ++w) row[w] |= user_scratch_[w];
+    }
+    for (const std::size_t i : users)
+      user_scratch_[i / kBitWordBits] = 0;
+  }
+  for (std::size_t i = 0; i < n_; ++i)
+    conflict_[i * row_words_ + i / kBitWordBits] &=
+        ~(BitWord{1} << (i % kBitWordBits));
+}
+
+std::size_t BatchProblemSoA::obj_index(ObjId id) const {
+  const auto it = std::lower_bound(obj_id_.begin(), obj_id_.end(), id);
+  DTM_CHECK(it != obj_id_.end() && *it == id,
+            "object " << id << " missing from SoA view");
+  return static_cast<std::size_t>(it - obj_id_.begin());
+}
+
+bool BatchProblemSoA::matches(const BatchProblem& p) const {
+  if (n_ != p.txns.size() || m_ != p.objects.size()) return false;
+  if (n_ > 0 &&
+      (txn_id_[0] != p.txns[0].id || txn_id_[n_ - 1] != p.txns[n_ - 1].id))
+    return false;
+  return true;
+}
+
+BatchResult chain_evaluate_soa(const BatchProblem& p,
+                               const BatchProblemSoA& s,
+                               const std::vector<std::size_t>& order) {
+  DTM_REQUIRE(order.size() == s.num_txns(),
+              "order size " << order.size() << " != " << s.num_txns());
+  // Dense cursor arrays indexed by the SoA object index — the SoA analogue
+  // of the scalar path's sorted cursor table, with O(1) lookups.
+  static thread_local std::vector<NodeId> cur_node;
+  static thread_local std::vector<Time> cur_free;
+  static thread_local std::vector<std::uint8_t> cur_from;
+  cur_node.assign(s.obj_node().begin(), s.obj_node().end());
+  cur_free.assign(s.obj_ready().begin(), s.obj_ready().end());
+  cur_from.assign(s.obj_from_txn().begin(), s.obj_from_txn().end());
+
+  const auto node = s.txn_node();
+  const auto ids = s.txn_ids();
+  BatchResult r;
+  r.assignments.reserve(order.size());
+  for (const std::size_t idx : order) {
+    const NodeId tn = node[idx];
+    Time e = p.now;
+    for (const std::size_t j : s.txn_objects(idx)) {
+      Time arrive = cur_free[j] + p.travel(cur_node[j], tn);
+      if (cur_from[j]) arrive = std::max(arrive, cur_free[j] + 1);
+      e = std::max(e, arrive);
+    }
+    for (const std::size_t j : s.txn_objects(idx)) {
+      cur_node[j] = tn;
+      cur_free[j] = e;
+      cur_from[j] = 1;
+    }
+    r.assignments.push_back({ids[idx], e});
+    r.makespan = std::max(r.makespan, e - p.now);
+  }
+  return r;
+}
+
+}  // namespace dtm

@@ -51,6 +51,12 @@ struct BucketOptions {
     /// retries (1 = serial, 0 = all hardware threads). Decisions are
     /// thread-count-invariant (ARCHITECTURE.md §8).
     std::int32_t threads = 1;
+    /// Batch arithmetic backend (registry knob `batch_math=scalar|soa|
+    /// verify`): kScalar is the reference, kSoA scores through bitset
+    /// conflict rows + popcount kernels over a shared SoA view, kVerify
+    /// runs SoA cross-checked against scalar per call. Byte-identical
+    /// schedules in all three (ARCHITECTURE.md §9).
+    BatchMathMode batch_math = BatchMathMode::kScalar;
   };
 
 class BucketScheduler final : public OnlineScheduler {

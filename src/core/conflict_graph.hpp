@@ -8,11 +8,13 @@
 // Theorems 1 and 2 are stated in).
 #pragma once
 
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "core/scheduler.hpp"
 #include "core/types.hpp"
+#include "util/batch_math.hpp"
 
 namespace dtm {
 
@@ -39,7 +41,14 @@ class DependencyGraph {
  public:
   /// Builds H'_t from the live system state: one node per live transaction
   /// plus one holder node per object used by any live transaction.
-  static DependencyGraph build(const SystemView& view);
+  ///
+  /// `math` selects the conflict-pair construction: kScalar enumerates
+  /// user pairs per object and sorts the packed (lo, hi) keys; kSoA ORs
+  /// per-object user masks into per-transaction bitset rows and emits
+  /// pairs by a row-major ascending bit scan (identical edge order by
+  /// construction); kVerify runs both and cross-checks the pair sets.
+  static DependencyGraph build(const SystemView& view,
+                               BatchMathMode math = BatchMathMode::kScalar);
 
   [[nodiscard]] const std::vector<DependencyNode>& nodes() const {
     return nodes_;
@@ -75,9 +84,23 @@ class DependencyGraph {
   [[nodiscard]] Stats stats() const;
 
  private:
+  /// Rebuilds the flat CSR incidence index from edges_ (two passes: count,
+  /// then fill in edge order — the same per-node edge ordering the former
+  /// vector-of-vectors push_back produced).
+  void build_incidence();
+  [[nodiscard]] std::span<const std::int32_t> incident(
+      std::int32_t node) const {
+    const auto n = static_cast<std::size_t>(node);
+    return {inc_edge_.data() + inc_off_[n],
+            static_cast<std::size_t>(inc_off_[n + 1] - inc_off_[n])};
+  }
+
   std::vector<DependencyNode> nodes_;
   std::vector<DependencyEdge> edges_;
-  std::vector<std::vector<std::int32_t>> incident_;  ///< node -> edge idx
+  /// Flat CSR node → incident edge indices (offsets + edge ids): one
+  /// allocation instead of a vector per node.
+  std::vector<std::int32_t> inc_off_;
+  std::vector<std::int32_t> inc_edge_;
   /// (txn, node index), sorted by txn id — binary-searched by index_of.
   std::vector<std::pair<TxnId, std::int32_t>> txn_index_;
 };

@@ -9,6 +9,7 @@
 #include "dist/dist_bucket.hpp"
 #include "sim/app_workloads.hpp"
 #include "sim/io.hpp"
+#include "util/batch_math.hpp"
 
 namespace dtm {
 
@@ -281,11 +282,12 @@ const std::vector<Registry::Entry>& Registry::schedulers() {
       {"fcfs", "(distance-oblivious arrival-order baseline)"},
       {"bucket",
        "algo=auto,max-level=0,retries=3,seed=...,suffix=true,force-level=-1,"
-       "fastpath=on,threads=1  (Algorithm 2 over offline algo)"},
+       "fastpath=on,threads=1,batch_math=scalar  (Algorithm 2 over offline "
+       "algo)"},
       {"dist-bucket",
        "algo=auto,max-level=0,retries=3,seed=...,msg=true,timeout-mult=4,"
-       "fastpath=on,threads=1  (Algorithm 3 over a sparse cover; forces "
-       "latency factor >= 2)"},
+       "fastpath=on,threads=1,batch_math=scalar  (Algorithm 3 over a sparse "
+       "cover; forces latency factor >= 2)"},
   };
   return kEntries;
 }
@@ -594,6 +596,7 @@ std::unique_ptr<OnlineScheduler> Registry::make_scheduler(
     o.enforce_suffix_property = a.boolean("suffix", true);
     o.force_level = static_cast<std::int32_t>(a.integer("force-level", -1));
     o.fastpath = parse_fastpath(a.str("fastpath", "on"));
+    o.batch_math = parse_batch_math(a.str("batch_math", "scalar"));
     o.threads = static_cast<std::int32_t>(a.integer("threads", threads));
     DTM_REQUIRE(o.threads >= 0,
                 "bucket: threads must be >= 0, got " << o.threads);
@@ -608,6 +611,7 @@ std::unique_ptr<OnlineScheduler> Registry::make_scheduler(
     o.message_level_discovery = a.boolean("msg", true);
     o.timeout_mult = a.integer("timeout-mult", o.timeout_mult);
     o.fastpath = parse_fastpath(a.str("fastpath", "on"));
+    o.batch_math = parse_batch_math(a.str("batch_math", "scalar"));
     o.threads = static_cast<std::int32_t>(a.integer("threads", threads));
     DTM_REQUIRE(o.threads >= 0,
                 "dist-bucket: threads must be >= 0, got " << o.threads);

@@ -1,0 +1,49 @@
+// The batch-math path selector: scalar reference vs the structure-of-arrays
+// kernel layer (batch/soa_problem.*), plus a verify mode that runs both and
+// cross-checks every result.
+//
+// Lives in util/ (not batch/) because both the batch layer (BatchProblem,
+// chain evaluation, coloring) and the core analysis layer (DependencyGraph)
+// take the knob, and neither should pull the other's headers for an enum.
+//
+// The mode rides on BatchProblem itself rather than on each consumer:
+// problems flow through shared code (suffix wrapper, activation retries,
+// F_A probes) that must keep one consistent path end to end, and stamping
+// the problem once is how the bucket schedulers guarantee that. The same
+// determinism contract as BucketFastPath applies: kSoA and kVerify must
+// reproduce the scalar path's output byte-identically — golden pins hold in
+// every mode — which is what makes the SoA layer (and a future CUDA backend
+// behind the same seam) a drop-in.
+#pragma once
+
+#include <string>
+
+#include "util/check.hpp"
+
+namespace dtm {
+
+enum class BatchMathMode {
+  kScalar,  ///< pointer-chasing reference implementations (the pinned path)
+  kSoA,     ///< flat CSR + bitset conflict rows + popcount kernels
+  kVerify,  ///< SoA, cross-checked against the scalar reference per call
+};
+
+/// Registry knob (`batch_math=scalar|soa|verify`); hard error on anything
+/// else, matching the fastpath knob's behavior.
+[[nodiscard]] inline BatchMathMode parse_batch_math(const std::string& v) {
+  if (v == "scalar") return BatchMathMode::kScalar;
+  if (v == "soa") return BatchMathMode::kSoA;
+  if (v == "verify") return BatchMathMode::kVerify;
+  throw CheckError("spec: batch_math must be scalar|soa|verify, got '" + v +
+                   "'");
+}
+
+[[nodiscard]] inline const char* to_string(BatchMathMode m) {
+  switch (m) {
+    case BatchMathMode::kScalar: return "scalar";
+    case BatchMathMode::kSoA: return "soa";
+    default: return "verify";
+  }
+}
+
+}  // namespace dtm

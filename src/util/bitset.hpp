@@ -1,0 +1,180 @@
+// Dense dynamic bitsets and the word-parallel kernels behind the SoA
+// batch-math layer (batch/soa_problem.*, ARCHITECTURE.md §9).
+//
+// The kernels are deliberately free functions over raw 64-bit word spans,
+// not bitset methods: conflict rows live in one flat row-major matrix
+// (BatchProblemSoA), and a future CUDA backend wants the same
+// word-pointer + count signature for its device kernels. std::popcount and
+// std::countr_zero compile to single instructions (POPCNT / TZCNT) on any
+// x86-64-v2+ or AArch64 target; -march=native (CMake option DTM_NATIVE)
+// is only needed to unlock wider autovectorization of the loops around
+// them, not for the instructions themselves.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace dtm {
+
+using BitWord = std::uint64_t;
+inline constexpr std::size_t kBitWordBits = 64;
+
+/// Words needed for `nbits` bits.
+[[nodiscard]] constexpr std::size_t bit_words_for(std::size_t nbits) {
+  return (nbits + kBitWordBits - 1) / kBitWordBits;
+}
+
+// ---- Word-span kernels ----------------------------------------------------
+
+/// popcount over `nw` words.
+[[nodiscard]] inline std::size_t popcount_words(const BitWord* w,
+                                                std::size_t nw) {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < nw; ++i) c += static_cast<std::size_t>(
+      std::popcount(w[i]));
+  return c;
+}
+
+/// |A ∩ B|: popcount of the AND of two equally-sized rows. The conflict-
+/// scoring kernel (bench_simd measures it against the nested object scan).
+[[nodiscard]] inline std::size_t conflict_count(const BitWord* a,
+                                                const BitWord* b,
+                                                std::size_t nw) {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < nw; ++i)
+    c += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  return c;
+}
+
+/// A ∩ B ≠ ∅, with early exit. The local-search adjacent-swap prune.
+[[nodiscard]] inline bool conflict_any(const BitWord* a, const BitWord* b,
+                                       std::size_t nw) {
+  for (std::size_t i = 0; i < nw; ++i)
+    if ((a[i] & b[i]) != 0) return true;
+  return false;
+}
+
+/// Index of the first set bit, or nw * 64 when none.
+[[nodiscard]] inline std::size_t first_set_bit(const BitWord* w,
+                                               std::size_t nw) {
+  for (std::size_t i = 0; i < nw; ++i)
+    if (w[i] != 0)
+      return i * kBitWordBits +
+             static_cast<std::size_t>(std::countr_zero(w[i]));
+  return nw * kBitWordBits;
+}
+
+/// Index of the first ZERO bit, or nw * 64 when all set. With `w` read as a
+/// forbidden-color mask this is the first free color (coloring_batch's
+/// unit-gap fast path).
+[[nodiscard]] inline std::size_t first_zero_bit(const BitWord* w,
+                                                std::size_t nw) {
+  for (std::size_t i = 0; i < nw; ++i)
+    if (w[i] != ~BitWord{0})
+      return i * kBitWordBits +
+             static_cast<std::size_t>(std::countr_zero(~w[i]));
+  return nw * kBitWordBits;
+}
+
+/// Calls fn(bit_index) for every set bit, ascending. countr_zero + clear-
+/// lowest-set replaces the per-bit shift loop.
+template <typename Fn>
+void for_each_set_bit(const BitWord* w, std::size_t nw, Fn&& fn) {
+  for (std::size_t i = 0; i < nw; ++i) {
+    BitWord v = w[i];
+    while (v != 0) {
+      fn(i * kBitWordBits + static_cast<std::size_t>(std::countr_zero(v)));
+      v &= v - 1;
+    }
+  }
+}
+
+/// for_each_set_bit over the intersection A ∩ B (no materialized AND row).
+template <typename Fn>
+void for_each_set_and(const BitWord* a, const BitWord* b, std::size_t nw,
+                      Fn&& fn) {
+  for (std::size_t i = 0; i < nw; ++i) {
+    BitWord v = a[i] & b[i];
+    while (v != 0) {
+      fn(i * kBitWordBits + static_cast<std::size_t>(std::countr_zero(v)));
+      v &= v - 1;
+    }
+  }
+}
+
+// ---- DynamicBitset --------------------------------------------------------
+
+/// A heap-backed fixed-width bitset sized at runtime. Invariant: bits past
+/// size() in the last word are zero, so the word-span kernels above can run
+/// over words() without masking.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t nbits) { assign(nbits, false); }
+
+  /// Resize to `nbits`, setting every bit to `value`.
+  void assign(std::size_t nbits, bool value = false) {
+    nbits_ = nbits;
+    words_.assign(bit_words_for(nbits), value ? ~BitWord{0} : BitWord{0});
+    if (value) mask_tail();
+  }
+
+  [[nodiscard]] std::size_t size() const { return nbits_; }
+  [[nodiscard]] std::size_t num_words() const { return words_.size(); }
+  [[nodiscard]] const BitWord* words() const { return words_.data(); }
+  [[nodiscard]] BitWord* words() { return words_.data(); }
+
+  void set(std::size_t i) {
+    DTM_CHECK(i < nbits_, "bit " << i << " out of " << nbits_);
+    words_[i / kBitWordBits] |= BitWord{1} << (i % kBitWordBits);
+  }
+  void reset(std::size_t i) {
+    DTM_CHECK(i < nbits_, "bit " << i << " out of " << nbits_);
+    words_[i / kBitWordBits] &= ~(BitWord{1} << (i % kBitWordBits));
+  }
+  [[nodiscard]] bool test(std::size_t i) const {
+    DTM_CHECK(i < nbits_, "bit " << i << " out of " << nbits_);
+    return (words_[i / kBitWordBits] >> (i % kBitWordBits)) & 1u;
+  }
+
+  void clear_all() {
+    for (BitWord& w : words_) w = 0;
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    return popcount_words(words_.data(), words_.size());
+  }
+
+  /// this |= other (equal sizes).
+  void or_with(const DynamicBitset& other) {
+    DTM_CHECK(nbits_ == other.nbits_,
+              "bitset size mismatch " << nbits_ << " vs " << other.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      words_[i] |= other.words_[i];
+  }
+
+ private:
+  void mask_tail() {
+    const std::size_t tail = nbits_ % kBitWordBits;
+    if (tail != 0 && !words_.empty())
+      words_.back() &= (BitWord{1} << tail) - 1;
+  }
+
+  std::vector<BitWord> words_;
+  std::size_t nbits_ = 0;
+};
+
+/// First color offset not marked in `forbidden` (bits = forbidden color
+/// offsets). With the mask sized to k+1 bits for k constraints a free slot
+/// always exists in range (each constraint forbids at most one offset), so
+/// the zero-padding past size() is never the answer.
+[[nodiscard]] inline std::size_t first_free_color(
+    const DynamicBitset& forbidden) {
+  return first_zero_bit(forbidden.words(), forbidden.num_words());
+}
+
+}  // namespace dtm

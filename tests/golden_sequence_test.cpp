@@ -149,8 +149,9 @@ TEST(GoldenSequence, MatchesPreRefactorEngineInAllModes) {
 // RNG stream flips the hash. line exercises a deterministic A; cluster and
 // star exercise randomized A, where the per-probe / per-trial derived
 // streams carry the identity.
-std::uint64_t run_bucket_fastpath_case(const Network& net, BucketFastPath fp,
-                                       EngineOptions::Mode mode) {
+std::uint64_t run_bucket_fastpath_case(
+    const Network& net, BucketFastPath fp, EngineOptions::Mode mode,
+    BatchMathMode math = BatchMathMode::kScalar) {
   SyntheticOptions w;
   w.num_objects = 8;
   w.k = 2;
@@ -160,6 +161,7 @@ std::uint64_t run_bucket_fastpath_case(const Network& net, BucketFastPath fp,
   SyntheticWorkload wl(net, w);
   BucketOptions o;
   o.fastpath = fp;
+  o.batch_math = math;
   BucketScheduler sched(Registry::make_batch_algo("auto", net), o);
   RunOptions opts;
   opts.engine.mode = mode;
@@ -190,6 +192,16 @@ TEST(GoldenSequence, BucketFastPathPinnedOnAllTopologies) {
             << static_cast<int>(mode) << " actual 0x" << std::hex << h;
       }
     }
+    // Batch math modes must land on the SAME pins: the SoA kernels are a
+    // drop-in arithmetic backend, not a new scheduler. Scan engine mode —
+    // the engine-mode cross-product is pinned above.
+    for (const auto math : {BatchMathMode::kSoA, BatchMathMode::kVerify}) {
+      const std::uint64_t h = run_bucket_fastpath_case(
+          c.net, BucketFastPath::kIncremental, EngineOptions::Mode::kScan,
+          math);
+      EXPECT_EQ(h, c.pin) << c.label << " batch_math " << to_string(math)
+                          << " actual 0x" << std::hex << h;
+    }
   }
 }
 
@@ -201,7 +213,8 @@ TEST(GoldenSequence, BucketFastPathPinnedOnAllTopologies) {
 // arithmetic, or the retry protocol flips it.
 std::uint64_t run_dist_case(const Network& net, const FaultPlan& plan,
                             EngineOptions::Mode mode,
-                            BucketFastPath fp = BucketFastPath::kIncremental) {
+                            BucketFastPath fp = BucketFastPath::kIncremental,
+                            BatchMathMode math = BatchMathMode::kScalar) {
   SyntheticOptions w;
   w.num_objects = 10;
   w.k = 2;
@@ -212,6 +225,7 @@ std::uint64_t run_dist_case(const Network& net, const FaultPlan& plan,
   o.seed = 77;
   o.fault = plan;
   o.fastpath = fp;
+  o.batch_math = math;
   DistributedBucketScheduler sched(net, Registry::make_batch_algo("auto", net),
                                    o);
   RunOptions opts;
@@ -274,6 +288,19 @@ TEST(GoldenSequence, DistBucketFastPathModesMatchTheSamePins) {
     EXPECT_EQ(run_dist_case(net, chaos, EngineOptions::Mode::kScan, fp),
               kChaosPin)
         << "fastpath " << static_cast<int>(fp);
+  }
+  // And the batch-math backends land on the same pins too (the dist
+  // scheduler's partial i-buckets and activations run through the same
+  // SoA-aware insertion core).
+  for (const auto math : {BatchMathMode::kSoA, BatchMathMode::kVerify}) {
+    EXPECT_EQ(run_dist_case(net, FaultPlan{}, EngineOptions::Mode::kScan,
+                            BucketFastPath::kIncremental, math),
+              kNullPin)
+        << "batch_math " << to_string(math);
+    EXPECT_EQ(run_dist_case(net, chaos, EngineOptions::Mode::kScan,
+                            BucketFastPath::kIncremental, math),
+              kChaosPin)
+        << "batch_math " << to_string(math);
   }
 }
 
