@@ -120,12 +120,20 @@ int main(int argc, char** argv) {
                  "~1.0x (oversubscribed). Treat the curves as a determinism "
                  "check only.\n";
   }
-  std::vector<std::int32_t> ladder = quick ? std::vector<std::int32_t>{1, 2}
-                                           : std::vector<std::int32_t>{1, 2,
-                                                                       4, 8};
-  bool have_hw = false;
-  for (const std::int32_t t : ladder) have_hw = have_hw || t == hw;
-  if (!have_hw) ladder.push_back(hw);
+  std::vector<std::int32_t> ladder;
+  if (cli.threads_set()) {
+    // --threads N pins the ladder to {1, N}: the 1-thread rung stays as the
+    // hash/speedup baseline, N is the requested measurement point.
+    ladder.push_back(1);
+    const std::int32_t t = cli.threads(1) == 0 ? hw : cli.threads(1);
+    if (t != 1) ladder.push_back(t);
+  } else {
+    ladder = quick ? std::vector<std::int32_t>{1, 2}
+                   : std::vector<std::int32_t>{1, 2, 4, 8};
+    bool have_hw = false;
+    for (const std::int32_t t : ladder) have_hw = have_hw || t == hw;
+    if (!have_hw) ladder.push_back(hw);
+  }
 
   std::vector<BenchCase> workloads;
   {

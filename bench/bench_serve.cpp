@@ -41,10 +41,11 @@ struct Point {
 
 ServeReport run_point(const Network& net, const std::string& topology,
                       const std::string& fault, double rate, Time duration,
-                      std::uint64_t seed) {
+                      std::uint64_t seed, std::int32_t threads) {
   RunSpec spec;
   spec.topology = parse_spec(topology);
   spec.scheduler = parse_spec("dist-bucket");
+  spec.threads = threads;
   if (!fault.empty()) spec.fault = parse_spec(fault);
   std::ostringstream serve;
   serve << "serve:rate=" << rate << ",duration=" << duration
@@ -74,6 +75,7 @@ int main(int argc, char** argv) {
   cli.add_value("out", "JSON output path (default BENCH_serve.json)", &out);
   if (!cli.parse(argc, argv)) return 0;
   const std::uint64_t seed = cli.seed(2026);
+  const std::int32_t threads = cli.threads(1);
   const Time duration = quick ? 512 : 4096;
 
   struct Topo {
@@ -110,7 +112,8 @@ int main(int argc, char** argv) {
                 << "\n";
       for (const double rate : rates) {
         Point p{t.name, fault_name, rate,
-                run_point(t.net, t.name, fault_spec, rate, duration, seed)};
+                run_point(t.net, t.name, fault_spec, rate, duration, seed,
+                          threads)};
         const auto& r = p.r;
         const double shed_rate =
             r.offered > 0 ? static_cast<double>(r.shed) /

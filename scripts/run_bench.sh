@@ -3,8 +3,8 @@
 # (docs/PERF.md, docs/EXPERIMENTS.md).
 # Usage: scripts/run_bench.sh [--quick] [--bench NAME] [build-dir] [out-json]
 #   NAME is the harness suffix: fastpath (default), bucket_fastpath, chaos,
-#   serve, parallel, simd, ... — anything with a bench/bench_NAME.cpp that
-#   takes --out.
+#   serve, parallel, simd, stream, ... — anything with a bench/bench_NAME.cpp
+#   that takes --out.
 set -euo pipefail
 
 QUICK=""

@@ -1,6 +1,7 @@
 #include "net/routing.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 
 namespace dtm {
@@ -107,6 +108,303 @@ Weight RoutingTable::edge_weight(NodeId u, NodeId v) const {
   DTM_CHECK(it != adj.end() && it->to == v,
             "nodes " << u << " and " << v << " are not adjacent");
   return it->weight;
+}
+
+// ---------------------------------------------------------------------------
+// Landmark / hierarchical routing
+
+RoutingMode parse_routing_mode(const std::string& v) {
+  if (v == "exact") return RoutingMode::kExact;
+  if (v == "landmark") return RoutingMode::kLandmark;
+  if (v == "verify") return RoutingMode::kVerify;
+  DTM_CHECK(false, "unknown routing mode '"
+                       << v << "' (expected exact|landmark|verify)");
+  return RoutingMode::kExact;
+}
+
+std::string to_string(RoutingMode m) {
+  switch (m) {
+    case RoutingMode::kExact: return "exact";
+    case RoutingMode::kLandmark: return "landmark";
+    case RoutingMode::kVerify: return "verify";
+  }
+  return "exact";
+}
+
+namespace {
+
+/// One Dijkstra from `src`, writing dist and next-hop-toward-src rows with
+/// the same relaxation + smaller-parent tie-break as RoutingTable::ensure
+/// (so landmark tree walks agree with exact tables wherever both apply).
+void sssp_with_hops(const Graph& g, NodeId src, Weight* dist, NodeId* hop) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::fill(dist, dist + n, kInfWeight);
+  std::fill(hop, hop + n, kNoNode);
+  using Item = std::pair<Weight, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[static_cast<std::size_t>(src)] = 0;
+  hop[static_cast<std::size_t>(src)] = src;
+  pq.emplace(0, src);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    for (const auto& e : g.neighbors(u)) {
+      const Weight nd = d + e.weight;
+      auto& cur = dist[static_cast<std::size_t>(e.to)];
+      auto& h = hop[static_cast<std::size_t>(e.to)];
+      if (nd < cur) {
+        cur = nd;
+        h = u;
+        pq.emplace(nd, e.to);
+      } else if (nd == cur && u < h) {
+        h = u;
+      }
+    }
+  }
+}
+
+std::int32_t default_num_landmarks(NodeId n) {
+  const auto l = static_cast<std::int32_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  return std::clamp(l, 1, 64);
+}
+
+}  // namespace
+
+LandmarkRouter::LandmarkRouter(const Graph& g, LandmarkOptions opts)
+    : n_(g.num_nodes()), intra_(g, opts.intra_cache) {
+  // intra_'s constructor already checked connectivity.
+  std::int32_t want = opts.num_landmarks > 0 ? opts.num_landmarks
+                                             : default_num_landmarks(n_);
+  want = std::min(want, static_cast<std::int32_t>(n_));
+  const auto nn = static_cast<std::size_t>(n_);
+  ldist_.resize(static_cast<std::size_t>(want) * nn);
+  lhop_.resize(static_cast<std::size_t>(want) * nn);
+
+  // Greedy farthest-point selection: node 0 seeds; each subsequent landmark
+  // is the node maximizing distance to the chosen set (ties: smaller id).
+  std::vector<Weight> mindist(nn, kInfWeight);
+  for (std::int32_t i = 0; i < want; ++i) {
+    NodeId next = 0;
+    if (i > 0) {
+      Weight best = -1;
+      for (NodeId v = 0; v < n_; ++v) {
+        const Weight d = mindist[static_cast<std::size_t>(v)];
+        if (d > best) {
+          best = d;
+          next = v;
+        }
+      }
+      if (best == 0) break;  // every node IS a landmark already
+    }
+    landmarks_.push_back(next);
+    Weight* drow = ldist_.data() + static_cast<std::size_t>(i) * nn;
+    NodeId* hrow = lhop_.data() + static_cast<std::size_t>(i) * nn;
+    sssp_with_hops(g, next, drow, hrow);
+    for (std::size_t v = 0; v < nn; ++v)
+      mindist[v] = std::min(mindist[v], drow[v]);
+  }
+  const auto kL = static_cast<std::int32_t>(landmarks_.size());
+  ldist_.resize(static_cast<std::size_t>(kL) * nn);
+  lhop_.resize(static_cast<std::size_t>(kL) * nn);
+
+  // Home-cluster assignment (nearest landmark, ties toward the smaller
+  // landmark index) and the metric bounds.
+  home_.assign(nn, 0);
+  diameter_bound_ = kInfWeight;
+  for (std::int32_t l = 0; l < kL; ++l) {
+    const Weight* drow = ldist(l);
+    Weight ecc = 0;
+    for (std::size_t v = 0; v < nn; ++v) {
+      ecc = std::max(ecc, drow[v]);
+      if (drow[v] < ldist(home_[v])[v]) home_[v] = l;
+    }
+    diameter_bound_ = std::min(diameter_bound_, 2 * ecc);
+  }
+  for (std::size_t v = 0; v < nn; ++v)
+    radius_ = std::max(radius_, ldist(home_[v])[v]);
+}
+
+Weight LandmarkRouter::dist(NodeId u, NodeId v) const {
+  DTM_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_,
+              "dist(" << u << "," << v << ")");
+  if (u == v) return 0;
+  if (home_[static_cast<std::size_t>(u)] ==
+      home_[static_cast<std::size_t>(v)]) {
+    ++stats_.intra_queries;
+    return intra_.dist(u, v);
+  }
+  ++stats_.inter_queries;
+  Weight best = kInfWeight;
+  const auto kL = num_landmarks();
+  for (std::int32_t l = 0; l < kL; ++l) {
+    const Weight* drow = ldist(l);
+    best = std::min(best, drow[static_cast<std::size_t>(u)] +
+                              drow[static_cast<std::size_t>(v)]);
+  }
+  return best;
+}
+
+std::int32_t LandmarkRouter::best_landmark(NodeId u, NodeId v) const {
+  std::int32_t bl = 0;
+  Weight best = kInfWeight;
+  const auto kL = num_landmarks();
+  for (std::int32_t l = 0; l < kL; ++l) {
+    const Weight* drow = ldist(l);
+    const Weight d = drow[static_cast<std::size_t>(u)] +
+                     drow[static_cast<std::size_t>(v)];
+    if (d < best) {
+      best = d;
+      bl = l;
+    }
+  }
+  return bl;
+}
+
+std::vector<NodeId> LandmarkRouter::walk_to_landmark(NodeId u,
+                                                     std::int32_t l) const {
+  const NodeId* hrow = lhop(l);
+  const NodeId lm = landmarks_[static_cast<std::size_t>(l)];
+  std::vector<NodeId> p{u};
+  while (u != lm) {
+    u = hrow[static_cast<std::size_t>(u)];
+    p.push_back(u);
+    DTM_CHECK(p.size() <= static_cast<std::size_t>(n_) + 1,
+              "landmark tree loop between " << p.front() << " and " << lm);
+  }
+  return p;
+}
+
+std::vector<NodeId> LandmarkRouter::path(NodeId u, NodeId v) const {
+  DTM_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_,
+              "path(" << u << "," << v << ")");
+  if (u == v) return {u};
+  if (home_[static_cast<std::size_t>(u)] ==
+      home_[static_cast<std::size_t>(v)]) {
+    ++stats_.intra_queries;
+    return intra_.path(u, v);
+  }
+  ++stats_.inter_queries;
+  const std::int32_t l = best_landmark(u, v);
+  std::vector<NodeId> p = walk_to_landmark(u, l);       // u ... landmark
+  const std::vector<NodeId> back = walk_to_landmark(v, l);  // v ... landmark
+  // Append landmark ... v, trimming immediate backtracking (a, x, a -> a):
+  // each trim removes a there-and-back edge pair, so the walk only gets
+  // shorter than the reported d(u,l) + d(l,v).
+  for (auto it = back.rbegin() + 1; it != back.rend(); ++it) {
+    if (p.size() >= 2 && p[p.size() - 2] == *it)
+      p.pop_back();
+    else
+      p.push_back(*it);
+  }
+  return p;
+}
+
+NodeId LandmarkRouter::next_hop(NodeId u, NodeId v) const {
+  if (u == v) return u;
+  if (home_[static_cast<std::size_t>(u)] ==
+      home_[static_cast<std::size_t>(v)]) {
+    ++stats_.intra_queries;
+    return intra_.next_hop(u, v);
+  }
+  return path(u, v)[1];
+}
+
+Weight LandmarkRouter::path_weight(const std::vector<NodeId>& p) const {
+  DTM_REQUIRE(!p.empty(), "path_weight on empty path");
+  Weight total = 0;
+  for (std::size_t i = 1; i < p.size(); ++i)
+    total += intra_.edge_weight(p[i - 1], p[i]);
+  return total;
+}
+
+std::size_t LandmarkRouter::memory_bytes() const {
+  return ldist_.size() * sizeof(Weight) + lhop_.size() * sizeof(NodeId) +
+         home_.size() * sizeof(std::int32_t) +
+         landmarks_.size() * sizeof(NodeId) + intra_.memory_bytes();
+}
+
+// ---------------------------------------------------------------------------
+// LandmarkOracle
+
+LandmarkOracle::LandmarkOracle(std::shared_ptr<const Graph> graph,
+                               LandmarkOptions opts,
+                               std::shared_ptr<const DistanceOracle> exact,
+                               double max_stretch)
+    : graph_(std::move(graph)),
+      router_(*graph_, opts),
+      exact_(std::move(exact)),
+      max_stretch_(max_stretch) {
+  DTM_REQUIRE(max_stretch_ >= 1.0, "max_stretch " << max_stretch_ << " < 1");
+  diameter_ = router_.diameter_bound();
+  if (exact_) construction_sweep();
+}
+
+Weight LandmarkOracle::dist(NodeId u, NodeId v) const {
+  const Weight d = router_.dist(u, v);
+  if (exact_) check(u, v, d);
+  return d;
+}
+
+void LandmarkOracle::check(NodeId u, NodeId v, Weight d) const {
+  ++vstats_.dist_checks;
+  const Weight e = exact_->dist(u, v);
+  DTM_CHECK(d >= e, "landmark dist(" << u << "," << v << ") = " << d
+                                     << " below exact " << e);
+  if (e == 0) {
+    DTM_CHECK(d == 0, "nonzero landmark dist " << d << " for coincident "
+                                               << u << "," << v);
+    return;
+  }
+  const double stretch =
+      static_cast<double>(d) / static_cast<double>(e);
+  vstats_.max_stretch_seen = std::max(vstats_.max_stretch_seen, stretch);
+  DTM_CHECK(stretch <= max_stretch_ + 1e-9,
+            "landmark stretch " << stretch << " for (" << u << "," << v
+                                << ") exceeds bound " << max_stretch_);
+}
+
+void LandmarkOracle::construction_sweep() {
+  // Prove route validity once up front: every checked pair's realized path
+  // must be a real walk (adjacent hops — path_weight asserts), start and
+  // end at the endpoints, and cost no more than the reported distance.
+  // All pairs on small graphs; a deterministic stride sample on larger
+  // ones (verify mode is for pinned small graphs, but stay bounded).
+  const NodeId n = router_.num_nodes();
+  const auto check_pair = [&](NodeId u, NodeId v) {
+    const Weight d = router_.dist(u, v);
+    check(u, v, d);
+    const auto p = router_.path(u, v);
+    DTM_CHECK(p.front() == u && p.back() == v,
+              "path(" << u << "," << v << ") endpoints " << p.front() << ","
+                      << p.back());
+    const Weight w = router_.path_weight(p);
+    DTM_CHECK(w <= d, "path(" << u << "," << v << ") realizes " << w
+                              << " above reported dist " << d);
+    DTM_CHECK(w >= exact_->dist(u, v), "path weight below exact distance");
+    ++vstats_.path_checks;
+  };
+  if (n <= 128) {
+    for (NodeId u = 0; u < n; ++u)
+      for (NodeId v = static_cast<NodeId>(u + 1); v < n; ++v)
+        check_pair(u, v);
+    return;
+  }
+  // Deterministic pseudo-random pair sample (splitmix64 walk).
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  const auto draw = [&x, n]() {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<NodeId>((z ^ (z >> 31)) % static_cast<std::uint64_t>(n));
+  };
+  for (int i = 0; i < 4096; ++i) {
+    const NodeId u = draw();
+    const NodeId v = draw();
+    if (u != v) check_pair(u, v);
+  }
 }
 
 }  // namespace dtm

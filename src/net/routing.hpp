@@ -1,5 +1,6 @@
 // Explicit shortest-path routing: per-destination next-hop tables, computed
-// lazily.
+// lazily, plus cluster-level landmark routing for graphs too large for
+// exact all-pairs state.
 //
 // The baseline model (paper §II) abstracts object motion as "arrives after
 // dist(u,v) steps". The congestion extension (paper §VI names bounded link
@@ -11,11 +12,36 @@
 // O(hot * n). Tie-breaks are deterministic (smaller parent id wins), so a
 // lazily built table answers exactly like an eagerly built one.
 //
-// Not thread-safe: queries mutate the cache. Give each thread its own table.
+// LandmarkRouter scales past even the lazy table: L landmark nodes (greedy
+// farthest-point, deterministic) each carry one SSSP tree (dist + next-hop
+// toward the landmark, O(L * n) memory total); every node is assigned to
+// its nearest landmark's cluster. Same-cluster queries use exact global
+// shortest paths through a shared LRU RoutingTable (cluster-local
+// destinations are few and hot, so the cache stays small); cross-cluster
+// queries answer d'(u,v) = min_l dist(u,l) + dist(l,v) with the realized
+// route u -> l* -> v stitched from the two SSSP trees (backtracking
+// trimmed, so the walk only gets shorter than the reported distance). This
+// is the fog-cloud hierarchical shape of Adhikari/Busch/Poudel (PAPERS.md):
+// exact within a cluster, via-landmark between clusters, stretch bounded in
+// practice by the cluster radii.
+//
+// LandmarkOracle adapts the router to the engine's DistanceOracle seam
+// behind the topology-spec knob `routing=exact|landmark|verify`
+// (sim/registry.cpp). verify keeps the exact oracle alongside and proves,
+// per query and in a construction-time sweep, that landmark routes are
+// valid walks no longer than the reported distance and that the stretch
+// stays within a configured bound — the cross-check mode for pinned small
+// graphs; landmark mode drops the exact oracle entirely, which is what lets
+// 50k+-node random graphs run without the O(n^2) APSP wall.
+//
+// Not thread-safe: queries mutate caches. Give each thread its own table.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <list>
+#include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -47,7 +73,7 @@ class RoutingTable {
   /// sorted adjacency: O(log deg(u)).
   [[nodiscard]] Weight edge_weight(NodeId u, NodeId v) const;
 
-  // ---- Cache introspection (tests, benchmarks) ----
+  // ---- Cache introspection (tests, benchmarks, serve metrics) ----
 
   struct CacheStats {
     std::int64_t hits = 0;       ///< queries served by a resident table
@@ -85,6 +111,148 @@ class RoutingTable {
   mutable std::unordered_map<NodeId, DestTable> cache_;
   mutable std::list<NodeId> lru_;  ///< front = most recently used
   mutable CacheStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Landmark / hierarchical routing
+
+/// Topology-spec routing knob (`routing=` on every topology kind).
+enum class RoutingMode : std::uint8_t {
+  kExact,     ///< the builder's native oracle (closed-form or APSP)
+  kLandmark,  ///< LandmarkOracle only — no exact oracle is built at all
+  kVerify,    ///< landmark answers cross-checked against exact per query
+};
+
+[[nodiscard]] RoutingMode parse_routing_mode(const std::string& v);
+[[nodiscard]] std::string to_string(RoutingMode m);
+
+struct LandmarkOptions {
+  /// Landmark count; 0 = ceil(sqrt(n)) clamped to [1, 64].
+  std::int32_t num_landmarks = 0;
+  /// LRU bound for the shared intra-cluster exact RoutingTable.
+  std::size_t intra_cache = 64;
+};
+
+class LandmarkRouter {
+ public:
+  /// `g` must outlive the router. Requires a connected graph. Build cost:
+  /// L Dijkstras (landmark selection is greedy farthest-point from node 0,
+  /// deterministic ties toward smaller ids).
+  explicit LandmarkRouter(const Graph& g, LandmarkOptions opts = {});
+
+  /// Exact distance for same-cluster pairs; the via-landmark upper bound
+  /// min_l dist(u,l) + dist(l,v) otherwise. Always >= the true distance.
+  [[nodiscard]] Weight dist(NodeId u, NodeId v) const;
+
+  /// A valid walk u -> ... -> v realizing at most dist(u, v): exact
+  /// shortest path within a cluster, the (trimmed) stitched tree walk
+  /// through the best landmark across clusters.
+  [[nodiscard]] std::vector<NodeId> path(NodeId u, NodeId v) const;
+
+  /// First hop of path(u, v) (u itself when u == v).
+  [[nodiscard]] NodeId next_hop(NodeId u, NodeId v) const;
+
+  /// Sum of edge weights along `p`, asserting every consecutive pair is
+  /// adjacent — the walk-validity check verify mode runs.
+  [[nodiscard]] Weight path_weight(const std::vector<NodeId>& p) const;
+
+  [[nodiscard]] NodeId num_nodes() const { return n_; }
+  [[nodiscard]] std::int32_t num_landmarks() const {
+    return static_cast<std::int32_t>(landmarks_.size());
+  }
+  [[nodiscard]] NodeId landmark(std::int32_t i) const {
+    return landmarks_[static_cast<std::size_t>(i)];
+  }
+  /// Index (into landmarks) of v's home landmark.
+  [[nodiscard]] std::int32_t home(NodeId v) const {
+    return home_[static_cast<std::size_t>(v)];
+  }
+  /// max over v of dist(v, home landmark) — the stretch driver.
+  [[nodiscard]] Weight radius() const { return radius_; }
+  /// Upper bound on the d' metric's diameter: min_l 2 * ecc(l). Valid for
+  /// every value this router returns (and >= the true graph diameter).
+  [[nodiscard]] Weight diameter_bound() const { return diameter_bound_; }
+
+  struct Stats {
+    std::int64_t intra_queries = 0;  ///< same-cluster (exact) answers
+    std::int64_t inter_queries = 0;  ///< via-landmark answers
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const RoutingTable::CacheStats& intra_cache_stats() const {
+    return intra_.cache_stats();
+  }
+  [[nodiscard]] const RoutingTable& intra_table() const { return intra_; }
+  /// Bytes held by the landmark tables plus the resident intra tables.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  /// Row pointers into the L x n landmark tables.
+  [[nodiscard]] const Weight* ldist(std::int32_t l) const {
+    return ldist_.data() + static_cast<std::size_t>(l) *
+                               static_cast<std::size_t>(n_);
+  }
+  [[nodiscard]] const NodeId* lhop(std::int32_t l) const {
+    return lhop_.data() + static_cast<std::size_t>(l) *
+                              static_cast<std::size_t>(n_);
+  }
+  /// argmin_l dist(u,l) + dist(l,v), ties toward the smaller index.
+  [[nodiscard]] std::int32_t best_landmark(NodeId u, NodeId v) const;
+  /// Tree walk u -> ... -> landmark(l) along l's SSSP next-hops.
+  [[nodiscard]] std::vector<NodeId> walk_to_landmark(NodeId u,
+                                                     std::int32_t l) const;
+
+  NodeId n_;
+  std::vector<NodeId> landmarks_;
+  std::vector<Weight> ldist_;       ///< row-major L x n
+  std::vector<NodeId> lhop_;        ///< row-major L x n
+  std::vector<std::int32_t> home_;  ///< n: landmark index
+  Weight radius_ = 0;
+  Weight diameter_bound_ = 0;
+  RoutingTable intra_;
+  mutable Stats stats_;
+};
+
+/// DistanceOracle adapter over a LandmarkRouter. Owns a copy of the graph
+/// (Network moves around by value; the oracle must not dangle into it).
+/// With `exact` non-null the oracle runs in verify mode: a construction
+/// sweep checks path validity + stretch over all pairs (small graphs) or a
+/// deterministic sample, and every dist() query re-checks
+/// exact <= landmark <= max_stretch * exact.
+class LandmarkOracle final : public DistanceOracle {
+ public:
+  LandmarkOracle(std::shared_ptr<const Graph> graph, LandmarkOptions opts,
+                 std::shared_ptr<const DistanceOracle> exact = nullptr,
+                 double max_stretch = 3.0);
+
+  [[nodiscard]] Weight dist(NodeId u, NodeId v) const override;
+  /// An upper bound valid for every dist() this oracle returns (consumers
+  /// use diameter as a scale: greedy-uniform's beta, dist-bucket timeouts).
+  [[nodiscard]] Weight diameter() const override { return diameter_; }
+  [[nodiscard]] NodeId num_nodes() const override {
+    return router_.num_nodes();
+  }
+
+  [[nodiscard]] const LandmarkRouter& router() const { return router_; }
+  [[nodiscard]] bool verifying() const { return exact_ != nullptr; }
+  [[nodiscard]] double max_stretch() const { return max_stretch_; }
+
+  struct VerifyStats {
+    std::int64_t dist_checks = 0;      ///< per-query stretch checks
+    std::int64_t path_checks = 0;      ///< construction-sweep path walks
+    double max_stretch_seen = 1.0;     ///< over all checked pairs
+  };
+  [[nodiscard]] const VerifyStats& verify_stats() const { return vstats_; }
+
+ private:
+  void check(NodeId u, NodeId v, Weight d) const;
+  void construction_sweep();
+
+  std::shared_ptr<const Graph> graph_;
+  LandmarkRouter router_;
+  std::shared_ptr<const DistanceOracle> exact_;
+  double max_stretch_;
+  Weight diameter_;
+  mutable VerifyStats vstats_;
 };
 
 }  // namespace dtm

@@ -344,8 +344,9 @@ Network make_tree(NodeId branching, NodeId depth) {
            {"depth", std::to_string(depth)}}};
 }
 
-Network make_random_connected(NodeId n, std::int64_t extra_edges,
-                              Weight max_weight, Rng& rng) {
+Graph make_random_connected_graph(NodeId n, std::int64_t extra_edges,
+                                  Weight max_weight, Rng& rng,
+                                  std::int64_t* extra_done) {
   DTM_REQUIRE(n >= 1, "random graph n=" << n);
   DTM_REQUIRE(max_weight >= 1, "max_weight=" << max_weight);
   Graph g(n);
@@ -364,7 +365,7 @@ Network make_random_connected(NodeId n, std::int64_t extra_edges,
   const std::int64_t max_extra =
       static_cast<std::int64_t>(n) * (n - 1) / 2 - (n - 1);
   extra_edges = std::min(extra_edges, max_extra);
-  const std::int64_t extra_requested = extra_edges;
+  if (extra_done) *extra_done = extra_edges;
   while (extra_edges > 0) {
     const auto u = static_cast<NodeId>(rng.uniform_int(0, n - 1));
     const auto v = static_cast<NodeId>(rng.uniform_int(0, n - 1));
@@ -373,6 +374,14 @@ Network make_random_connected(NodeId n, std::int64_t extra_edges,
     g.add_edge(u, v, rng.uniform_int(1, max_weight));
     --extra_edges;
   }
+  return g;
+}
+
+Network make_random_connected(NodeId n, std::int64_t extra_edges,
+                              Weight max_weight, Rng& rng) {
+  std::int64_t extra_requested = 0;
+  Graph g = make_random_connected_graph(n, extra_edges, max_weight, rng,
+                                        &extra_requested);
   auto oracle = std::make_shared<ApspOracle>(g);
   return {TopologyKind::kRandom, "random(n=" + std::to_string(n) + ")",
           std::move(g), oracle,

@@ -103,4 +103,14 @@ struct Network {
                                             std::int64_t extra_edges,
                                             Weight max_weight, Rng& rng);
 
+/// Graph-only variant of make_random_connected — identical construction and
+/// rng stream, but no oracle is built, so 50k+-node graphs stay cheap (the
+/// registry pairs it with a LandmarkOracle under `routing=landmark`).
+/// `extra_done` (optional) receives the post-clamp extra edge count.
+[[nodiscard]] Graph make_random_connected_graph(NodeId n,
+                                                std::int64_t extra_edges,
+                                                Weight max_weight, Rng& rng,
+                                                std::int64_t* extra_done =
+                                                    nullptr);
+
 }  // namespace dtm

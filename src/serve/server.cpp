@@ -5,6 +5,7 @@
 
 #include "core/bucket_scheduler.hpp"
 #include "dist/dist_bucket.hpp"
+#include "net/routing.hpp"
 #include "sim/io.hpp"
 #include "util/check.hpp"
 
@@ -178,6 +179,52 @@ void DtmServer::register_metrics() {
               Json(static_cast<std::int64_t>(engine_->committed().size())));
     return Json(std::move(o));
   });
+  // Routing: exact oracles have no live counters; landmark/verify oracles
+  // expose cluster-query mix, the intra-cluster cache's hit rate, and (in
+  // verify mode) the stretch evidence — so `dtm_serve stats` shows what the
+  // hierarchical routing layer is actually doing under load.
+  if (const auto* lm =
+          dynamic_cast<const LandmarkOracle*>(net_.oracle.get())) {
+    metrics_.add("routing", [lm] {
+      Json::Object o;
+      o.emplace("mode", Json(lm->verifying() ? std::string("verify")
+                                             : std::string("landmark")));
+      o.emplace("landmarks",
+                Json(static_cast<std::int64_t>(
+                    lm->router().num_landmarks())));
+      o.emplace("radius", Json(lm->router().radius()));
+      o.emplace("diameter_bound", Json(lm->router().diameter_bound()));
+      const auto& qs = lm->router().stats();
+      o.emplace("intra_queries", Json(qs.intra_queries));
+      o.emplace("inter_queries", Json(qs.inter_queries));
+      const auto& cs = lm->router().intra_cache_stats();
+      o.emplace("cache_hits", Json(cs.hits));
+      o.emplace("cache_misses", Json(cs.misses));
+      o.emplace("cache_evictions", Json(cs.evictions));
+      o.emplace("cache_hit_rate",
+                Json(cs.hits + cs.misses > 0
+                         ? static_cast<double>(cs.hits) /
+                               static_cast<double>(cs.hits + cs.misses)
+                         : 0.0));
+      o.emplace("memory_bytes",
+                Json(static_cast<std::int64_t>(
+                    lm->router().memory_bytes())));
+      if (lm->verifying()) {
+        const auto& vs = lm->verify_stats();
+        o.emplace("verify_dist_checks", Json(vs.dist_checks));
+        o.emplace("verify_path_checks", Json(vs.path_checks));
+        o.emplace("verify_max_stretch_seen", Json(vs.max_stretch_seen));
+        o.emplace("verify_stretch_bound", Json(lm->max_stretch()));
+      }
+      return Json(std::move(o));
+    });
+  } else {
+    metrics_.add("routing", [] {
+      Json::Object o;
+      o.emplace("mode", Json(std::string("exact")));
+      return Json(std::move(o));
+    });
+  }
   if (const auto* db =
           dynamic_cast<const DistributedBucketScheduler*>(scheduler_.get())) {
     metrics_.add("dist", [db] { return dist_json(db->stats()); });

@@ -1,13 +1,37 @@
 // EventClock — the simulation's notion of time (engine layering, layer 3).
 //
-// Owns the current step, the execution calendar (the min-heap of scheduled
-// live transactions keyed by exec time that powers the kCalendar fast path),
-// and the *merging* of future-event candidates: the runner asks one place
-// "when can anything next happen?", combining the calendar, workload
-// arrivals, scheduler hints, and any registered EventSource (e.g. the
-// distributed protocol's MessageBus) — so no layer special-cases time skips.
+// Owns the current step, the execution calendar of scheduled live
+// transactions keyed by exec time (the structure that powers the kCalendar
+// fast path), and the *merging* of future-event candidates: the runner asks
+// one place "when can anything next happen?", combining the calendar,
+// workload arrivals, scheduler hints, and any registered EventSource (e.g.
+// the distributed protocol's MessageBus) — so no layer special-cases time
+// skips.
+//
+// The calendar is a ring-buffered timing wheel (streaming runs schedule and
+// fire millions of entries, so O(log n) heap percolation and its pointer
+// chasing were the dominant per-entry cost): kRingSlots buckets cover the
+// near future [now, now + kRingSlots); an entry at time t lives in bucket
+// t mod kRingSlots, so insert and pop are O(1) array appends. Entries
+// beyond the horizon go to a small overflow min-heap and are popped from
+// there when due (no migration pass needed: pop_due and next_scheduled
+// consult both structures). Two invariants make the wheel exact:
+//   - nothing is scheduled in the past (the engine enforces exec >= now),
+//     and nothing is missed (pop_due asserts), so every resident ring entry
+//     has time in [now, now + kRingSlots) — each bucket holds exactly ONE
+//     distinct time and needs no per-entry time field;
+//   - pop_due sorts each step's due ids ascending, reproducing the old
+//     heap's deterministic (time, id) order byte-for-byte — all golden
+//     commit-sequence pins hold across the swap.
+// A 64-bit occupancy bitmap over the slots makes next_scheduled() a scan of
+// at most kRingSlots/64 + 1 words. calendar_size()/calendar_peak() expose
+// occupancy for the bounded-memory evidence streaming benches record.
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
 #include <initializer_list>
 #include <queue>
 #include <span>
@@ -23,11 +47,15 @@ namespace dtm {
 class EventClock {
  public:
   /// (time, id) min-heap with deterministic (time, id) tie-breaks — shared
-  /// shape for the calendar here and the per-object heaps in the store.
+  /// shape for the calendar overflow here and the per-object heaps in the
+  /// store.
   template <typename Id>
   using MinHeap =
       std::priority_queue<std::pair<Time, Id>,
                           std::vector<std::pair<Time, Id>>, std::greater<>>;
+
+  static constexpr std::size_t kRingBits = 10;
+  static constexpr std::size_t kRingSlots = std::size_t{1} << kRingBits;
 
   [[nodiscard]] Time now() const { return now_; }
 
@@ -45,26 +73,63 @@ class EventClock {
 
   /// Registers an irrevocable assignment: `txn` fires at `exec`. Entries
   /// never go stale before they fire (assignments are immutable).
-  void schedule(Time exec, TxnId txn) { calendar_.emplace(exec, txn); }
+  void schedule(Time exec, TxnId txn) {
+    DTM_REQUIRE(exec >= now_,
+                "schedule(" << exec << ") in the past (now " << now_ << ")");
+    if (exec - now_ < static_cast<Time>(kRingSlots)) {
+      const auto s = slot_of(exec);
+      ring_[s].push_back(txn);
+      occ_[s >> 6] |= std::uint64_t{1} << (s & 63);
+    } else {
+      overflow_.emplace(exec, txn);
+    }
+    ++size_;
+    peak_ = std::max(peak_, size_);
+  }
 
-  /// Earliest scheduled execution, kNoTime if none. O(1).
+  /// Earliest scheduled execution, kNoTime if none. O(kRingSlots / 64).
   [[nodiscard]] Time next_scheduled() const {
-    return calendar_.empty() ? kNoTime : calendar_.top().first;
+    const Time ring = ring_next_time();
+    const Time over = overflow_.empty() ? kNoTime : overflow_.top().first;
+    return merge(ring, over);
   }
 
   /// Pops every calendar entry due exactly now into `out` (ascending id
   /// order for equal times — the order the scan path derives from its
   /// sorted live map) and asserts nothing was missed.
   void pop_due(std::vector<TxnId>& out) {
-    if (!calendar_.empty())
-      DTM_CHECK(calendar_.top().first >= now_,
-                "txn " << calendar_.top().second
-                       << " missed its execution step " << calendar_.top().first
-                       << " (now " << now_ << ")");
-    while (!calendar_.empty() && calendar_.top().first == now_) {
-      out.push_back(calendar_.top().second);
-      calendar_.pop();
+    const Time next = next_scheduled();
+    if (next != kNoTime)
+      DTM_CHECK(next >= now_, "calendar entry missed its execution step "
+                                  << next << " (now " << now_ << ")");
+    const std::size_t base = out.size();
+    const auto s = slot_of(now_);
+    if ((occ_[s >> 6] >> (s & 63)) & 1u) {
+      // Ring invariant: every resident entry's time is in
+      // [now, now + kRingSlots), so this bucket holds exactly the entries
+      // due now.
+      auto& bucket = ring_[s];
+      out.insert(out.end(), bucket.begin(), bucket.end());
+      bucket.clear();
+      occ_[s >> 6] &= ~(std::uint64_t{1} << (s & 63));
     }
+    while (!overflow_.empty() && overflow_.top().first == now_) {
+      out.push_back(overflow_.top().second);
+      overflow_.pop();
+    }
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end());
+    size_ -= static_cast<std::int64_t>(out.size() - base);
+  }
+
+  // ---- Calendar introspection (streaming bounded-memory evidence) ----
+
+  /// Entries currently scheduled (ring + overflow).
+  [[nodiscard]] std::int64_t calendar_size() const { return size_; }
+  /// High-water mark of calendar_size() over the clock's lifetime.
+  [[nodiscard]] std::int64_t calendar_peak() const { return peak_; }
+  /// Entries parked beyond the ring horizon.
+  [[nodiscard]] std::int64_t calendar_overflow() const {
+    return static_cast<std::int64_t>(overflow_.size());
   }
 
   // ---- Next-event merging ----
@@ -97,8 +162,40 @@ class EventClock {
   }
 
  private:
+  static constexpr std::size_t kMask = kRingSlots - 1;
+  static constexpr std::size_t kWords = kRingSlots / 64;
+
+  [[nodiscard]] static std::size_t slot_of(Time t) {
+    return static_cast<std::size_t>(t) & kMask;
+  }
+
+  /// Earliest ring entry's time: circular occupancy scan starting at now's
+  /// slot (slot order from there IS time order, by the ring invariant).
+  [[nodiscard]] Time ring_next_time() const {
+    if (size_ - static_cast<std::int64_t>(overflow_.size()) == 0)
+      return kNoTime;
+    const std::size_t s0 = slot_of(now_);
+    const std::size_t w0 = s0 >> 6;
+    const std::size_t b0 = s0 & 63;
+    for (std::size_t i = 0; i <= kWords; ++i) {
+      const std::size_t wi = (w0 + i) % kWords;
+      std::uint64_t w = occ_[wi];
+      if (i == 0) w &= ~std::uint64_t{0} << b0;
+      if (i == kWords) w &= b0 ? ~std::uint64_t{0} >> (64 - b0) : 0;
+      if (w == 0) continue;
+      const std::size_t s =
+          (wi << 6) + static_cast<std::size_t>(std::countr_zero(w));
+      return now_ + static_cast<Time>((s - s0) & kMask);
+    }
+    return kNoTime;  // unreachable while the ring count is > 0
+  }
+
   Time now_ = 0;
-  MinHeap<TxnId> calendar_;
+  std::array<std::vector<TxnId>, kRingSlots> ring_;
+  std::array<std::uint64_t, kWords> occ_{};
+  MinHeap<TxnId> overflow_;
+  std::int64_t size_ = 0;
+  std::int64_t peak_ = 0;
 };
 
 }  // namespace dtm

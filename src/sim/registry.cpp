@@ -7,6 +7,7 @@
 #include "core/fcfs_scheduler.hpp"
 #include "core/greedy_scheduler.hpp"
 #include "dist/dist_bucket.hpp"
+#include "net/routing.hpp"
 #include "sim/app_workloads.hpp"
 #include "sim/io.hpp"
 #include "util/batch_math.hpp"
@@ -219,6 +220,7 @@ Json RunSpec::to_json() const {
   o.emplace("scheduler", spec_to_json(scheduler));
   o.emplace("fault", spec_to_json(fault));
   o.emplace("serve", spec_to_json(serve));
+  o.emplace("stream", spec_to_json(stream));
   o.emplace("mode", Json(mode));
   o.emplace("latency_factor", Json(latency_factor));
   o.emplace("seed", Json(static_cast<std::int64_t>(seed)));
@@ -238,6 +240,7 @@ RunSpec RunSpec::from_json(const Json& j) {
     else if (k == "scheduler") s.scheduler = spec_from_json(v, k);
     else if (k == "fault") s.fault = spec_from_json(v, k);
     else if (k == "serve") s.serve = spec_from_json(v, k);
+    else if (k == "stream") s.stream = spec_from_json(v, k);
     else if (k == "mode") s.mode = v.as_string();
     else if (k == "latency_factor") s.latency_factor = v.as_int();
     else if (k == "seed") s.seed = static_cast<std::uint64_t>(v.as_int());
@@ -270,6 +273,9 @@ const std::vector<Registry::Entry>& Registry::topologies() {
       {"cluster", "alpha=3,beta=3,gamma=4 (cliques x size, bridge weight)"},
       {"tree", "branching=2,depth=3"},
       {"random", "n=12,extra=12,maxw=3,seed=7 (connected random graph)"},
+      {"(any)",
+       "routing=exact|landmark|verify,landmarks=0,stretch=3,routing-cache=64"
+       " (landmark oracle over any topology; verify cross-checks stretch)"},
   };
   return kEntries;
 }
@@ -345,6 +351,52 @@ const std::vector<Registry::Entry>& Registry::serve_configs() {
        "(dtm_serve service shape)"},
   };
   return kEntries;
+}
+
+const std::vector<Registry::Entry>& Registry::stream_configs() {
+  static const std::vector<Entry> kEntries = {
+      {"stream",
+       "profile=steady|diurnal|mmpp|adversary,rate=4,objects=0,k=2,zipf=0.9,"
+       "write-frac=1,rotate-every=0,period=2048,duty=0.5,low-mult=0.25,"
+       "dwell-on=256,dwell-off=768,hi-mult=4,burst=64,target=100000,"
+       "duration=0,window=1024,drain-every=256,max-live=0,ratio-every=1,"
+       "seed=...  (dtm_stream run shape)"},
+  };
+  return kEntries;
+}
+
+StreamConfig Registry::make_stream_config(const Spec& spec,
+                                          std::uint64_t default_seed) {
+  SpecArgs a(spec);
+  DTM_REQUIRE(a.kind() == "stream",
+              "unknown stream config '" << a.kind()
+                                        << "' (stream:knob=value,...)");
+  StreamConfig c;
+  c.profile = a.str("profile", c.profile);
+  c.rate = a.real("rate", c.rate);
+  c.objects = static_cast<std::int32_t>(a.integer("objects", c.objects));
+  c.k = static_cast<std::int32_t>(a.integer("k", c.k));
+  c.zipf = a.real("zipf", c.zipf);
+  c.write_frac = a.real("write-frac", c.write_frac);
+  c.rotate_every = a.integer("rotate-every", c.rotate_every);
+  c.period = a.integer("period", c.period);
+  c.duty = a.real("duty", c.duty);
+  c.low_mult = a.real("low-mult", c.low_mult);
+  c.dwell_on = a.integer("dwell-on", c.dwell_on);
+  c.dwell_off = a.integer("dwell-off", c.dwell_off);
+  c.hi_mult = a.real("hi-mult", c.hi_mult);
+  c.burst = a.real("burst", c.burst);
+  c.target = a.integer("target", c.target);
+  c.duration = a.integer("duration", c.duration);
+  c.window = a.integer("window", c.window);
+  c.drain_every = a.integer("drain-every", c.drain_every);
+  c.max_live = a.integer("max-live", c.max_live);
+  c.ratio_every = a.integer("ratio-every", c.ratio_every);
+  c.seed = static_cast<std::uint64_t>(
+      a.integer("seed", static_cast<std::int64_t>(default_seed)));
+  a.finish();
+  c.validate();
+  return c;
 }
 
 ServeConfig Registry::make_serve_config(const Spec& spec,
@@ -448,6 +500,40 @@ Spec Registry::fault_to_spec(const FaultPlan& plan) {
 
 Network Registry::make_network(const Spec& spec) {
   SpecArgs a(spec);
+  // Routing knobs apply to every topology kind: routing=exact keeps the
+  // builder's native oracle; landmark swaps in a LandmarkOracle (and, for
+  // random graphs, skips the O(n^2) APSP build entirely — that is what
+  // makes 50k+-node topologies constructible); verify keeps both and
+  // cross-checks per query + a construction sweep.
+  const RoutingMode routing = parse_routing_mode(a.str("routing", "exact"));
+  LandmarkOptions lopts;
+  lopts.num_landmarks =
+      static_cast<std::int32_t>(a.integer("landmarks", 0));
+  lopts.intra_cache =
+      static_cast<std::size_t>(a.integer("routing-cache", 64));
+  const double max_stretch = a.real("stretch", 3.0);
+  if (a.kind() == "random" && routing == RoutingMode::kLandmark) {
+    // Graph-only build: same construction + rng stream as
+    // make_random_connected, no exact oracle.
+    Rng rng(static_cast<std::uint64_t>(a.integer("seed", 7)));
+    const auto n = static_cast<NodeId>(a.integer("n", 12));
+    const std::int64_t extra = a.integer("extra", 12);
+    const Weight maxw = a.integer("maxw", 3);
+    a.finish();
+    std::int64_t extra_done = 0;
+    auto graph = std::make_shared<Graph>(
+        make_random_connected_graph(n, extra, maxw, rng, &extra_done));
+    auto oracle = std::make_shared<LandmarkOracle>(graph, lopts);
+    Network net{TopologyKind::kRandom,
+                "random(n=" + std::to_string(n) + ")",
+                Graph(*graph),
+                oracle,
+                {{"n", std::to_string(n)},
+                 {"extra", std::to_string(extra_done)},
+                 {"maxw", std::to_string(maxw)},
+                 {"routing", "landmark"}}};
+    return net;
+  }
   Network net = [&]() -> Network {
     if (a.kind() == "clique")
       return make_clique(static_cast<NodeId>(a.integer("n", 8)));
@@ -482,6 +568,16 @@ Network Registry::make_network(const Spec& spec) {
                      "' (--list shows the registry)");
   }();
   a.finish();
+  if (routing != RoutingMode::kExact) {
+    // The oracle must own its graph: Network moves by value, so handing the
+    // router a pointer into net.graph would dangle. Copy once at build time.
+    auto graph = std::make_shared<Graph>(net.graph);
+    auto exact = routing == RoutingMode::kVerify ? net.oracle : nullptr;
+    net.oracle = std::make_shared<LandmarkOracle>(std::move(graph), lopts,
+                                                  std::move(exact),
+                                                  max_stretch);
+    net.build_params["routing"] = to_string(routing);
+  }
   return net;
 }
 

@@ -26,6 +26,7 @@
 #include "net/topology.hpp"
 #include "serve/config.hpp"
 #include "sim/runner.hpp"
+#include "stream/config.hpp"
 #include "sim/trials.hpp"
 #include "sim/workload.hpp"
 #include "util/json.hpp"
@@ -84,6 +85,10 @@ struct RunSpec {
   /// Only dtm_serve / make_server consume it; batch binaries carry the
   /// defaults along untouched. Absent from old JSON spec files.
   Spec serve{"serve", {}};
+  /// Streaming-run shape: "stream:profile=...,rate=...,target=...,...".
+  /// Only dtm_stream / make_stream_runner consume it; everything else
+  /// carries the defaults along untouched. Absent from old JSON spec files.
+  Spec stream{"stream", {}};
   std::string mode = "calendar";  ///< scan | calendar | verify | verify-parallel
   std::int64_t latency_factor = 1;
   std::uint64_t seed = 42;
@@ -117,6 +122,7 @@ class Registry {
   [[nodiscard]] static const std::vector<Entry>& batch_algos();
   [[nodiscard]] static const std::vector<Entry>& fault_plans();
   [[nodiscard]] static const std::vector<Entry>& serve_configs();
+  [[nodiscard]] static const std::vector<Entry>& stream_configs();
 
   [[nodiscard]] static Network make_network(const Spec& spec);
 
@@ -158,6 +164,12 @@ class Registry {
   /// the spec carries its own "seed" parameter.
   [[nodiscard]] static ServeConfig make_serve_config(
       const Spec& spec, std::uint64_t default_seed = ServeConfig{}.seed);
+
+  /// Builds a StreamConfig from a "stream:..." spec. Unknown knobs are hard
+  /// errors; ranges are validated. `default_seed` seeds the source unless
+  /// the spec carries its own "seed" parameter.
+  [[nodiscard]] static StreamConfig make_stream_config(
+      const Spec& spec, std::uint64_t default_seed = StreamConfig{}.seed);
 };
 
 /// Builds everything the RunSpec names and runs one experiment (the spec's

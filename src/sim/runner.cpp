@@ -59,11 +59,24 @@ struct WindowTracker {
 
 RunResult run_experiment(const Network& net, Workload& workload,
                          OnlineScheduler& scheduler, const RunOptions& opts) {
+  if (opts.drain_every > 0) {
+    // Draining discards the log; everything that replays it must be off.
+    DTM_REQUIRE(!opts.validate,
+                "drain_every requires validate=false (validation replays "
+                "the full committed schedule)");
+    DTM_REQUIRE(opts.ratio_window == 0,
+                "drain_every requires ratio_window=0 (windowed accounting "
+                "replays the full committed schedule)");
+    DTM_REQUIRE(!opts.collect_schedule,
+                "drain_every requires collect_schedule=false");
+  }
   SyncEngine engine(net.oracle, workload.objects(), opts.engine);
 
   WindowTracker windows;
   windows.window = opts.ratio_window;
 
+  RunResult r;
+  Time last_drain = 0;
   std::int64_t iterations = 0;
   while (true) {
     windows.maybe_snapshot(engine, engine.origins());
@@ -73,6 +86,23 @@ RunResult run_experiment(const Network& net, Workload& workload,
     engine.apply(assignments);
     const auto commits = engine.finish_step();
     for (const auto& c : commits) workload.on_commit(c.txn, c.exec);
+    if (opts.drain_every > 0) {
+      // Headline metrics accumulate at commit time; the log entries are
+      // about to be discarded.
+      for (const auto& c : commits) {
+        r.makespan = std::max(r.makespan, c.exec);
+        r.latency.add(static_cast<double>(c.exec - c.gen));
+        ++r.num_txns;
+      }
+      r.peak_committed_log =
+          std::max(r.peak_committed_log,
+                   static_cast<std::int64_t>(engine.committed().size()));
+      if (engine.now() - last_drain >= opts.drain_every) {
+        r.drained +=
+            static_cast<std::int64_t>(engine.take_committed().size());
+        last_drain = engine.now();
+      }
+    }
 
     if (workload.finished() && engine.all_done()) break;
     DTM_CHECK(++iterations < opts.max_steps,
@@ -97,14 +127,21 @@ RunResult run_experiment(const Network& net, Workload& workload,
     if (next > now) engine.advance_to(next);
   }
 
-  RunResult r;
   r.scheduler = scheduler.name();
   r.network = net.name;
   r.active_steps = iterations + 1;  // iterations counts non-final steps
-  r.num_txns = static_cast<std::int64_t>(engine.committed().size());
-  for (const auto& s : engine.committed()) {
-    r.makespan = std::max(r.makespan, s.exec);
-    r.latency.add(static_cast<double>(s.exec - s.txn.gen_time));
+  if (opts.drain_every > 0) {
+    // Final drain: whatever the cadence left behind. After this, drained
+    // accounts for every commit and the log is empty.
+    r.drained += static_cast<std::int64_t>(engine.take_committed().size());
+    DTM_CHECK(r.drained == r.num_txns,
+              "drain lost commits: " << r.drained << " != " << r.num_txns);
+  } else {
+    r.num_txns = static_cast<std::int64_t>(engine.committed().size());
+    for (const auto& s : engine.committed()) {
+      r.makespan = std::max(r.makespan, s.exec);
+      r.latency.add(static_cast<double>(s.exec - s.txn.gen_time));
+    }
   }
   if (opts.validate) {
     const auto err =

@@ -33,6 +33,14 @@ struct RunOptions {
   /// never copied). Averaging loops that only read the headline metrics
   /// turn this off and skip the allocation entirely.
   bool collect_schedule = true;
+  /// When > 0, drain the engine's committed log every this-many simulated
+  /// steps (TxnStore::take_committed): headline metrics are accumulated
+  /// incrementally at commit time and the entries are discarded, so the
+  /// run's memory footprint stays bounded by the drain cadence instead of
+  /// the workload size. Incompatible with everything that needs the full
+  /// log retained — requires !validate, ratio_window == 0, and
+  /// !collect_schedule (hard errors otherwise). 0 keeps the log (default).
+  Time drain_every = 0;
 };
 
 struct RunResult {
@@ -52,6 +60,13 @@ struct RunResult {
   /// bound for that window given object positions at its start).
   double windowed_ratio = 0.0;
   std::int64_t num_windows = 0;
+
+  /// Drain accounting (only when RunOptions::drain_every > 0): committed
+  /// entries discarded (every commit, after the final drain — checked
+  /// against num_txns), and the largest the retained log ever grew — the
+  /// bounded-memory evidence the cadence is meant to buy.
+  std::int64_t drained = 0;
+  std::int64_t peak_committed_log = 0;
 
   /// The full committed schedule and the object origins — input to the
   /// congestion replay and the gantt/itinerary renderers. Empty when

@@ -1,0 +1,36 @@
+#include "stream/config.hpp"
+
+#include "util/check.hpp"
+
+namespace dtm {
+
+void StreamConfig::validate() const {
+  DTM_REQUIRE(profile == "steady" || profile == "diurnal" ||
+                  profile == "mmpp" || profile == "adversary",
+              "stream: unknown profile '"
+                  << profile
+                  << "' (expected steady|diurnal|mmpp|adversary)");
+  DTM_REQUIRE(rate > 0.0, "stream: rate " << rate);
+  DTM_REQUIRE(objects >= 0, "stream: objects " << objects);
+  DTM_REQUIRE(k >= 1, "stream: k " << k);
+  DTM_REQUIRE(zipf >= 0.0, "stream: zipf " << zipf);
+  DTM_REQUIRE(write_frac >= 0.0 && write_frac <= 1.0,
+              "stream: write-frac " << write_frac);
+  DTM_REQUIRE(rotate_every >= 0, "stream: rotate-every " << rotate_every);
+  DTM_REQUIRE(period >= 1, "stream: period " << period);
+  DTM_REQUIRE(duty > 0.0 && duty <= 1.0, "stream: duty " << duty);
+  DTM_REQUIRE(low_mult >= 0.0, "stream: low-mult " << low_mult);
+  DTM_REQUIRE(dwell_on >= 1 && dwell_off >= 1,
+              "stream: dwell " << dwell_on << "/" << dwell_off);
+  DTM_REQUIRE(hi_mult > 0.0, "stream: hi-mult " << hi_mult);
+  DTM_REQUIRE(burst >= 1.0, "stream: burst " << burst);
+  DTM_REQUIRE(target >= 0, "stream: target " << target);
+  DTM_REQUIRE(duration >= 0, "stream: duration " << duration);
+  DTM_REQUIRE(target > 0 || duration > 0,
+              "stream: need a stop condition (target or duration)");
+  DTM_REQUIRE(window >= 1, "stream: window " << window);
+  DTM_REQUIRE(max_live >= 0, "stream: max-live " << max_live);
+  DTM_REQUIRE(ratio_every >= 1, "stream: ratio-every " << ratio_every);
+}
+
+}  // namespace dtm

@@ -1,0 +1,115 @@
+// StreamRunner — the streaming run loop (streaming subsystem;
+// docs/ARCHITECTURE.md §10).
+//
+// Drives a StreamSource through the engine to a committed-transaction
+// target (or a duration) with every piece of per-transaction state bounded:
+//   - the committed log is drained on a cadence (TxnStore::take_committed;
+//     counted, hashed at commit time, then discarded),
+//   - the execution calendar is the ring wheel (sim/clock.hpp) whose
+//     occupancy the report pins,
+//   - windowed competitive-ratio estimates come from StreamingRatioTracker,
+//     which frees each window as soon as its arrivals commit,
+//   - an optional max_live watermark sheds offers while the live set is
+//     saturated, so adversarial profiles cannot grow memory without bound.
+// The report carries the FNV-1a hash of the full commit sequence (txn,
+// node, gen, exec), so streaming determinism is checkable across engine
+// modes and thread counts without retaining a single committed entry.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/scheduler.hpp"
+#include "net/topology.hpp"
+#include "serve/latency.hpp"
+#include "sim/engine.hpp"
+#include "sim/registry.hpp"
+#include "stream/config.hpp"
+#include "stream/stream_source.hpp"
+#include "stream/stream_stats.hpp"
+#include "util/json.hpp"
+
+namespace dtm {
+
+struct StreamReport {
+  std::string scheduler;
+  std::string network;
+  std::string profile;
+  Time end_time = 0;
+  std::int64_t active_steps = 0;
+
+  std::int64_t offered = 0;   ///< transactions the source generated
+  std::int64_t shed = 0;      ///< dropped at the max_live watermark
+  std::int64_t accepted = 0;  ///< entered the engine
+  std::int64_t commits = 0;
+  std::int64_t drained = 0;   ///< commits drained during the run
+  std::int64_t residual = 0;  ///< commits still in the log at the end
+
+  // -- bounded-memory evidence --
+  std::int64_t peak_committed_log = 0;
+  std::int64_t peak_calendar = 0;      ///< EventClock::calendar_peak()
+  std::int64_t final_calendar_overflow = 0;
+  std::int64_t peak_live = 0;
+  std::int64_t peak_open_windows = 0;  ///< ratio tracker residency
+  std::int64_t peak_window_txns = 0;
+
+  // -- windowed competitive-ratio estimates --
+  std::int64_t ratio_windows = 0;
+  double windowed_ratio_max = 0.0;
+  double windowed_ratio_mean = 0.0;
+
+  std::uint64_t commit_hash = 0;
+  LatencyRecorder latency;
+
+  [[nodiscard]] Json to_json() const;
+};
+
+class StreamRunner {
+ public:
+  /// `net` must outlive the runner.
+  StreamRunner(const Network& net, std::unique_ptr<StreamSource> source,
+               std::unique_ptr<OnlineScheduler> scheduler, StreamConfig cfg,
+               EngineOptions engine_opts);
+
+  /// Runs to quiescence: offers until the target/duration is reached, then
+  /// drains every live transaction. Single use.
+  [[nodiscard]] StreamReport run();
+
+ private:
+  void step_once();
+  void maybe_drain_log(Time now);
+
+  const Network& net_;
+  StreamConfig cfg_;
+  std::unique_ptr<StreamSource> source_;
+  std::unique_ptr<OnlineScheduler> scheduler_;
+  std::unique_ptr<SyncEngine> engine_;
+  StreamingRatioTracker ratio_;
+
+  bool offering_ = true;
+  bool done_ = false;
+  std::int64_t active_steps_ = 0;
+  TxnId next_engine_id_ = 0;
+
+  std::int64_t offered_ = 0;
+  std::int64_t shed_ = 0;
+  std::int64_t accepted_ = 0;
+  std::int64_t commits_ = 0;
+  std::int64_t drained_ = 0;
+  std::int64_t peak_committed_log_ = 0;
+  std::int64_t peak_live_ = 0;
+  Time last_drain_ = 0;
+  std::uint64_t commit_hash_ = 1469598103934665603ULL;
+  LatencyRecorder latency_;
+};
+
+/// Builds the full streaming run from a RunSpec whose `stream` spec names
+/// the run shape (Registry::make_stream_config); topology/scheduler/fault
+/// through the usual registry factories, dist-bucket forcing latency
+/// factor >= 2 as everywhere else. `net` must be the spec's topology and
+/// outlive the runner.
+[[nodiscard]] std::unique_ptr<StreamRunner> make_stream_runner(
+    const Network& net, const RunSpec& spec);
+
+}  // namespace dtm

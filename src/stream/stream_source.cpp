@@ -1,0 +1,170 @@
+#include "stream/stream_source.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dtm {
+
+StreamSource::StreamSource(const Network& net, StreamConfig cfg)
+    : net_(net),
+      cfg_(std::move(cfg)),
+      rng_(cfg_.seed),
+      // Distinct stream for the modulating chain: the arrival pattern must
+      // not shift when transaction shape knobs consume more or fewer draws.
+      state_rng_(cfg_.seed * 0x9E3779B97F4A7C15ULL + 0x5851F42D4C957F2DULL) {
+  cfg_.validate();
+  if (cfg_.objects <= 0) cfg_.objects = net.num_nodes();
+  DTM_REQUIRE(cfg_.k <= cfg_.objects,
+              "stream: k=" << cfg_.k << " > objects=" << cfg_.objects);
+  if (cfg_.profile == "steady") profile_ = Profile::kSteady;
+  else if (cfg_.profile == "diurnal") profile_ = Profile::kDiurnal;
+  else if (cfg_.profile == "mmpp") profile_ = Profile::kMmpp;
+  else profile_ = Profile::kAdversary;
+  if (cfg_.zipf > 0.0)
+    zipf_ = std::make_unique<ZipfSampler>(cfg_.objects, cfg_.zipf);
+  // Rotation stride: coprime-ish with small object counts so successive
+  // epochs visit genuinely different hot sets.
+  rotate_stride_ = std::max<std::int32_t>(1, cfg_.objects / 7);
+  if (profile_ == Profile::kMmpp) {
+    mmpp_on_ = false;
+    mmpp_until_ = state_rng_.geometric_gap(
+        1.0 / static_cast<double>(cfg_.dwell_off));
+  }
+  find_next(0);
+}
+
+std::vector<ObjectOrigin> StreamSource::objects() {
+  std::vector<ObjectOrigin> out;
+  out.reserve(static_cast<std::size_t>(cfg_.objects));
+  for (ObjId o = 0; o < cfg_.objects; ++o) {
+    const auto node =
+        static_cast<NodeId>(rng_.uniform_int(0, net_.num_nodes() - 1));
+    out.push_back({o, node, 0});
+  }
+  return out;
+}
+
+void StreamSource::advance_mmpp_to(Time t) {
+  while (t >= mmpp_until_) {
+    mmpp_on_ = !mmpp_on_;
+    const Time dwell = mmpp_on_ ? cfg_.dwell_on : cfg_.dwell_off;
+    mmpp_until_ +=
+        state_rng_.geometric_gap(1.0 / static_cast<double>(dwell));
+  }
+  mmpp_frontier_ = t;
+}
+
+double StreamSource::rate_now(Time t) const {
+  switch (profile_) {
+    case Profile::kSteady:
+    case Profile::kAdversary:
+      return cfg_.rate;
+    case Profile::kDiurnal: {
+      const auto phase = static_cast<double>(t % cfg_.period);
+      const bool high = phase < cfg_.duty * static_cast<double>(cfg_.period);
+      return high ? cfg_.rate : cfg_.rate * cfg_.low_mult;
+    }
+    case Profile::kMmpp:
+      return mmpp_on_ ? cfg_.rate * cfg_.hi_mult : cfg_.rate * cfg_.low_mult;
+  }
+  return cfg_.rate;
+}
+
+void StreamSource::find_next(Time from) {
+  // Walks the step sequence, accumulating fractional offers (or, for the
+  // adversary, injection tokens) until a step releases >= 1 transaction.
+  // Bounded: the accumulator grows by at least rate * low_mult (> 0 for
+  // every admissible config) — or exactly rho for the adversary — per step.
+  Time t = from;
+  while (true) {
+    if (profile_ == Profile::kMmpp) advance_mmpp_to(t);
+    if (profile_ == Profile::kAdversary) {
+      // (rho, b)-adversary: accrue rho per step, release nothing until the
+      // pending budget reaches the burst threshold b, then release it all.
+      // Any T-step window receives <= rho*T + b transactions (the budget
+      // carried into the window is < b), which is exactly the admissible
+      // constraint — with maximally bursty timing.
+      carry_ += cfg_.rate;
+      if (carry_ >= cfg_.burst) {
+        const auto n = static_cast<std::int64_t>(carry_);
+        carry_ -= static_cast<double>(n);
+        next_time_ = t;
+        next_count_ = n;
+        return;
+      }
+    } else {
+      carry_ += rate_now(t);
+      const auto n = static_cast<std::int64_t>(carry_);
+      if (n >= 1) {
+        carry_ -= static_cast<double>(n);
+        next_time_ = t;
+        next_count_ = n;
+        return;
+      }
+    }
+    ++t;
+  }
+}
+
+std::vector<ObjId> StreamSource::sample_objects(Time now) {
+  std::vector<ObjId> out;
+  out.reserve(static_cast<std::size_t>(cfg_.k));
+  if (!zipf_) {
+    auto picks = rng_.sample_distinct(cfg_.objects, cfg_.k);
+    out.assign(picks.begin(), picks.end());
+  } else {
+    // Zipf-skewed distinct sample: rejection with a cap, then uniform fill
+    // (the SyntheticWorkload recipe).
+    std::int32_t tries = 0;
+    while (static_cast<std::int32_t>(out.size()) < cfg_.k &&
+           tries < 64 * cfg_.k) {
+      const ObjId o = zipf_->draw(rng_);
+      if (std::find(out.begin(), out.end(), o) == out.end()) out.push_back(o);
+      ++tries;
+    }
+    while (static_cast<std::int32_t>(out.size()) < cfg_.k) {
+      const auto o = static_cast<ObjId>(rng_.uniform_int(0, cfg_.objects - 1));
+      if (std::find(out.begin(), out.end(), o) == out.end()) out.push_back(o);
+    }
+  }
+  if (cfg_.rotate_every > 0) {
+    // Rotating hotspot: shift the whole draw by the epoch stride. A shift
+    // preserves distinctness and Zipf shape while moving the hot set.
+    const auto epoch = now / cfg_.rotate_every;
+    const auto shift = static_cast<ObjId>(
+        (epoch * rotate_stride_) % cfg_.objects);
+    for (auto& o : out) o = static_cast<ObjId>((o + shift) % cfg_.objects);
+  }
+  return out;
+}
+
+std::vector<Transaction> StreamSource::offers_at(Time now) {
+  std::vector<Transaction> out;
+  if (now < next_time_) return out;
+  DTM_CHECK(now == next_time_,
+            "stream source offer at " << next_time_ << " missed (now " << now
+                                      << ")");
+  out.reserve(static_cast<std::size_t>(next_count_));
+  for (std::int64_t i = 0; i < next_count_; ++i) {
+    Transaction t;
+    t.id = next_id_++;
+    t.node = static_cast<NodeId>(rng_.uniform_int(0, net_.num_nodes() - 1));
+    t.gen_time = now;
+    t.accesses = write_set(sample_objects(now));
+    if (cfg_.write_frac < 1.0) {
+      for (auto& a : t.accesses)
+        if (!rng_.bernoulli(cfg_.write_frac)) a.mode = AccessMode::kRead;
+    }
+    out.push_back(std::move(t));
+  }
+  find_next(now + 1);
+  return out;
+}
+
+std::unique_ptr<StreamSource> make_stream_source(const Network& net,
+                                                 StreamConfig cfg) {
+  return std::make_unique<StreamSource>(net, std::move(cfg));
+}
+
+}  // namespace dtm

@@ -1,0 +1,91 @@
+// StreamSource — arrival-process generators for streaming runs (streaming
+// subsystem; docs/ARCHITECTURE.md §10).
+//
+// Sits on serve's TxnSource seam (same contract: offers indefinitely, no
+// per-transaction history, ids re-stamped by the consumer) but generates
+// the arrival *processes* the streaming experiments study rather than a
+// fixed pacing:
+//
+//   steady    — SyntheticSource's fractional-accumulator pacing at a
+//               constant rate (the control profile).
+//   diurnal   — square-wave rate: high for duty*period steps of each
+//               period, rate*low_mult otherwise. Day/night load.
+//   mmpp      — Markov-modulated on/off process: the rate switches between
+//               rate*hi_mult and rate*low_mult with geometrically
+//               distributed dwell times (a dedicated Rng stream drives the
+//               modulating chain, so the arrival *pattern* is independent
+//               of the transaction-shape stream).
+//   adversary — the (rho, b)-adversary of Busch et al., "Stable Scheduling
+//               in Transactional Memory" (PAPERS.md): injection budget
+//               grows by rho per step but is withheld until at least
+//               `burst` transactions are pending, then released all at
+//               once. Any window of T steps still receives <= rho*T + b
+//               transactions — the admissible-adversary constraint — but
+//               the schedule is the extremal bursty one.
+//
+// All profiles share the transaction-shape machinery: Zipf object hotspots
+// (optionally rotating by a deterministic stride every rotate_every steps,
+// so the hot set drifts across the object space), k distinct objects per
+// transaction, write_frac read/write mix. Fully deterministic per seed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "serve/source.hpp"
+#include "stream/config.hpp"
+#include "util/rng.hpp"
+
+namespace dtm {
+
+class StreamSource final : public TxnSource {
+ public:
+  StreamSource(const Network& net, StreamConfig cfg);
+
+  [[nodiscard]] std::vector<ObjectOrigin> objects() override;
+  [[nodiscard]] std::vector<Transaction> offers_at(Time now) override;
+  [[nodiscard]] Time next_offer_time() const override { return next_time_; }
+  [[nodiscard]] std::string name() const override {
+    return "stream/" + cfg_.profile;
+  }
+
+  /// Instantaneous offered rate at step `t` (advances the MMPP chain as a
+  /// side effect of stepping through time inside find_next; for mmpp this
+  /// is only meaningful at the current frontier).
+  [[nodiscard]] double rate_now(Time t) const;
+
+ private:
+  enum class Profile : std::uint8_t { kSteady, kDiurnal, kMmpp, kAdversary };
+
+  /// Advances the accumulator (and the MMPP phase clock) step by step from
+  /// `from` until a step with >= 1 release is found.
+  void find_next(Time from);
+  void advance_mmpp_to(Time t);
+  [[nodiscard]] std::vector<ObjId> sample_objects(Time now);
+
+  const Network& net_;
+  StreamConfig cfg_;
+  Profile profile_;
+  Rng rng_;        ///< transaction shape (origins, nodes, objects, modes)
+  Rng state_rng_;  ///< MMPP modulating chain — independent stream
+  std::unique_ptr<ZipfSampler> zipf_;
+  std::int32_t rotate_stride_ = 0;  ///< hotspot shift per rotation epoch
+
+  double carry_ = 0.0;  ///< fractional pacing / adversary token budget
+  Time next_time_ = kNoTime;
+  std::int64_t next_count_ = 0;
+  TxnId next_id_ = 0;
+
+  // MMPP phase state: on/off and the step the current dwell expires.
+  bool mmpp_on_ = false;
+  Time mmpp_until_ = 0;
+  Time mmpp_frontier_ = 0;  ///< chain advanced through steps < frontier
+};
+
+/// Builds the configured source for `net` (validates cfg).
+[[nodiscard]] std::unique_ptr<StreamSource> make_stream_source(
+    const Network& net, StreamConfig cfg);
+
+}  // namespace dtm

@@ -1,0 +1,114 @@
+// Tests for the EventClock ring calendar: the timing wheel must answer
+// exactly like the (time, id) min-heap it replaced — same pop order, same
+// next_scheduled answers — across the ring horizon, the overflow heap, and
+// wrap-around.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace dtm {
+namespace {
+
+std::vector<TxnId> pop_at(EventClock& c, Time t) {
+  if (t > c.now()) c.advance_to(t);
+  std::vector<TxnId> out;
+  c.pop_due(out);
+  return out;
+}
+
+TEST(Clock, PopsAscendingIdsWithinStep) {
+  EventClock c;
+  c.schedule(5, 30);
+  c.schedule(5, 10);
+  c.schedule(5, 20);
+  c.schedule(3, 40);
+  EXPECT_EQ(c.next_scheduled(), 3);
+  EXPECT_EQ(pop_at(c, 3), (std::vector<TxnId>{40}));
+  EXPECT_EQ(c.next_scheduled(), 5);
+  EXPECT_EQ(pop_at(c, 5), (std::vector<TxnId>{10, 20, 30}));
+  EXPECT_EQ(c.next_scheduled(), kNoTime);
+  EXPECT_EQ(c.calendar_size(), 0);
+}
+
+TEST(Clock, OverflowBeyondRingHorizon) {
+  EventClock c;
+  const auto horizon = static_cast<Time>(EventClock::kRingSlots);
+  c.schedule(horizon + 100, 1);  // parked in the overflow heap
+  c.schedule(7, 2);              // ring
+  EXPECT_EQ(c.calendar_overflow(), 1);
+  EXPECT_EQ(c.next_scheduled(), 7);
+  EXPECT_EQ(pop_at(c, 7), (std::vector<TxnId>{2}));
+  // The overflow entry is found without any migration pass.
+  EXPECT_EQ(c.next_scheduled(), horizon + 100);
+  EXPECT_EQ(pop_at(c, horizon + 100), (std::vector<TxnId>{1}));
+  EXPECT_EQ(c.calendar_overflow(), 0);
+  EXPECT_EQ(c.calendar_size(), 0);
+}
+
+TEST(Clock, RingAndOverflowDueSameStepMergeInIdOrder) {
+  EventClock c;
+  const auto horizon = static_cast<Time>(EventClock::kRingSlots);
+  const Time due = horizon + 5;
+  c.schedule(due, 9);  // beyond horizon now: overflow
+  c.advance_to(due - 1);
+  c.schedule(due, 3);  // within horizon now: ring
+  c.schedule(due, 12);
+  EXPECT_EQ(c.next_scheduled(), due);
+  // One step's due set sorts ascending by id regardless of which structure
+  // held each entry.
+  EXPECT_EQ(pop_at(c, due), (std::vector<TxnId>{3, 9, 12}));
+}
+
+TEST(Clock, WrapAroundKeepsTimeOrder) {
+  EventClock c;
+  const auto slots = static_cast<Time>(EventClock::kRingSlots);
+  // Fill across a wrap boundary: slot_of(slots - 2) is near the top of the
+  // ring, slot_of(slots + 3) has wrapped to the bottom.
+  c.advance_to(slots - 2);
+  c.schedule(slots + 3, 1);
+  c.schedule(slots - 2, 2);
+  c.schedule(slots, 3);
+  EXPECT_EQ(c.next_scheduled(), slots - 2);
+  EXPECT_EQ(pop_at(c, slots - 2), (std::vector<TxnId>{2}));
+  EXPECT_EQ(c.next_scheduled(), slots);
+  EXPECT_EQ(pop_at(c, slots), (std::vector<TxnId>{3}));
+  EXPECT_EQ(c.next_scheduled(), slots + 3);
+  EXPECT_EQ(pop_at(c, slots + 3), (std::vector<TxnId>{1}));
+}
+
+TEST(Clock, PeakTracksHighWaterMark) {
+  EventClock c;
+  c.schedule(1, 1);
+  c.schedule(2, 2);
+  c.schedule(3, 3);
+  EXPECT_EQ(c.calendar_size(), 3);
+  EXPECT_EQ(c.calendar_peak(), 3);
+  (void)pop_at(c, 1);
+  (void)pop_at(c, 2);
+  EXPECT_EQ(c.calendar_size(), 1);
+  EXPECT_EQ(c.calendar_peak(), 3);
+  c.schedule(4, 4);
+  EXPECT_EQ(c.calendar_peak(), 3);  // never exceeded the old peak
+  c.schedule(5, 5);
+  c.schedule(6, 6);
+  EXPECT_EQ(c.calendar_peak(), 4);
+}
+
+TEST(Clock, SchedulingInThePastIsAnError) {
+  EventClock c;
+  c.advance_to(10);
+  EXPECT_THROW(c.schedule(9, 1), CheckError);
+}
+
+TEST(Clock, EmptyStepsPopNothing) {
+  EventClock c;
+  c.schedule(4, 7);
+  EXPECT_TRUE(pop_at(c, 2).empty());
+  EXPECT_TRUE(pop_at(c, 3).empty());
+  EXPECT_EQ(pop_at(c, 4), (std::vector<TxnId>{7}));
+}
+
+}  // namespace
+}  // namespace dtm

@@ -1,8 +1,11 @@
 // Tests for net/routing: next-hop tables must realize shortest paths.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "net/routing.hpp"
 #include "net/topology.hpp"
+#include "sim/registry.hpp"
 
 namespace dtm {
 namespace {
@@ -142,6 +145,123 @@ TEST(Routing, DisconnectedGraphRejectedAtConstruction) {
   g.add_edge(0, 1, 1);
   g.add_edge(2, 3, 1);
   EXPECT_THROW((void)RoutingTable(g), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Landmark / hierarchical routing
+
+TEST(Landmark, PathsAreValidWalksNoLongerThanReportedDist) {
+  Rng rng(5);
+  const Network net = make_random_connected(40, 60, 4, rng);
+  const LandmarkRouter lr(net.graph);
+  for (NodeId u = 0; u < net.num_nodes(); ++u)
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      const Weight d = lr.dist(u, v);
+      // Never below the true distance (d' is exact or a via-landmark upper
+      // bound), never above the router's own diameter bound.
+      EXPECT_GE(d, net.dist(u, v));
+      EXPECT_LE(d, lr.diameter_bound());
+      const auto p = lr.path(u, v);
+      ASSERT_FALSE(p.empty());
+      EXPECT_EQ(p.front(), u);
+      EXPECT_EQ(p.back(), v);
+      // path_weight asserts every consecutive pair is adjacent; the
+      // realized walk must not exceed the reported distance.
+      EXPECT_LE(lr.path_weight(p), d);
+      if (u != v) {
+        EXPECT_EQ(lr.next_hop(u, v), p[1]);
+      }
+    }
+}
+
+TEST(Landmark, SameClusterPairsAnswerExactly) {
+  Rng rng(9);
+  const Network net = make_random_connected(30, 45, 3, rng);
+  const LandmarkRouter lr(net.graph);
+  std::int64_t same_cluster = 0;
+  for (NodeId u = 0; u < net.num_nodes(); ++u)
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      if (lr.home(u) != lr.home(v)) continue;
+      ++same_cluster;
+      EXPECT_EQ(lr.dist(u, v), net.dist(u, v));
+    }
+  EXPECT_GT(same_cluster, 0);
+}
+
+TEST(Landmark, DeterministicAcrossConstructions) {
+  Rng rng(13);
+  const Network net = make_random_connected(25, 40, 4, rng);
+  const LandmarkRouter a(net.graph);
+  const LandmarkRouter b(net.graph);
+  ASSERT_EQ(a.num_landmarks(), b.num_landmarks());
+  for (std::int32_t l = 0; l < a.num_landmarks(); ++l)
+    EXPECT_EQ(a.landmark(l), b.landmark(l));
+  for (NodeId u = 0; u < net.num_nodes(); ++u)
+    for (NodeId v = 0; v < net.num_nodes(); ++v)
+      EXPECT_EQ(a.dist(u, v), b.dist(u, v));
+}
+
+TEST(Landmark, AllNodesLandmarksIsExactEverywhere) {
+  const Network net = make_line(6);
+  LandmarkOptions opts;
+  opts.num_landmarks = 6;  // every node its own cluster seed
+  const LandmarkRouter lr(net.graph, opts);
+  for (NodeId u = 0; u < 6; ++u)
+    for (NodeId v = 0; v < 6; ++v)
+      EXPECT_EQ(lr.dist(u, v), net.dist(u, v));
+}
+
+TEST(Landmark, VerifyOracleSweepsAndChecksQueries) {
+  const Network net = make_grid({4, 4});
+  auto graph = std::make_shared<Graph>(net.graph);
+  LandmarkOracle oracle(graph, {}, net.oracle, /*max_stretch=*/4.0);
+  // The construction sweep ran (all pairs on a graph this small).
+  EXPECT_TRUE(oracle.verifying());
+  EXPECT_GT(oracle.verify_stats().path_checks, 0);
+  EXPECT_LE(oracle.verify_stats().max_stretch_seen, 4.0);
+  const auto before = oracle.verify_stats().dist_checks;
+  for (NodeId u = 0; u < 16; ++u)
+    for (NodeId v = 0; v < 16; ++v) {
+      const Weight d = oracle.dist(u, v);
+      EXPECT_GE(d, net.dist(u, v));
+      EXPECT_LE(d, oracle.diameter());
+    }
+  EXPECT_EQ(oracle.verify_stats().dist_checks, before + 16 * 16);
+}
+
+TEST(Landmark, VerifyRejectsImpossibleStretchBound) {
+  // A stretch bound below what the landmarks achieve must abort loudly at
+  // construction, not silently pass wrong distances downstream.
+  const Network net = make_line(12);
+  auto graph = std::make_shared<Graph>(net.graph);
+  LandmarkOptions opts;
+  opts.num_landmarks = 2;
+  EXPECT_THROW(
+      (void)LandmarkOracle(graph, opts, net.oracle, /*max_stretch=*/1.0),
+      CheckError);
+}
+
+TEST(Landmark, RegistryRoutingKnobBuildsEachMode) {
+  const Network exact = Registry::make_network(parse_spec("grid:dims=4x4"));
+  const Network verify = Registry::make_network(
+      parse_spec("grid:dims=4x4,routing=verify,stretch=4"));
+  EXPECT_EQ(verify.build_params.at("routing"), "verify");
+  const auto* lm = dynamic_cast<const LandmarkOracle*>(verify.oracle.get());
+  ASSERT_NE(lm, nullptr);
+  EXPECT_TRUE(lm->verifying());
+  for (NodeId u = 0; u < 16; ++u)
+    for (NodeId v = 0; v < 16; ++v)
+      EXPECT_GE(verify.dist(u, v), exact.dist(u, v));
+
+  // Landmark mode on a random topology never builds the O(n^2) APSP; the
+  // oracle is the landmark router alone.
+  const Network lmk = Registry::make_network(
+      parse_spec("random:n=50,extra=70,maxw=3,routing=landmark"));
+  EXPECT_EQ(lmk.build_params.at("routing"), "landmark");
+  const auto* o = dynamic_cast<const LandmarkOracle*>(lmk.oracle.get());
+  ASSERT_NE(o, nullptr);
+  EXPECT_FALSE(o->verifying());
+  EXPECT_GT(o->diameter(), 0);
 }
 
 }  // namespace

@@ -425,5 +425,119 @@ TEST(ServeSpec, UnknownKnobsAndBadValuesHardError) {
       CheckError);  // trace source needs trace=PATH
 }
 
+// ---------------------------------------------------------------------------
+// TraceSource looping-replay edge cases
+
+TEST(TraceSource, EmptyTraceIsRejected) {
+  EXPECT_THROW((void)TraceSource({{0, 0, 0}}, {}, 0), CheckError);
+}
+
+TEST(TraceSource, SingleTxnLoopsAtThePeriod) {
+  Transaction t;
+  t.id = 99;
+  t.node = 0;
+  t.gen_time = 3;
+  t.accesses = write_set({0});
+  TraceSource src({{0, 0, 0}}, {t}, /*loop_period=*/5);
+  // Offers land at 3, 8, 13, ... — the recorded gen_time shifted by one
+  // period per cycle — with fresh monotone ids each cycle.
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    const Time due = 3 + 5 * cycle;
+    EXPECT_EQ(src.next_offer_time(), due);
+    const auto offers = src.offers_at(due);
+    ASSERT_EQ(offers.size(), 1u);
+    EXPECT_EQ(offers[0].gen_time, due);
+    EXPECT_EQ(offers[0].id, cycle);
+  }
+}
+
+TEST(TraceSource, WrapAroundPacingPreservesGaps) {
+  std::vector<Transaction> txns;
+  for (const Time g : {1, 4, 6}) {
+    Transaction t;
+    t.id = g;
+    t.node = 0;
+    t.gen_time = g;
+    t.accesses = write_set({0});
+    txns.push_back(std::move(t));
+  }
+  TraceSource src({{0, 0, 0}}, txns, /*loop_period=*/8);
+  // Two full cycles: 1, 4, 6, then (shifted by 8) 9, 12, 14. The gap
+  // across the wrap (6 -> 9) is period - last + first, not a restart at 0.
+  std::vector<Time> seen;
+  for (int i = 0; i < 6; ++i) {
+    const Time due = src.next_offer_time();
+    const auto offers = src.offers_at(due);
+    ASSERT_EQ(offers.size(), 1u);
+    seen.push_back(due);
+  }
+  EXPECT_EQ(seen, (std::vector<Time>{1, 4, 6, 9, 12, 14}));
+}
+
+TEST(TraceSource, NonLoopingTraceExhausts) {
+  Transaction t;
+  t.id = 0;
+  t.node = 0;
+  t.gen_time = 2;
+  t.accesses = write_set({0});
+  TraceSource src({{0, 0, 0}}, {t}, /*loop_period=*/0);
+  EXPECT_EQ(src.next_offer_time(), 2);
+  EXPECT_EQ(src.offers_at(2).size(), 1u);
+  EXPECT_EQ(src.next_offer_time(), kNoTime);
+}
+
+TEST(TraceSource, LoopPeriodMustClearLastArrival) {
+  Transaction t;
+  t.id = 0;
+  t.node = 0;
+  t.gen_time = 7;
+  t.accesses = write_set({0});
+  // A period <= the last recorded arrival would replay time backwards.
+  EXPECT_THROW((void)TraceSource({{0, 0, 0}}, {t}, /*loop_period=*/7),
+               CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyRecorder window rollover
+
+TEST(LatencyRecorder, ResetClearsEverything) {
+  LatencyRecorder r;
+  for (std::int64_t v : {3, 900, 12, 45000}) r.record(v);
+  ASSERT_EQ(r.count(), 4);
+  r.reset();
+  EXPECT_EQ(r.count(), 0);
+  EXPECT_EQ(r.min(), 0);
+  EXPECT_EQ(r.max(), 0);
+  EXPECT_EQ(r.mean(), 0.0);
+  EXPECT_EQ(r.quantile(0.99), 0);
+  // A reset recorder records like a fresh one (window rollover reuses the
+  // same object every window).
+  r.record(8);
+  EXPECT_EQ(r.count(), 1);
+  EXPECT_EQ(r.quantile(0.5), 8);
+}
+
+TEST(LatencyRecorder, WindowRolloverMergesIntoCumulative) {
+  // The serve pattern: per-window recorder merged into the cumulative one,
+  // then reset. Cumulative must equal one recorder fed every sample.
+  LatencyRecorder window, cumulative, reference;
+  Rng rng(21);
+  for (int w = 0; w < 5; ++w) {
+    for (int i = 0; i < 200; ++i) {
+      const auto v = rng.uniform_int(0, 10000);
+      window.record(v);
+      reference.record(v);
+    }
+    cumulative.merge(window);
+    window.reset();
+  }
+  EXPECT_EQ(window.count(), 0);
+  EXPECT_EQ(cumulative.count(), reference.count());
+  EXPECT_EQ(cumulative.min(), reference.min());
+  EXPECT_EQ(cumulative.max(), reference.max());
+  for (const double q : {0.5, 0.95, 0.99, 0.999})
+    EXPECT_EQ(cumulative.quantile(q), reference.quantile(q));
+}
+
 }  // namespace
 }  // namespace dtm
