@@ -31,6 +31,15 @@ struct BenchCli {
   bool trials_set = false;
   std::int32_t threads = 1;
   bool threads_set = false;
+  /// Steps excluded from steady-state measurements (--warmup). Benches that
+  /// measure allocs/step or steps/sec call warmup_or(default); each keeps
+  /// its own default, so behavior is unchanged unless the flag is passed.
+  std::int64_t warmup = 0;
+  bool warmup_set = false;
+
+  [[nodiscard]] std::int64_t warmup_or(std::int64_t def) const {
+    return warmup_set ? warmup : def;
+  }
 };
 
 inline BenchCli& bench_cli() {
@@ -49,6 +58,8 @@ inline bool bench_init(Cli& cli, int argc, char** argv) {
   bench_cli().trials = cli.trials(0);
   bench_cli().threads_set = cli.threads_set();
   bench_cli().threads = cli.threads(1);
+  bench_cli().warmup_set = cli.warmup_set();
+  bench_cli().warmup = cli.warmup(0);
   return true;
 }
 

@@ -6,6 +6,20 @@
 // from u to v arrives at t + dist(u, v) and is handed to the recipient the
 // first time the owner drains the bus at or after that step.
 //
+// The pending queue is a util/timing_wheel.hpp ring wheel (shared with the
+// EventClock calendar — ARCHITECTURE.md §11): insert and pop are O(1) slot
+// appends instead of heap percolation, and slot storage plus the caller's
+// drain_into scratch retain capacity, so the steady-state send → drain loop
+// performs zero heap allocations (the DTM_ALLOC_TRACK pins assert this).
+// Pop order is byte-identical to the old (deliver, seq) priority queue —
+// the wheel drains in (time, insertion) order and seq is the insertion
+// counter. The one new constraint the wheel adds: deliveries cannot be
+// scheduled before a time the bus has already drained past. The protocol
+// always satisfies this (sends happen at the current step, drains are
+// monotone), and deliver_at enforces it. ReferenceHeapBus below preserves
+// the original heap implementation as the equivalence-fuzz oracle and the
+// before/after microbench baseline.
+//
 // FaultyBus is the chaos decorator: it keeps the same queue/drain machinery
 // but perturbs each send according to a FaultPlan — dropping, duplicating,
 // jittering, adding per-link degradation, and deferring traffic touching a
@@ -23,6 +37,8 @@
 #include "core/types.hpp"
 #include "fault/plan.hpp"
 #include "net/graph.hpp"
+#include "util/small_vector.hpp"
+#include "util/timing_wheel.hpp"
 
 namespace dtm {
 
@@ -43,6 +59,11 @@ struct ProbeMsg {
   std::int32_t epoch = 0;
 };
 
+/// A reply's conflicting-user list. Inline capacity covers the typical
+/// conflict degree, so building and moving a reply allocates nothing; the
+/// dist-bucket recycles spilled buffers through a small pool.
+using ReplyUsers = SmallVector<std::pair<TxnId, NodeId>, 8>;
+
 /// Reply from the node currently holding (or about to receive) the object:
 /// the object's position and the live transactions known to use it
 /// ("the object carries the information of all the transaction locations
@@ -52,7 +73,7 @@ struct ReplyMsg {
   ObjId object = kNoObj;
   NodeId object_node = kNoNode;  ///< where the object is / will next rest
   Time object_free_at = kNoTime;  ///< when it is there
-  std::vector<std::pair<TxnId, NodeId>> users;  ///< conflicting txns
+  ReplyUsers users;  ///< conflicting txns
   std::int32_t epoch = 0;  ///< echo of the answered probe's epoch
 };
 
@@ -82,8 +103,11 @@ class MessageBus : public EventSource {
   /// FaultyBus overrides this with the chaos-perturbed delivery.
   virtual void send(NodeId from, NodeId to, Time now, Payload payload);
 
-  /// Pops every message with deliver <= now, in (deliver, seq) order.
-  [[nodiscard]] std::vector<Message> drain(Time now);
+  /// Pops every message with deliver <= now, in (deliver, seq) order, into
+  /// `out` (cleared first, capacity kept — callers pass persistent scratch
+  /// so the steady state allocates nothing). Drain times must be monotone
+  /// non-decreasing over the bus's lifetime.
+  void drain_into(Time now, std::vector<Message>& out);
 
   /// Earliest pending delivery, kNoTime if none.
   [[nodiscard]] Time next_delivery() const;
@@ -97,12 +121,42 @@ class MessageBus : public EventSource {
   [[nodiscard]] std::int64_t total_distance() const { return distance_; }
 
  protected:
-  /// Enqueues one delivery at an explicit time (>= sent), charging stats.
-  /// The fault decorator routes every surviving copy through here.
+  /// Enqueues one delivery at an explicit time (>= sent, and not before any
+  /// time already drained past), charging stats. The fault decorator routes
+  /// every surviving copy through here.
   void deliver_at(NodeId from, NodeId to, Time sent, Time deliver,
                   Payload payload);
 
   [[nodiscard]] const DistanceOracle& oracle() const { return *oracle_; }
+
+ private:
+  const DistanceOracle* oracle_;
+  TimingWheel<Message> wheel_;
+  std::int64_t seq_ = 0;
+  std::int64_t sent_ = 0;
+  std::int64_t distance_ = 0;
+};
+
+/// The pre-wheel MessageBus, frozen: an allocating (deliver, seq)
+/// std::priority_queue popped one message at a time. Kept as the oracle for
+/// the wheel-equivalence fuzz suite and as the "before" side of
+/// bench_memory's bus microbench — not used by any scheduler.
+class ReferenceHeapBus : public EventSource {
+ public:
+  explicit ReferenceHeapBus(const DistanceOracle& oracle) : oracle_(&oracle) {}
+  ~ReferenceHeapBus() override = default;
+
+  void send(NodeId from, NodeId to, Time now, Payload payload);
+  void drain_into(Time now, std::vector<Message>& out);
+  [[nodiscard]] Time next_delivery() const;
+  [[nodiscard]] Time next_event_time() const override {
+    return next_delivery();
+  }
+  [[nodiscard]] std::int64_t messages_sent() const { return sent_; }
+
+ protected:
+  void deliver_at(NodeId from, NodeId to, Time sent, Time deliver,
+                  Payload payload);
 
  private:
   struct Later {
@@ -116,7 +170,6 @@ class MessageBus : public EventSource {
   std::priority_queue<Message, std::vector<Message>, Later> queue_;
   std::int64_t seq_ = 0;
   std::int64_t sent_ = 0;
-  std::int64_t distance_ = 0;
 };
 
 /// What the decorator did to the traffic, for the chaos bench and tests.
@@ -127,6 +180,10 @@ struct FaultBusStats {
   std::int64_t degraded = 0;    ///< deliveries over a degraded link
   std::int64_t jitter_total = 0;  ///< sum of random extra latency
   std::int64_t pause_deferred = 0;  ///< deliveries held by a pause window
+  /// Heap payload bytes duplication would have deep-copied and the
+  /// storage-sharing optimization instead kept with the first-processed
+  /// copy (ReplyMsg user lists; trivially copyable payloads contribute 0).
+  std::int64_t bytes_duplicated = 0;
 };
 
 class FaultyBus final : public MessageBus {

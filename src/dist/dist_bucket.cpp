@@ -172,9 +172,10 @@ void DistributedBucketScheduler::start_probe_discovery(
                               os.in_transit() ? os.dest() : os.at());
       trails_.observe(os, now);
     }
-    if (!d.awaiting.insert(acc.obj).second) continue;
+    if (d.awaits(acc.obj)) continue;
+    d.awaiting.push_back(acc.obj);
     ++stats_.probes;
-    d.epoch[acc.obj] = 0;
+    d.epoch.emplace_back(acc.obj, 0);
     send_probe(view, t.id, t.node, acc.obj, 0);
   }
   discovering_[t.id] = std::move(d);
@@ -230,11 +231,13 @@ void DistributedBucketScheduler::service_timeouts(const SystemView& view) {
     const auto it = discovering_.find(pt.txn);
     if (it == discovering_.end()) continue;
     Discovery& d = it->second;
-    if (d.awaiting.count(pt.obj) == 0) continue;
-    if (d.epoch.at(pt.obj) != pt.epoch) continue;
+    if (!d.awaits(pt.obj)) continue;
+    std::int32_t* ep = d.epoch_of(pt.obj);
+    DTM_CHECK(ep != nullptr, "awaited object " << pt.obj << " has no epoch");
+    if (*ep != pt.epoch) continue;
     ++stats_.probe_timeouts;
     const std::int32_t next_epoch = pt.epoch + 1;
-    d.epoch[pt.obj] = next_epoch;
+    *ep = next_epoch;
     ++stats_.reprobes;
     send_probe(view, pt.txn, d.node, pt.obj, next_epoch);
   }
@@ -259,10 +262,12 @@ void DistributedBucketScheduler::pump_messages(const SystemView& view,
   const Time now = view.now();
   // Multiple drain rounds: a probe answered locally can produce a reply
   // and a report within the same step when distances are zero.
+  // drain_scratch_ persists across steps so the steady-state loop reuses
+  // its capacity; sends during iteration go to the bus, never the scratch.
   for (int round = 0; round < 8; ++round) {
-    const auto msgs = bus_->drain(now);
-    if (msgs.empty()) break;
-    for (const Message& m : msgs) {
+    bus_->drain_into(now, drain_scratch_);
+    if (drain_scratch_.empty()) break;
+    for (Message& m : drain_scratch_) {
       if (const auto* probe = std::get_if<ProbeMsg>(&m.payload)) {
         const auto hop =
             trails_.lookup(probe->object, m.to, now, probe->min_depart);
@@ -294,32 +299,38 @@ void DistributedBucketScheduler::pump_messages(const SystemView& view,
         reply.object_free_at =
             os.in_transit() ? os.arrive_time() : now;
         reply.epoch = probe->epoch;
+        if (!reply_pool_.empty()) {
+          // Revive a pooled spill buffer (move-assign reuses its capacity).
+          reply.users = std::move(reply_pool_.back());
+          reply_pool_.pop_back();
+          reply.users.clear();
+        }
         for (const TxnId uid : view.live_users_of(probe->object)) {
           if (uid == probe->requester) continue;
           reply.users.emplace_back(uid, view.txn(uid).node);
         }
         bus_->send(m.to, probe->requester_node, now, std::move(reply));
-      } else if (const auto* reply = std::get_if<ReplyMsg>(&m.payload)) {
+      } else if (auto* reply = std::get_if<ReplyMsg>(&m.payload)) {
         // Each object is answered at most once per discovery: replies for a
         // finished discovery or an already-answered object (duplicates, or
         // multiple epochs racing) are counted and dropped. Any epoch's
         // reply is an acceptable answer — it carries a genuine position
         // observation — so the first to arrive wins.
         const auto it = discovering_.find(reply->requester);
-        if (it == discovering_.end()) {
+        if (it == discovering_.end() || !it->second.awaits(reply->object)) {
           ++stats_.dup_replies;
-          continue;
+        } else {
+          Discovery& d = it->second;
+          d.y = std::max(d.y, view.oracle().dist(d.node, reply->object_node));
+          for (const auto& [uid, unode] : reply->users)
+            d.y = std::max(d.y, view.oracle().dist(d.node, unode));
+          d.retire(reply->object);
+          if (d.awaiting.empty()) finish_discovery(view, reply->requester);
         }
-        Discovery& d = it->second;
-        if (d.awaiting.count(reply->object) == 0) {
-          ++stats_.dup_replies;
-          continue;
-        }
-        d.y = std::max(d.y, view.oracle().dist(d.node, reply->object_node));
-        for (const auto& [uid, unode] : reply->users)
-          d.y = std::max(d.y, view.oracle().dist(d.node, unode));
-        d.awaiting.erase(reply->object);
-        if (d.awaiting.empty()) finish_discovery(view, reply->requester);
+        // Handled either way: park a spilled user list for the next reply
+        // built here (bounded pool; inline lists need no recycling).
+        if (reply->users.spilled() && reply_pool_.size() < 16)
+          reply_pool_.push_back(std::move(reply->users));
       } else if (const auto* report = std::get_if<ReportMsg>(&m.payload)) {
         // Delivered at the leader: queue for insertion this step (the
         // drain in on_step discards it if the txn is already placed).
@@ -337,8 +348,9 @@ void DistributedBucketScheduler::pump_messages(const SystemView& view,
 void DistributedBucketScheduler::finish_discovery(const SystemView& view,
                                                   TxnId txn) {
   const Time now = view.now();
-  const Discovery d = discovering_.at(txn);
-  discovering_.erase(txn);
+  const auto node = discovering_.extract(txn);
+  DTM_REQUIRE(!node.empty(), "finish_discovery for unknown txn " << txn);
+  const Discovery& d = node.mapped();
   const std::int32_t layer = cover_.lowest_layer_covering(d.y);
   const ClusterRef home = cover_.home_cluster(d.node, layer);
   const NodeId leader = cover_.cluster(home).leader;

@@ -38,6 +38,7 @@
 #include "dist/tracking.hpp"
 #include "net/sparse_cover.hpp"
 #include "net/topology.hpp"
+#include "util/small_vector.hpp"
 
 namespace dtm {
 
@@ -204,16 +205,38 @@ class DistributedBucketScheduler final : public OnlineScheduler {
   /// Timeout deadline for a message (re)try number `attempt` issued at `now`.
   [[nodiscard]] Time retry_deadline(Time now, std::int32_t attempt) const;
 
-  /// Per-transaction discovery progress (message mode).
+  /// Per-transaction discovery progress (message mode). The per-object
+  /// collections are inline SmallVectors sized for k (transactions touch a
+  /// handful of objects), membership-tested and erased but never iterated
+  /// in a behavior-visible order — so swapping the old set/map for flat
+  /// storage changes no outcome, only the allocation count.
   struct Discovery {
     NodeId node = kNoNode;
     Time started = kNoTime;
-    std::set<ObjId> awaiting;
+    SmallVector<ObjId, 8> awaiting;
     Weight y = 0;  ///< max object / conflicting-transaction distance
     /// Current probe generation per object (resilient mode): replies from
     /// older generations are accepted (their info is still a valid position
     /// observation), but each object is answered at most once.
-    std::map<ObjId, std::int32_t> epoch;
+    SmallVector<std::pair<ObjId, std::int32_t>, 8> epoch;
+
+    [[nodiscard]] bool awaits(ObjId o) const {
+      for (const ObjId a : awaiting)
+        if (a == o) return true;
+      return false;
+    }
+    void retire(ObjId o) {
+      for (ObjId* it = awaiting.begin(); it != awaiting.end(); ++it)
+        if (*it == o) {
+          awaiting.erase(it);
+          return;
+        }
+    }
+    [[nodiscard]] std::int32_t* epoch_of(ObjId o) {
+      for (auto& [obj, ep] : epoch)
+        if (obj == o) return &ep;
+      return nullptr;
+    }
   };
 
   /// Armed when a probe is sent; fires a re-probe if the reply has not
@@ -262,6 +285,13 @@ class DistributedBucketScheduler final : public OnlineScheduler {
   ObjectTrailDirectory trails_;
   std::set<ObjId> tracked_;
   std::map<TxnId, Discovery> discovering_;
+  /// Persistent pump_messages scratch: drain_into clears it but keeps its
+  /// capacity, so the steady-state send → drain loop allocates nothing
+  /// (the DTM_ALLOC_TRACK pins assert this).
+  std::vector<Message> drain_scratch_;
+  /// Recycled spill buffers for ReplyMsg user lists (the inline capacity
+  /// covers typical conflict degrees; only spilled buffers are pooled).
+  std::vector<ReplyUsers> reply_pool_;
   std::priority_queue<PendingReport, std::vector<PendingReport>,
                       std::greater<>>
       reports_;

@@ -7,6 +7,7 @@
 #include "dist/dist_bucket.hpp"
 #include "net/routing.hpp"
 #include "sim/io.hpp"
+#include "util/alloc.hpp"
 #include "util/check.hpp"
 
 namespace dtm {
@@ -65,6 +66,7 @@ Json fault_bus_json(const FaultBusStats* s) {
     o.emplace("degraded", Json(s->degraded));
     o.emplace("jitter_total", Json(s->jitter_total));
     o.emplace("pause_deferred", Json(s->pause_deferred));
+    o.emplace("bytes_duplicated", Json(s->bytes_duplicated));
   }
   return Json(std::move(o));
 }
@@ -177,6 +179,17 @@ void DtmServer::register_metrics() {
     o.emplace("live", Json(engine_->num_live()));
     o.emplace("committed_log",
               Json(static_cast<std::int64_t>(engine_->committed().size())));
+    return Json(std::move(o));
+  });
+  // Heap-allocation counters (process-wide). All zeros unless the build
+  // was configured with -DDTM_ALLOC_TRACK=ON — "tracking" says which.
+  metrics_.add("alloc", [] {
+    Json::Object o;
+    o.emplace("tracking", Json(alloc_tracking_enabled()));
+    const AllocCounters g = global_alloc_counters();
+    o.emplace("allocs", Json(g.allocs));
+    o.emplace("frees", Json(g.frees));
+    o.emplace("bytes", Json(g.bytes));
     return Json(std::move(o));
   });
   // Routing: exact oracles have no live counters; landmark/verify oracles

@@ -26,7 +26,9 @@ void Cli::print_usage() const {
             << "  --list         enumerate registered components\n"
             << "  --seed N       base RNG seed override\n"
             << "  --trials N     trials per averaged data point\n"
-            << "  --threads N    worker threads (0 = all hardware threads)\n";
+            << "  --threads N    worker threads (0 = all hardware threads)\n"
+            << "  --warmup N     steps excluded from steady-state "
+               "measurements\n";
   for (const auto& f : flags_)
     std::cout << "  --" << f.name << (f.value ? " V" : "  ")
               << "   " << f.help << "\n";
@@ -84,6 +86,13 @@ bool Cli::parse(int argc, char** argv) {
       DTM_REQUIRE(threads_ >= 0 && threads_ <= 1024,
                   "" << program_ << ": --threads must be in [0, 1024], got "
                      << threads_);
+      continue;
+    }
+    if (arg == "--warmup") {
+      warmup_ = std::stoll(value_of(arg));
+      warmup_set_ = true;
+      DTM_REQUIRE(warmup_ >= 0,
+                  "" << program_ << ": --warmup must be >= 0");
       continue;
     }
     bool matched = false;

@@ -7,6 +7,7 @@
 //   --seed N          base RNG seed override
 //   --trials N        trial-count override for averaged benches
 //   --threads N       worker threads (0 = all hardware threads)
+//   --warmup N        steps excluded from steady-state measurements
 // — plus whatever flags the binary registers. Unknown flags are hard
 // errors: a typo'd flag aborts instead of silently running defaults.
 #pragma once
@@ -47,6 +48,14 @@ class Cli {
   [[nodiscard]] std::int32_t threads(std::int32_t def) const {
     return threads_set_ ? threads_ : def;
   }
+  [[nodiscard]] bool warmup_set() const { return warmup_set_; }
+  /// Warmup steps excluded from steady-state measurements (allocs/step,
+  /// steps/sec): caches, pools, and scratch capacities fill during warmup.
+  /// Each bench keeps its own default, so 0-warmup behavior is unchanged
+  /// unless the flag is passed.
+  [[nodiscard]] std::int64_t warmup(std::int64_t def) const {
+    return warmup_set_ ? warmup_ : def;
+  }
 
   void print_usage() const;
   /// The shared --list output: every registered component, one per line.
@@ -69,6 +78,8 @@ class Cli {
   bool trials_set_ = false;
   std::int32_t threads_ = 1;
   bool threads_set_ = false;
+  std::int64_t warmup_ = 0;
+  bool warmup_set_ = false;
 };
 
 }  // namespace dtm

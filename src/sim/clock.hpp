@@ -8,29 +8,19 @@
 // the distributed protocol's MessageBus) — so no layer special-cases time
 // skips.
 //
-// The calendar is a ring-buffered timing wheel (streaming runs schedule and
-// fire millions of entries, so O(log n) heap percolation and its pointer
-// chasing were the dominant per-entry cost): kRingSlots buckets cover the
-// near future [now, now + kRingSlots); an entry at time t lives in bucket
-// t mod kRingSlots, so insert and pop are O(1) array appends. Entries
-// beyond the horizon go to a small overflow min-heap and are popped from
-// there when due (no migration pass needed: pop_due and next_scheduled
-// consult both structures). Two invariants make the wheel exact:
-//   - nothing is scheduled in the past (the engine enforces exec >= now),
-//     and nothing is missed (pop_due asserts), so every resident ring entry
-//     has time in [now, now + kRingSlots) — each bucket holds exactly ONE
-//     distinct time and needs no per-entry time field;
-//   - pop_due sorts each step's due ids ascending, reproducing the old
-//     heap's deterministic (time, id) order byte-for-byte — all golden
-//     commit-sequence pins hold across the swap.
-// A 64-bit occupancy bitmap over the slots makes next_scheduled() a scan of
-// at most kRingSlots/64 + 1 words. calendar_size()/calendar_peak() expose
-// occupancy for the bounded-memory evidence streaming benches record.
+// The calendar is a util/timing_wheel.hpp ring wheel (streaming runs
+// schedule and fire millions of entries, so O(log n) heap percolation and
+// its pointer chasing were the dominant per-entry cost). The wheel shape
+// was proven here in PR 9 and is now shared with the distributed protocol's
+// MessageBus; see the wheel header for the exactness invariants. pop_due
+// sorts each step's due ids ascending, reproducing the old heap's
+// deterministic (time, id) order byte-for-byte — all golden
+// commit-sequence pins hold across the extraction.
+// calendar_size()/calendar_peak() expose occupancy for the bounded-memory
+// evidence streaming benches record.
 #pragma once
 
 #include <algorithm>
-#include <array>
-#include <bit>
 #include <cstdint>
 #include <initializer_list>
 #include <queue>
@@ -41,32 +31,38 @@
 #include "core/event_source.hpp"
 #include "core/types.hpp"
 #include "util/check.hpp"
+#include "util/timing_wheel.hpp"
 
 namespace dtm {
 
 class EventClock {
  public:
   /// (time, id) min-heap with deterministic (time, id) tie-breaks — shared
-  /// shape for the calendar overflow here and the per-object heaps in the
-  /// store.
+  /// shape for the per-object scheduled-user heaps in the store and the
+  /// transport's settle queue.
   template <typename Id>
   using MinHeap =
       std::priority_queue<std::pair<Time, Id>,
                           std::vector<std::pair<Time, Id>>, std::greater<>>;
 
   static constexpr std::size_t kRingBits = 10;
-  static constexpr std::size_t kRingSlots = std::size_t{1} << kRingBits;
+  static constexpr std::size_t kRingSlots = TimingWheel<TxnId, kRingBits>::kSlots;
 
   [[nodiscard]] Time now() const { return now_; }
 
   /// Advances by one step (the end of finish_step).
-  void tick() { now_ += 1; }
+  void tick() {
+    now_ += 1;
+    wheel_.advance_to(now_);
+  }
 
   /// Fast-forwards to `t`; callers must not skip past due executions (the
-  /// engine guards with its own next_exec_due cross-check).
+  /// engine guards with its own next_exec_due cross-check, and the wheel
+  /// refuses to skip a resident entry).
   void advance_to(Time t) {
     DTM_REQUIRE(t >= now_, "advance_to(" << t << ") before now " << now_);
     now_ = t;
+    wheel_.advance_to(t);
   }
 
   // ---- Execution calendar (kCalendar / kVerify bookkeeping) ----
@@ -76,60 +72,34 @@ class EventClock {
   void schedule(Time exec, TxnId txn) {
     DTM_REQUIRE(exec >= now_,
                 "schedule(" << exec << ") in the past (now " << now_ << ")");
-    if (exec - now_ < static_cast<Time>(kRingSlots)) {
-      const auto s = slot_of(exec);
-      ring_[s].push_back(txn);
-      occ_[s >> 6] |= std::uint64_t{1} << (s & 63);
-    } else {
-      overflow_.emplace(exec, txn);
-    }
-    ++size_;
-    peak_ = std::max(peak_, size_);
+    wheel_.schedule(exec, txn);
   }
 
   /// Earliest scheduled execution, kNoTime if none. O(kRingSlots / 64).
-  [[nodiscard]] Time next_scheduled() const {
-    const Time ring = ring_next_time();
-    const Time over = overflow_.empty() ? kNoTime : overflow_.top().first;
-    return merge(ring, over);
-  }
+  [[nodiscard]] Time next_scheduled() const { return wheel_.next_time(); }
 
   /// Pops every calendar entry due exactly now into `out` (ascending id
   /// order for equal times — the order the scan path derives from its
   /// sorted live map) and asserts nothing was missed.
   void pop_due(std::vector<TxnId>& out) {
-    const Time next = next_scheduled();
+    const Time next = wheel_.next_time();
     if (next != kNoTime)
       DTM_CHECK(next >= now_, "calendar entry missed its execution step "
                                   << next << " (now " << now_ << ")");
     const std::size_t base = out.size();
-    const auto s = slot_of(now_);
-    if ((occ_[s >> 6] >> (s & 63)) & 1u) {
-      // Ring invariant: every resident entry's time is in
-      // [now, now + kRingSlots), so this bucket holds exactly the entries
-      // due now.
-      auto& bucket = ring_[s];
-      out.insert(out.end(), bucket.begin(), bucket.end());
-      bucket.clear();
-      occ_[s >> 6] &= ~(std::uint64_t{1} << (s & 63));
-    }
-    while (!overflow_.empty() && overflow_.top().first == now_) {
-      out.push_back(overflow_.top().second);
-      overflow_.pop();
-    }
+    wheel_.drain_until(now_, out);
     std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end());
-    size_ -= static_cast<std::int64_t>(out.size() - base);
   }
 
   // ---- Calendar introspection (streaming bounded-memory evidence) ----
 
   /// Entries currently scheduled (ring + overflow).
-  [[nodiscard]] std::int64_t calendar_size() const { return size_; }
+  [[nodiscard]] std::int64_t calendar_size() const { return wheel_.size(); }
   /// High-water mark of calendar_size() over the clock's lifetime.
-  [[nodiscard]] std::int64_t calendar_peak() const { return peak_; }
+  [[nodiscard]] std::int64_t calendar_peak() const { return wheel_.peak(); }
   /// Entries parked beyond the ring horizon.
   [[nodiscard]] std::int64_t calendar_overflow() const {
-    return static_cast<std::int64_t>(overflow_.size());
+    return wheel_.overflow_size();
   }
 
   // ---- Next-event merging ----
@@ -162,40 +132,8 @@ class EventClock {
   }
 
  private:
-  static constexpr std::size_t kMask = kRingSlots - 1;
-  static constexpr std::size_t kWords = kRingSlots / 64;
-
-  [[nodiscard]] static std::size_t slot_of(Time t) {
-    return static_cast<std::size_t>(t) & kMask;
-  }
-
-  /// Earliest ring entry's time: circular occupancy scan starting at now's
-  /// slot (slot order from there IS time order, by the ring invariant).
-  [[nodiscard]] Time ring_next_time() const {
-    if (size_ - static_cast<std::int64_t>(overflow_.size()) == 0)
-      return kNoTime;
-    const std::size_t s0 = slot_of(now_);
-    const std::size_t w0 = s0 >> 6;
-    const std::size_t b0 = s0 & 63;
-    for (std::size_t i = 0; i <= kWords; ++i) {
-      const std::size_t wi = (w0 + i) % kWords;
-      std::uint64_t w = occ_[wi];
-      if (i == 0) w &= ~std::uint64_t{0} << b0;
-      if (i == kWords) w &= b0 ? ~std::uint64_t{0} >> (64 - b0) : 0;
-      if (w == 0) continue;
-      const std::size_t s =
-          (wi << 6) + static_cast<std::size_t>(std::countr_zero(w));
-      return now_ + static_cast<Time>((s - s0) & kMask);
-    }
-    return kNoTime;  // unreachable while the ring count is > 0
-  }
-
   Time now_ = 0;
-  std::array<std::vector<TxnId>, kRingSlots> ring_;
-  std::array<std::uint64_t, kWords> occ_{};
-  MinHeap<TxnId> overflow_;
-  std::int64_t size_ = 0;
-  std::int64_t peak_ = 0;
+  TimingWheel<TxnId, kRingBits> wheel_;
 };
 
 }  // namespace dtm

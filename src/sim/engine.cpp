@@ -84,8 +84,22 @@ void SyncEngine::apply(std::span<const Assignment> assignments) {
     it->second.exec = a.exec;
     if (opts_.mode != Mode::kScan) {
       clock_.schedule(a.exec, a.txn);
-      for (const auto& acc : it->second.txn.accesses)
-        store_.obj_entry(acc.obj).sched.emplace(a.exec, a.txn);
+      for (const auto& acc : it->second.txn.accesses) {
+        auto& e = store_.obj_entry(acc.obj);
+        // A fresh entry can only lower the cached min; an empty heap means
+        // no live scheduled user existed, so the entry IS the min (see the
+        // ObjEntry invariant).
+        const bool was_empty = e.sched.empty();
+        e.sched.emplace(a.exec, a.txn);
+        if (was_empty ||
+            (e.best_user != kNoTxn &&
+             (a.exec < e.best_exec ||
+              (a.exec == e.best_exec && a.txn < e.best_user)))) {
+          e.best_user = a.txn;
+          e.best_exec = a.exec;
+          e.best_node = it->second.txn.node;
+        }
+      }
     }
   }
   // Re-route after all assignments land so each object sees the final

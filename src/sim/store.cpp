@@ -55,8 +55,16 @@ void TxnStore::commit(std::map<TxnId, LiveTxn>::iterator it, Time exec) {
   LiveTxn lt = std::move(it->second);
   const TxnId id = lt.txn.id;
   for (const auto& acc : lt.txn.accesses) {
-    auto& users = obj_entry(acc.obj).users;
-    users.erase(std::remove(users.begin(), users.end(), id), users.end());
+    auto& e = obj_entry(acc.obj);
+    e.users.erase(std::remove(e.users.begin(), e.users.end(), id),
+                  e.users.end());
+    if (e.best_user == id) {
+      // The cached reroute target was the committing transaction: the next
+      // lookup re-derives the min from the heap.
+      e.best_user = kNoTxn;
+      e.best_exec = kNoTime;
+      e.best_node = kNoNode;
+    }
   }
   committed_.push_back({std::move(lt.txn), exec});
   live_.erase(it);

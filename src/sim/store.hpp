@@ -30,11 +30,25 @@ class TxnStore {
   /// An object's whole record: state, its live users in generation order,
   /// and a lazily pruned min-heap of its *scheduled* users keyed by
   /// (exec, txn) — the transport's reroute target oracle.
+  ///
+  /// best_* is a memoized reroute target (PERF.md §8): when best_user is
+  /// set, (best_exec, best_user) IS the minimum (exec, id) over this
+  /// object's live scheduled users and best_node is that transaction's
+  /// home. Invariant maintenance: the engine improves it on every new
+  /// assignment (a fresh entry can only lower the min), commit() clears it
+  /// when the cached transaction commits (the only event that can remove
+  /// the min — any other commit removes a non-minimal user), and the
+  /// transport refreshes it from the heap when it is unset. An empty heap
+  /// implies an unset cache, so the O(1) hit path needs no staleness check;
+  /// kVerify cross-checks every lookup against the linear scan.
   struct ObjEntry {
     ObjId id = kNoObj;
     ObjectState state;
     std::vector<TxnId> users;
     EventClock::MinHeap<TxnId> sched;
+    TxnId best_user = kNoTxn;
+    Time best_exec = kNoTime;
+    NodeId best_node = kNoNode;
   };
 
   TxnStore(std::vector<ObjectOrigin> origins, const DistanceOracle& oracle);

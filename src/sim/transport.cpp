@@ -24,12 +24,23 @@ TxnId SyncObjectTransport::reroute_target_scan(
 }
 
 TxnId SyncObjectTransport::reroute_target_calendar(TxnStore::ObjEntry& e) {
-  // Entries go stale only when their transaction commits (assignments are
-  // irrevocable), so the first live top is the earliest scheduled user —
-  // the (exec, id) heap order reproduces the scan's tie-break exactly.
+  // O(1) hit path: the cache, when set, IS the min (exec, id) over live
+  // scheduled users (maintained by the engine on assignment and cleared by
+  // the store when the cached transaction commits — see ObjEntry).
+  if (e.best_user != kNoTxn) return e.best_user;
+  // Miss: re-derive from the heap. Entries go stale only when their
+  // transaction commits (assignments are irrevocable), so the first live
+  // top is the earliest scheduled user — the (exec, id) heap order
+  // reproduces the scan's tie-break exactly — and it refills the cache.
   while (!e.sched.empty()) {
-    const TxnId uid = e.sched.top().second;
-    if (store_->live().count(uid)) return uid;
+    const auto [exec, uid] = e.sched.top();
+    const auto it = store_->live().find(uid);
+    if (it != store_->live().end()) {
+      e.best_user = uid;
+      e.best_exec = exec;
+      e.best_node = it->second.txn.node;
+      return uid;
+    }
     e.sched.pop();
   }
   return kNoTxn;
@@ -64,8 +75,11 @@ void SyncObjectTransport::reroute_impl(TxnStore::ObjEntry& e, Time now,
   const NodeId old_to = was_transit ? e.state.dest() : kNoNode;
   const Time old_depart = was_transit ? e.state.depart_time() : kNoTime;
   const Time old_arrive = was_transit ? e.state.arrive_time() : kNoTime;
-  e.state.route_to(store_->live().at(best).txn.node, now, *oracle_,
-                   opts_.latency_factor);
+  // The cache carries the target's node, sparing the live-map lookup on the
+  // hot (calendar) path; the scan path derives best without the cache.
+  const NodeId dest = e.best_user == best ? e.best_node
+                                          : store_->live().at(best).txn.node;
+  e.state.route_to(dest, now, *oracle_, opts_.latency_factor);
   if (stalling_ && e.state.in_transit() &&
       (!was_transit || e.state.dest() != old_to ||
        e.state.depart_time() != old_depart ||

@@ -1,0 +1,134 @@
+#include "util/alloc.hpp"
+
+#ifdef DTM_ALLOC_TRACK
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace dtm {
+namespace {
+
+// Constant-initialized (no dynamic init), so the hooks are safe from the
+// first allocation of the process and during thread start-up.
+thread_local std::int64_t t_allocs = 0;
+thread_local std::int64_t t_frees = 0;
+thread_local std::int64_t t_bytes = 0;
+std::atomic<std::int64_t> g_allocs{0};
+std::atomic<std::int64_t> g_frees{0};
+std::atomic<std::int64_t> g_bytes{0};
+
+inline void count_alloc(std::size_t size) {
+  ++t_allocs;
+  t_bytes += static_cast<std::int64_t>(size);
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(static_cast<std::int64_t>(size),
+                    std::memory_order_relaxed);
+}
+
+inline void count_free() {
+  ++t_frees;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+}
+
+void* tracked_alloc(std::size_t size) {
+  count_alloc(size);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* tracked_alloc_aligned(std::size_t size, std::size_t align) {
+  count_alloc(size);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size ? size : 1) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+bool alloc_tracking_enabled() { return true; }
+
+AllocCounters thread_alloc_counters() { return {t_allocs, t_frees, t_bytes}; }
+
+AllocCounters global_alloc_counters() {
+  return {g_allocs.load(std::memory_order_relaxed),
+          g_frees.load(std::memory_order_relaxed),
+          g_bytes.load(std::memory_order_relaxed)};
+}
+
+}  // namespace dtm
+
+// Global replacements (must live outside any namespace). The full set —
+// array, nothrow, sized and aligned forms — so no allocation path bypasses
+// the counters.
+void* operator new(std::size_t size) { return dtm::tracked_alloc(size); }
+void* operator new[](std::size_t size) { return dtm::tracked_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return dtm::tracked_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return dtm::tracked_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  dtm::count_alloc(size);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  dtm::count_alloc(size);
+  return std::malloc(size ? size : 1);
+}
+
+void operator delete(void* p) noexcept {
+  if (p) dtm::count_free();
+  std::free(p);
+}
+void operator delete[](void* p) noexcept {
+  if (p) dtm::count_free();
+  std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  if (p) dtm::count_free();
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  if (p) dtm::count_free();
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  if (p) dtm::count_free();
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  if (p) dtm::count_free();
+  std::free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  if (p) dtm::count_free();
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  if (p) dtm::count_free();
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  if (p) dtm::count_free();
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  if (p) dtm::count_free();
+  std::free(p);
+}
+
+#else  // !DTM_ALLOC_TRACK
+
+namespace dtm {
+
+bool alloc_tracking_enabled() { return false; }
+AllocCounters thread_alloc_counters() { return {}; }
+AllocCounters global_alloc_counters() { return {}; }
+
+}  // namespace dtm
+
+#endif  // DTM_ALLOC_TRACK

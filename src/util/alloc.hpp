@@ -1,0 +1,55 @@
+// Allocation tracking — the memory-discipline measurement layer
+// (docs/PERF.md §8).
+//
+// Built with -DDTM_ALLOC_TRACK=ON, global operator new/delete are replaced
+// with counting wrappers: every allocation bumps a thread-local counter
+// (exact, race-free — the basis of the zero-allocs-per-step regression
+// pins) and a process-wide relaxed atomic (the serve stats' aggregate
+// view). Without the option the hooks vanish and every query returns
+// zeros with tracking_enabled() == false, so tests and benches can degrade
+// to skipping the assertion instead of failing.
+//
+// AllocScope is the RAII snapshot: construct it, run the region under
+// test, and read delta() — the allocations *this thread* performed inside
+// the scope. Counting is free of heap use itself, so scopes nest freely.
+#pragma once
+
+#include <cstdint>
+
+namespace dtm {
+
+struct AllocCounters {
+  std::int64_t allocs = 0;  ///< operator new calls
+  std::int64_t frees = 0;   ///< operator delete calls
+  std::int64_t bytes = 0;   ///< bytes requested through operator new
+};
+
+/// True when this build replaces global operator new/delete
+/// (-DDTM_ALLOC_TRACK=ON). Everything below reads zero otherwise.
+[[nodiscard]] bool alloc_tracking_enabled();
+
+/// This thread's counters since thread start.
+[[nodiscard]] AllocCounters thread_alloc_counters();
+
+/// Process-wide totals (relaxed atomics; exact once threads quiesce).
+[[nodiscard]] AllocCounters global_alloc_counters();
+
+/// RAII snapshot of the calling thread's counters.
+class AllocScope {
+ public:
+  AllocScope() : base_(thread_alloc_counters()) {}
+
+  /// Allocations this thread performed since construction.
+  [[nodiscard]] AllocCounters delta() const {
+    const AllocCounters now = thread_alloc_counters();
+    return {now.allocs - base_.allocs, now.frees - base_.frees,
+            now.bytes - base_.bytes};
+  }
+  [[nodiscard]] std::int64_t allocs() const { return delta().allocs; }
+  [[nodiscard]] std::int64_t bytes() const { return delta().bytes; }
+
+ private:
+  AllocCounters base_;
+};
+
+}  // namespace dtm

@@ -1,0 +1,241 @@
+// SmallVector — an inline-capacity vector for hot small collections
+// (docs/PERF.md §8).
+//
+// The messaging hot path moves many tiny collections per step (a reply's
+// conflicting-user list, a discovery's awaited objects); std::vector heap-
+// allocates every one of them. SmallVector keeps up to N elements in the
+// object itself and only spills to the heap beyond that, so the common case
+// allocates nothing and moving a message is a flat copy.
+//
+// Deliberate restrictions that keep it trivially relocatable:
+//   - elements must be trivially copyable (the payloads here are ids and
+//     (id, node) pairs) — growth and moves are memcpy, never element moves;
+//   - move *construction* steals a spilled buffer and copies inline ones;
+//     the source is left empty either way;
+//   - move *assignment* additionally reuses the target's existing heap
+//     capacity when the source fits in it — the freelist-recycling
+//     primitive: `pooled = std::move(reply.users)` parks a spill buffer,
+//     `reply.users = std::move(pooled)` revives it, and neither direction
+//     touches the allocator once capacities have warmed up;
+//   - clear() keeps capacity, exactly like std::vector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace dtm {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  // std::pair fails is_trivially_copyable on its non-trivial assignment
+  // operator, but memcpy relocation only needs trivial copy-construction
+  // and destruction — every byte-copied element is a *new* object.
+  static_assert(std::is_trivially_copy_constructible_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "SmallVector holds trivially relocatable payloads only "
+                "(growth and moves are memcpy)");
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(const SmallVector& o) { assign_copy(o); }
+
+  SmallVector(SmallVector&& o) noexcept { steal(std::move(o)); }
+
+  SmallVector& operator=(const SmallVector& o) {
+    if (this != &o) {
+      clear();
+      assign_copy(o);
+    }
+    return *this;
+  }
+
+  /// Move-assign: adopts a spilled source buffer outright; an inline-sized
+  /// source is copied into the target's *existing* storage (inline or a
+  /// previously grown heap buffer), so pool round-trips never free+realloc.
+  SmallVector& operator=(SmallVector&& o) noexcept {
+    if (this == &o) return *this;
+    if (o.spilled()) {
+      release();
+      heap_ = o.heap_;
+      capacity_ = o.capacity_;
+      size_ = o.size_;
+      o.heap_ = nullptr;
+      o.capacity_ = N;
+      o.size_ = 0;
+      return *this;
+    }
+    clear();
+    reserve(o.size_);
+    if (o.size_ > 0) raw_copy(data(), o.data(), o.size_);
+    size_ = o.size_;
+    o.size_ = 0;
+    return *this;
+  }
+
+  ~SmallVector() { release(); }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] static constexpr std::size_t inline_capacity() { return N; }
+  /// True when the elements live on the heap (inline capacity exceeded at
+  /// some point and not yet released).
+  [[nodiscard]] bool spilled() const { return heap_ != nullptr; }
+
+  [[nodiscard]] T* data() { return spilled() ? heap_ : inline_ptr(); }
+  [[nodiscard]] const T* data() const {
+    return spilled() ? heap_ : inline_ptr();
+  }
+
+  [[nodiscard]] iterator begin() { return data(); }
+  [[nodiscard]] iterator end() { return data() + size_; }
+  [[nodiscard]] const_iterator begin() const { return data(); }
+  [[nodiscard]] const_iterator end() const { return data() + size_; }
+
+  [[nodiscard]] T& operator[](std::size_t i) { return data()[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data()[i]; }
+
+  [[nodiscard]] T& back() { return data()[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return data()[size_ - 1]; }
+  [[nodiscard]] T& front() { return data()[0]; }
+  [[nodiscard]] const T& front() const { return data()[0]; }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) grow(size_ + 1);
+    ::new (static_cast<void*>(data() + size_)) T(v);
+    ++size_;
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow(size_ + 1);
+    T* slot =
+        ::new (static_cast<void*>(data() + size_)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    DTM_REQUIRE(size_ > 0, "pop_back on empty SmallVector");
+    --size_;
+  }
+
+  /// Keeps capacity (inline or spilled), exactly like std::vector::clear.
+  void clear() { size_ = 0; }
+
+  void resize(std::size_t n) {
+    if (n > capacity_) grow(n);
+    for (std::size_t i = size_; i < n; ++i)
+      ::new (static_cast<void*>(data() + i)) T();
+    size_ = n;
+  }
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow(n);
+  }
+
+  iterator erase(iterator pos) {
+    DTM_REQUIRE(pos >= begin() && pos < end(), "erase out of range");
+    if (pos + 1 != end())
+      std::memmove(static_cast<void*>(pos), static_cast<const void*>(pos + 1),
+                   static_cast<std::size_t>(end() - pos - 1) * sizeof(T));
+    --size_;
+    return pos;
+  }
+
+  [[nodiscard]] bool operator==(const SmallVector& o) const {
+    if (size_ != o.size_) return false;
+    for (std::size_t i = 0; i < size_; ++i)
+      if (!(data()[i] == o.data()[i])) return false;
+    return true;
+  }
+
+ private:
+  [[nodiscard]] T* inline_ptr() {
+    return std::launder(reinterpret_cast<T*>(inline_storage_));
+  }
+  [[nodiscard]] const T* inline_ptr() const {
+    return std::launder(reinterpret_cast<const T*>(inline_storage_));
+  }
+
+  /// memcpy with void* endpoints: the destination is raw storage about to
+  /// hold NEW objects (trivial copy-construction), which -Wclass-memaccess
+  /// cannot see through typed pointers. GCC's -Wstringop-overflow range
+  /// analysis also invents a grow() path where the fresh buffer is smaller
+  /// than size_ — impossible (cap starts at capacity_ >= size_ and only
+  /// doubles), so the warning is suppressed here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#endif
+  static void raw_copy(T* dst, const T* src, std::size_t n) {
+    std::memcpy(static_cast<void*>(dst), static_cast<const void*>(src),
+                n * sizeof(T));
+  }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+  void assign_copy(const SmallVector& o) {
+    reserve(o.size_);
+    if (o.size_ > 0) raw_copy(data(), o.data(), o.size_);
+    size_ = o.size_;
+  }
+
+  void steal(SmallVector&& o) noexcept {
+    if (o.spilled()) {
+      heap_ = o.heap_;
+      capacity_ = o.capacity_;
+      size_ = o.size_;
+      o.heap_ = nullptr;
+      o.capacity_ = N;
+      o.size_ = 0;
+      return;
+    }
+    if (o.size_ > 0) raw_copy(inline_ptr(), o.inline_ptr(), o.size_);
+    size_ = o.size_;
+    o.size_ = 0;
+  }
+
+  void grow(std::size_t need) {
+    std::size_t cap = capacity_;
+    while (cap < need) cap *= 2;
+    T* fresh = new T[cap];
+    if (size_ > 0) raw_copy(fresh, data(), size_);
+    release();
+    heap_ = fresh;
+    capacity_ = cap;
+  }
+
+  void release() {
+    delete[] heap_;
+    heap_ = nullptr;
+    capacity_ = N;
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* heap_ = nullptr;
+  std::size_t capacity_ = N;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dtm

@@ -1,0 +1,187 @@
+// TimingWheel — the shared ring-buffered event calendar (PERF.md §8,
+// ARCHITECTURE.md §11).
+//
+// PR 9 proved this shape for the engine's execution calendar: a ring of
+// kSlots buckets covers the near future [cursor, cursor + kSlots); an entry
+// at time t lives in bucket t mod kSlots, so insert and pop are O(1) array
+// appends with no heap percolation. Entries beyond the horizon park in a
+// small overflow min-heap and pop from there when due (no migration pass:
+// the due scan consults both structures). This header extracts that shape
+// so the EventClock and the distributed protocol's MessageBus — the two
+// busiest time-ordered queues in the system — share one implementation.
+//
+// Exactness rests on two invariants, both enforced here:
+//   - nothing is scheduled before the cursor, and the cursor only advances
+//     past a time once everything at it has been drained — so every
+//     resident ring entry's time is in [cursor, cursor + kSlots) and each
+//     bucket holds exactly ONE distinct time (no per-entry time field);
+//   - drain order is (time, insertion order). Within one time, every
+//     overflow entry predates every ring entry: an entry parks in overflow
+//     only while cursor <= t - kSlots, and lands in the ring only once
+//     cursor > t - kSlots — the cursor is monotone, so the overflow-first
+//     merge below reproduces exact insertion order. The overflow heap keys
+//     on (time, insertion seq) for the same reason.
+//
+// Slot vectors and the overflow heap keep their capacity across pops, so a
+// steady-state schedule → drain loop performs zero heap allocations once
+// warmed up — the property the DTM_ALLOC_TRACK pins assert.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/check.hpp"
+
+namespace dtm {
+
+template <typename T, std::size_t RingBits = 10>
+class TimingWheel {
+ public:
+  static constexpr std::size_t kSlots = std::size_t{1} << RingBits;
+
+  [[nodiscard]] Time cursor() const { return cursor_; }
+
+  /// Registers `v` at time `t` (>= cursor). O(1) amortized.
+  void schedule(Time t, T v) {
+    DTM_REQUIRE(t >= cursor_, "timing wheel: schedule(" << t
+                                                        << ") before cursor "
+                                                        << cursor_);
+    if (t - cursor_ < static_cast<Time>(kSlots)) {
+      const auto s = slot_of(t);
+      ring_[s].push_back(std::move(v));
+      occ_[s >> 6] |= std::uint64_t{1} << (s & 63);
+      ++ring_count_;
+    } else {
+      overflow_.push(Overflow{t, over_seq_++, std::move(v)});
+    }
+    ++size_;
+    if (size_ > peak_) peak_ = size_;
+  }
+
+  /// Earliest resident time, kNoTime if empty. O(kSlots / 64).
+  [[nodiscard]] Time next_time() const {
+    const Time ring = ring_next_time();
+    const Time over = overflow_.empty() ? kNoTime : overflow_.top().t;
+    if (ring == kNoTime) return over;
+    if (over == kNoTime) return ring;
+    return ring < over ? ring : over;
+  }
+
+  /// Pops every entry with time <= `t` into `out` (appending), in
+  /// (time, insertion) order, and advances the cursor to `t`. Equal-time
+  /// overflow entries come first — see the header invariant: they are
+  /// always the older inserts.
+  void drain_until(Time t, std::vector<T>& out) {
+    DTM_REQUIRE(t >= cursor_, "timing wheel: drain_until(" << t
+                                                           << ") before cursor "
+                                                           << cursor_);
+    while (true) {
+      const Time rt = ring_next_time();
+      const Time ot = overflow_.empty() ? kNoTime : overflow_.top().t;
+      // Overflow wins ties: at one time, overflow entries predate ring ones.
+      const bool from_over =
+          ot != kNoTime && (rt == kNoTime || ot <= rt);
+      const Time due = from_over ? ot : rt;
+      if (due == kNoTime || due > t) break;
+      if (from_over) {
+        out.push_back(std::move(const_cast<Overflow&>(overflow_.top()).v));
+        overflow_.pop();
+        --size_;
+      } else {
+        auto& bucket = ring_[slot_of(due)];
+        for (T& v : bucket) out.push_back(std::move(v));
+        const std::int64_t popped = static_cast<std::int64_t>(bucket.size());
+        bucket.clear();  // keeps capacity — the zero-alloc steady state
+        const auto s = slot_of(due);
+        occ_[s >> 6] &= ~(std::uint64_t{1} << (s & 63));
+        ring_count_ -= popped;
+        size_ -= popped;
+        // The cursor must move past this slot before the scan continues, or
+        // an equal slot one full turn ahead would alias. It cannot skip a
+        // due time: the next loop iteration re-derives the minimum.
+        cursor_ = due;
+      }
+    }
+    cursor_ = t;
+  }
+
+  /// Fast-forwards the cursor without popping; refuses to skip a due entry.
+  void advance_to(Time t) {
+    DTM_REQUIRE(t >= cursor_, "timing wheel: advance_to(" << t
+                                                          << ") before cursor "
+                                                          << cursor_);
+    const Time next = next_time();
+    DTM_CHECK(next == kNoTime || next >= t,
+              "timing wheel: advance_to(" << t << ") would skip entry at "
+                                          << next);
+    cursor_ = t;
+  }
+
+  // ---- Introspection (bounded-memory + zero-alloc evidence) ----
+
+  /// Entries currently resident (ring + overflow).
+  [[nodiscard]] std::int64_t size() const { return size_; }
+  /// High-water mark of size() over the wheel's lifetime.
+  [[nodiscard]] std::int64_t peak() const { return peak_; }
+  /// Entries parked beyond the ring horizon.
+  [[nodiscard]] std::int64_t overflow_size() const {
+    return static_cast<std::int64_t>(overflow_.size());
+  }
+
+ private:
+  static constexpr std::size_t kMask = kSlots - 1;
+  static constexpr std::size_t kWords = kSlots / 64;
+
+  struct Overflow {
+    Time t = kNoTime;
+    std::int64_t seq = 0;
+    T v;
+  };
+  struct Later {
+    bool operator()(const Overflow& a, const Overflow& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  [[nodiscard]] static std::size_t slot_of(Time t) {
+    return static_cast<std::size_t>(t) & kMask;
+  }
+
+  /// Earliest ring entry's time: circular occupancy scan starting at the
+  /// cursor's slot (slot order from there IS time order, by the ring
+  /// invariant).
+  [[nodiscard]] Time ring_next_time() const {
+    if (ring_count_ == 0) return kNoTime;
+    const std::size_t s0 = slot_of(cursor_);
+    const std::size_t w0 = s0 >> 6;
+    const std::size_t b0 = s0 & 63;
+    for (std::size_t i = 0; i <= kWords; ++i) {
+      const std::size_t wi = (w0 + i) % kWords;
+      std::uint64_t w = occ_[wi];
+      if (i == 0) w &= ~std::uint64_t{0} << b0;
+      if (i == kWords) w &= b0 ? ~std::uint64_t{0} >> (64 - b0) : 0;
+      if (w == 0) continue;
+      const std::size_t s =
+          (wi << 6) + static_cast<std::size_t>(std::countr_zero(w));
+      return cursor_ + static_cast<Time>((s - s0) & kMask);
+    }
+    return kNoTime;  // unreachable while ring_count_ > 0
+  }
+
+  Time cursor_ = 0;
+  std::array<std::vector<T>, kSlots> ring_;
+  std::array<std::uint64_t, kWords> occ_{};
+  std::priority_queue<Overflow, std::vector<Overflow>, Later> overflow_;
+  std::int64_t over_seq_ = 0;
+  std::int64_t ring_count_ = 0;
+  std::int64_t size_ = 0;
+  std::int64_t peak_ = 0;
+};
+
+}  // namespace dtm

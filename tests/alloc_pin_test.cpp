@@ -1,0 +1,168 @@
+// Zero-allocation regression pins for the messaging hot path (PERF.md §8).
+//
+// Built with -DDTM_ALLOC_TRACK=ON these tests assert, via the counting
+// operator new/delete hooks, that the steady-state send → drain loop — the
+// shape dist-bucket's pump_messages drives every step — performs ZERO heap
+// allocations once warmed up: wheel slots, drain scratch, and the reply
+// pool all retain capacity. Without the option the hooks read zero and the
+// assertions are skipped (the loops still run as smoke).
+//
+// An exact-zero pin needs the per-slot load pattern to be PERIODIC with a
+// period dividing the ring size: slot s serves times s, s + kSlots, ...,
+// so its capacity record stabilizes only once it has seen its maximum
+// load, and a pattern with period p | kSlots shows every slot its full
+// load set within one warmed turn. (Randomized traffic keeps setting rare
+// new per-slot records forever — allocs/step tends to zero but never
+// pins; bench_memory measures that asymptotic profile.) The traffic below
+// therefore derives everything from `now` through power-of-two masks.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dist/bus.hpp"
+#include "net/topology.hpp"
+#include "util/alloc.hpp"
+#include "util/timing_wheel.hpp"
+
+namespace dtm {
+namespace {
+
+constexpr Time kWarmupSteps =
+    2 * static_cast<Time>(TimingWheel<Message>::kSlots);
+constexpr Time kMeasuredSteps = 512;
+
+TEST(AllocPin, TimingWheelScheduleDrainLoopIsAllocationFree) {
+  TimingWheel<std::int64_t> wheel;
+  std::vector<std::int64_t> scratch;
+  const auto step = [&](Time now) {
+    for (int i = 0; i < 4; ++i)  // period-8 offset pattern, 8 | kSlots
+      wheel.schedule(now + ((now + i * 5) & 7), now + i);
+    scratch.clear();
+    wheel.drain_until(now, scratch);
+  };
+  Time now = 0;
+  for (; now < kWarmupSteps; ++now) step(now);
+
+  AllocScope scope;
+  for (; now < kWarmupSteps + kMeasuredSteps; ++now) step(now);
+  if (!alloc_tracking_enabled())
+    GTEST_SKIP() << "DTM_ALLOC_TRACK is OFF: counters read zero vacuously";
+  EXPECT_EQ(scope.allocs(), 0)
+      << "timing-wheel steady state allocated ("
+      << scope.allocs() << " allocs / " << kMeasuredSteps << " steps)";
+  EXPECT_EQ(scope.bytes(), 0);
+}
+
+TEST(AllocPin, BusSendDrainLoopIsAllocationFree) {
+  // The dist-bucket messaging step: a few probes, replies (inline user
+  // lists), and reports per step, drained into persistent scratch.
+  const Network net = make_line(10);
+  MessageBus bus(*net.oracle);
+  std::vector<Message> scratch;
+  const auto step = [&](Time now) {
+    // Deterministic period-16 endpoint pattern (16 | kSlots), so delivery
+    // times now + dist repeat per slot and capacities pin after warmup.
+    int pick = 0;
+    const auto node = [&] {
+      return static_cast<NodeId>(((now >> (pick++ & 3)) + pick) & 7);
+    };
+    bus.send(node(), node(), now,
+             ProbeMsg{static_cast<TxnId>(now), node(), 3, 0, now, 0});
+    ReplyMsg reply;
+    reply.requester = static_cast<TxnId>(now);
+    reply.object = 3;
+    reply.object_node = node();
+    reply.object_free_at = now + 5;
+    for (int u = 0; u < 4; ++u)  // within ReplyUsers inline capacity
+      reply.users.emplace_back(static_cast<TxnId>(now + u), node());
+    bus.send(node(), node(), now, std::move(reply));
+    bus.send(node(), node(), now, ReportMsg{static_cast<TxnId>(now), 0});
+    bus.drain_into(now, scratch);
+  };
+  Time now = 0;
+  for (; now < kWarmupSteps; ++now) step(now);
+
+  AllocScope scope;
+  for (; now < kWarmupSteps + kMeasuredSteps; ++now) step(now);
+  if (!alloc_tracking_enabled())
+    GTEST_SKIP() << "DTM_ALLOC_TRACK is OFF: counters read zero vacuously";
+  EXPECT_EQ(scope.allocs(), 0)
+      << "bus send->drain steady state allocated ("
+      << scope.allocs() << " allocs / " << kMeasuredSteps << " steps)";
+  EXPECT_EQ(scope.bytes(), 0);
+}
+
+TEST(AllocPin, SpilledReplyPoolRoundTripIsAllocationFree) {
+  // Replies whose user lists exceed the inline capacity spill to the heap;
+  // dist-bucket parks those buffers in a pool and revives them for the next
+  // reply. Once every pooled buffer has warmed to the working size, the
+  // round trip must not touch the allocator (SmallVector's move-assign
+  // reuses the revived buffer's capacity).
+  const Network net = make_line(10);
+  MessageBus bus(*net.oracle);
+  std::vector<Message> scratch;
+  std::vector<ReplyUsers> pool;
+  const std::size_t spill =
+      2 * ReplyUsers::inline_capacity();  // forces heap storage
+  const auto step = [&](Time now) {
+    ReplyMsg reply;
+    reply.requester = static_cast<TxnId>(now);
+    reply.object = 1;
+    if (!pool.empty()) {
+      reply.users = std::move(pool.back());
+      pool.pop_back();
+      reply.users.clear();
+    }
+    for (std::size_t u = 0; u < spill; ++u)
+      reply.users.emplace_back(static_cast<TxnId>(now + static_cast<Time>(u)),
+                               static_cast<NodeId>(u % 8));
+    // Period-16 endpoints (16 | kSlots) — see the header comment.
+    bus.send(static_cast<NodeId>(now & 7),
+             static_cast<NodeId>((now >> 1) & 7), now, std::move(reply));
+    bus.drain_into(now, scratch);
+    for (Message& m : scratch) {
+      auto* r = std::get_if<ReplyMsg>(&m.payload);
+      ASSERT_NE(r, nullptr);
+      EXPECT_EQ(r->users.size(), spill);
+      if (r->users.spilled() && pool.size() < 16)
+        pool.push_back(std::move(r->users));
+    }
+  };
+  Time now = 0;
+  for (; now < kWarmupSteps; ++now) step(now);
+
+  AllocScope scope;
+  for (; now < kWarmupSteps + kMeasuredSteps; ++now) step(now);
+  if (!alloc_tracking_enabled())
+    GTEST_SKIP() << "DTM_ALLOC_TRACK is OFF: counters read zero vacuously";
+  EXPECT_EQ(scope.allocs(), 0)
+      << "pooled spilled-reply loop allocated (" << scope.allocs()
+      << " allocs / " << kMeasuredSteps << " steps)";
+}
+
+TEST(AllocPin, CountersAgreeWithTrackingMode) {
+  // Sanity on the hooks themselves: when tracking is on, an explicit heap
+  // allocation is visible in the thread counters; when off, everything
+  // reads zero and enabled() says so.
+  AllocScope scope;
+  // Direct operator-new call: new-expression elision rules don't apply, so
+  // the optimizer cannot drop the allocation.
+  void* p = ::operator new(256);
+  const std::int64_t seen = scope.allocs();
+  ::operator delete(p);
+  if (alloc_tracking_enabled()) {
+    EXPECT_GE(seen, 1);
+    EXPECT_GE(scope.delta().frees, 1);
+    const AllocCounters global = global_alloc_counters();
+    EXPECT_GE(global.allocs, thread_alloc_counters().allocs);
+  } else {
+    EXPECT_EQ(seen, 0);
+    EXPECT_EQ(thread_alloc_counters().allocs, 0);
+    EXPECT_EQ(global_alloc_counters().allocs, 0);
+  }
+}
+
+}  // namespace
+}  // namespace dtm

@@ -1,0 +1,183 @@
+// Property tests for util/small_vector.hpp (PERF.md §8).
+//
+// SmallVector backs ReplyMsg::users and the dist-bucket discovery state:
+// correctness here is protocol correctness. The fuzz mirrors every
+// operation against std::vector; the pointed tests pin the inline/spill
+// boundary, the move semantics the reply pool depends on (spill adoption,
+// capacity reuse), and erase/clear behavior. The suite is the ASan/UBSan
+// gate for the placement-new + memcpy storage games.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/small_vector.hpp"
+
+namespace dtm {
+namespace {
+
+using Vec = SmallVector<std::int64_t, 4>;
+using PairVec = SmallVector<std::pair<std::int64_t, std::int32_t>, 2>;
+
+TEST(SmallVector, StaysInlineUpToCapacityThenSpills) {
+  Vec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), 4u);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    v.push_back(i * 10);
+    EXPECT_FALSE(v.spilled());
+  }
+  v.push_back(40);
+  EXPECT_TRUE(v.spilled());
+  EXPECT_GE(v.capacity(), 5u);
+  ASSERT_EQ(v.size(), 5u);
+  for (std::int64_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], i * 10);
+}
+
+TEST(SmallVector, ClearKeepsCapacityInlineAndSpilled) {
+  Vec v;
+  for (std::int64_t i = 0; i < 10; ++i) v.push_back(i);
+  const std::size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.spilled());
+  EXPECT_EQ(v.capacity(), cap);
+
+  Vec inl{1, 2};
+  inl.clear();
+  EXPECT_FALSE(inl.spilled());
+  EXPECT_EQ(inl.capacity(), 4u);
+}
+
+TEST(SmallVector, MoveConstructionStealsSpilledBuffer) {
+  Vec v;
+  for (std::int64_t i = 0; i < 8; ++i) v.push_back(i);
+  const std::int64_t* storage = v.data();
+  Vec w(std::move(v));
+  EXPECT_EQ(w.data(), storage);  // adopted, not copied
+  EXPECT_EQ(w.size(), 8u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(v.spilled());  // source reset to inline
+  v.push_back(99);            // and fully usable again
+  EXPECT_EQ(v[0], 99);
+}
+
+TEST(SmallVector, MoveAssignReusesTargetHeapCapacity) {
+  // The reply-pool round trip: park a spilled buffer, revive it, and the
+  // revived side keeps using the SAME heap block — no free + realloc.
+  Vec pooled;
+  for (std::int64_t i = 0; i < 8; ++i) pooled.push_back(i);
+  pooled.clear();
+  const std::int64_t* block = pooled.data();
+
+  Vec incoming{7, 8, 9};  // inline-sized source
+  pooled = std::move(incoming);
+  EXPECT_EQ(pooled.data(), block);  // reused the warmed capacity
+  ASSERT_EQ(pooled.size(), 3u);
+  EXPECT_EQ(pooled[0], 7);
+  EXPECT_EQ(pooled[2], 9);
+  EXPECT_TRUE(incoming.empty());
+}
+
+TEST(SmallVector, MoveAssignAdoptsSpilledSource) {
+  Vec src;
+  for (std::int64_t i = 0; i < 6; ++i) src.push_back(i);
+  const std::int64_t* storage = src.data();
+  Vec dst{1};
+  dst = std::move(src);
+  EXPECT_EQ(dst.data(), storage);
+  EXPECT_EQ(dst.size(), 6u);
+  EXPECT_TRUE(src.empty());
+  EXPECT_FALSE(src.spilled());
+}
+
+TEST(SmallVector, EraseShiftsAndPreservesOrder) {
+  Vec v{1, 2, 3, 4, 5};
+  auto it = v.erase(v.begin() + 1);
+  EXPECT_EQ(*it, 3);
+  EXPECT_EQ(v.size(), 4u);
+  it = v.erase(v.end() - 1);  // erase the back
+  EXPECT_EQ(it, v.end());
+  Vec want{1, 3, 4};
+  EXPECT_TRUE(v == want);
+}
+
+TEST(SmallVector, PopBackOnEmptyThrows) {
+  Vec v;
+  EXPECT_THROW(v.pop_back(), CheckError);
+}
+
+TEST(SmallVector, PairPayloadMatchesReplyUsersUsage) {
+  // std::pair is not trivially copyable (non-trivial assignment) but IS
+  // trivially copy-constructible + destructible — exactly the relocation
+  // contract. Exercise the real ReplyUsers shape across the spill boundary.
+  PairVec v;
+  for (std::int64_t i = 0; i < 5; ++i)
+    v.emplace_back(i * 3, static_cast<std::int32_t>(i));
+  EXPECT_TRUE(v.spilled());
+  PairVec w(v);  // deep copy
+  ASSERT_EQ(w.size(), 5u);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(w[i].first, i * 3);
+    EXPECT_EQ(w[i].second, i);
+  }
+  w[0].first = -1;
+  EXPECT_EQ(v[0].first, 0);  // independent storage
+}
+
+TEST(SmallVector, ResizeDefaultConstructsNewElements) {
+  Vec v{5};
+  v.resize(6);
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_EQ(v[0], 5);
+  for (std::size_t i = 1; i < 6; ++i) EXPECT_EQ(v[i], 0);
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(SmallVector, FuzzMirrorsStdVector) {
+  Rng rng(0x5eedULL);
+  for (int round = 0; round < 30; ++round) {
+    Vec small;
+    std::vector<std::int64_t> ref;
+    for (int op = 0; op < 300; ++op) {
+      const double r = rng.uniform01();
+      if (r < 0.5) {
+        const std::int64_t x = rng.uniform_int(-1000, 1000);
+        small.push_back(x);
+        ref.push_back(x);
+      } else if (r < 0.6 && !ref.empty()) {
+        small.pop_back();
+        ref.pop_back();
+      } else if (r < 0.7 && !ref.empty()) {
+        const auto i = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(ref.size()) - 1));
+        small.erase(small.begin() + i);
+        ref.erase(ref.begin() + static_cast<std::ptrdiff_t>(i));
+      } else if (r < 0.75) {
+        small.clear();
+        ref.clear();
+      } else if (r < 0.85) {
+        const auto n = static_cast<std::size_t>(rng.uniform_int(0, 12));
+        small.resize(n);
+        ref.resize(n);
+      } else if (r < 0.95) {
+        // Round-trip through a move (construction or assignment).
+        Vec tmp(std::move(small));
+        small = std::move(tmp);
+      } else {
+        Vec copy(small);
+        small = copy;  // self-consistent deep copy
+      }
+      ASSERT_EQ(small.size(), ref.size()) << "round " << round << " op " << op;
+      for (std::size_t i = 0; i < ref.size(); ++i)
+        ASSERT_EQ(small[i], ref[i]) << "round " << round << " op " << op;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtm

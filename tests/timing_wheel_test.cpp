@@ -1,0 +1,191 @@
+// Tests for util/timing_wheel.hpp — the shared ring calendar under the
+// EventClock and the wheel-backed MessageBus (ARCHITECTURE.md §11).
+//
+// The wheel's contract is exact (time, insertion-order) drain, ring or
+// overflow regardless: these tests drive it directly with adversarial
+// schedules — horizon-straddling times, slot aliasing one full turn ahead,
+// interleaved ring/overflow inserts at the same time — and cross-check
+// every drain against a naive stable-sorted reference. The steady-state
+// zero-allocation property is pinned separately in alloc_pin_test.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/timing_wheel.hpp"
+
+namespace dtm {
+namespace {
+
+using Wheel = TimingWheel<std::int64_t>;
+
+TEST(TimingWheel, EmptyWheelReportsNoTime) {
+  Wheel w;
+  EXPECT_EQ(w.next_time(), kNoTime);
+  EXPECT_EQ(w.size(), 0);
+  EXPECT_EQ(w.overflow_size(), 0);
+  std::vector<std::int64_t> out;
+  w.drain_until(100, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(w.cursor(), 100);
+}
+
+TEST(TimingWheel, DrainsInTimeThenInsertionOrder) {
+  Wheel w;
+  w.schedule(5, 50);
+  w.schedule(3, 30);
+  w.schedule(5, 51);  // same time, later insert: must follow 50
+  w.schedule(4, 40);
+  EXPECT_EQ(w.next_time(), 3);
+  std::vector<std::int64_t> out;
+  w.drain_until(5, out);
+  EXPECT_EQ(out, (std::vector<std::int64_t>{30, 40, 50, 51}));
+  EXPECT_EQ(w.size(), 0);
+}
+
+TEST(TimingWheel, DrainAppendsAndStopsAtTheBoundary) {
+  Wheel w;
+  w.schedule(1, 10);
+  w.schedule(2, 20);
+  w.schedule(3, 30);
+  std::vector<std::int64_t> out{99};
+  w.drain_until(2, out);  // inclusive boundary, appends after existing
+  EXPECT_EQ(out, (std::vector<std::int64_t>{99, 10, 20}));
+  EXPECT_EQ(w.size(), 1);
+  EXPECT_EQ(w.next_time(), 3);
+}
+
+TEST(TimingWheel, OverflowEntriesMigrateLogicallyAndDrainInOrder) {
+  Wheel w;
+  const Time far = static_cast<Time>(Wheel::kSlots) * 3 + 17;
+  w.schedule(far, 2);       // beyond horizon -> overflow
+  w.schedule(far + 1, 3);   // beyond horizon -> overflow
+  w.schedule(10, 1);        // near -> ring
+  EXPECT_EQ(w.overflow_size(), 2);
+  EXPECT_EQ(w.next_time(), 10);
+  std::vector<std::int64_t> out;
+  w.drain_until(far + 1, out);
+  EXPECT_EQ(out, (std::vector<std::int64_t>{1, 2, 3}));
+  EXPECT_EQ(w.overflow_size(), 0);
+}
+
+TEST(TimingWheel, OverflowPredatesRingAtTheSameTime) {
+  // An entry parks in overflow only while its time is beyond the horizon,
+  // so at any single time every overflow entry was inserted before every
+  // ring entry: the overflow-first tie-break reproduces insertion order.
+  Wheel w;
+  const Time t = static_cast<Time>(Wheel::kSlots) + 100;
+  w.schedule(t, 1);  // horizon is kSlots away: parks in overflow
+  std::vector<std::int64_t> out;
+  w.drain_until(200, out);  // cursor moves: t is now within the horizon
+  ASSERT_TRUE(out.empty());
+  w.schedule(t, 2);  // same time, later insert: lands in the ring
+  EXPECT_EQ(w.overflow_size(), 1);
+  w.drain_until(t, out);
+  EXPECT_EQ(out, (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(TimingWheel, SlotAliasingOneFullTurnAhead) {
+  // Times t and t + kSlots map to the same slot. Scheduling the far one
+  // after draining the near one must not resurrect the popped bucket early.
+  Wheel w;
+  w.schedule(4, 1);
+  std::vector<std::int64_t> out;
+  w.drain_until(4, out);
+  ASSERT_EQ(out, (std::vector<std::int64_t>{1}));
+  const Time aliased = 4 + static_cast<Time>(Wheel::kSlots);
+  w.schedule(aliased, 2);
+  EXPECT_EQ(w.next_time(), aliased);
+  out.clear();
+  w.drain_until(aliased - 1, out);
+  EXPECT_TRUE(out.empty());
+  w.drain_until(aliased, out);
+  EXPECT_EQ(out, (std::vector<std::int64_t>{2}));
+}
+
+TEST(TimingWheel, RejectsSchedulingBeforeCursor) {
+  Wheel w;
+  std::vector<std::int64_t> out;
+  w.drain_until(50, out);
+  EXPECT_THROW(w.schedule(49, 1), CheckError);
+  EXPECT_NO_THROW(w.schedule(50, 1));
+}
+
+TEST(TimingWheel, AdvanceRefusesToSkipDueEntries) {
+  Wheel w;
+  w.schedule(10, 1);
+  EXPECT_THROW(w.advance_to(11), CheckError);
+  w.advance_to(10);  // up to the due time is fine
+  EXPECT_EQ(w.cursor(), 10);
+  std::vector<std::int64_t> out;
+  w.drain_until(10, out);
+  EXPECT_EQ(out, (std::vector<std::int64_t>{1}));
+  w.advance_to(5000);
+  EXPECT_EQ(w.cursor(), 5000);
+}
+
+TEST(TimingWheel, PeakTracksHighWaterMark) {
+  Wheel w;
+  for (Time t = 0; t < 10; ++t) w.schedule(t + 1, t);
+  EXPECT_EQ(w.peak(), 10);
+  std::vector<std::int64_t> out;
+  w.drain_until(20, out);
+  w.schedule(21, 99);
+  EXPECT_EQ(w.peak(), 10);  // never decreases
+  EXPECT_EQ(w.size(), 1);
+}
+
+TEST(TimingWheel, FuzzAgainstStableSortReference) {
+  // Random interleavings of schedule / drain with times spanning several
+  // ring turns and deep overflow. The reference is the spec itself: stable
+  // sort by time over insertion order.
+  Rng rng(0xfeedULL);
+  for (int round = 0; round < 20; ++round) {
+    Wheel w;
+    std::vector<std::pair<Time, std::int64_t>> pending;  // (time, value)
+    std::vector<std::int64_t> got;
+    std::vector<std::int64_t> want;
+    Time now = 0;
+    std::int64_t next_val = 0;
+    for (int op = 0; op < 400; ++op) {
+      if (rng.uniform01() < 0.7) {
+        // Mostly near-future, with a fat tail far beyond the horizon.
+        const Time span = rng.uniform01() < 0.15
+                              ? static_cast<Time>(Wheel::kSlots) * 4
+                              : static_cast<Time>(Wheel::kSlots) / 2;
+        const Time t = now + rng.uniform_int(0, span);
+        w.schedule(t, next_val);
+        pending.emplace_back(t, next_val);
+        ++next_val;
+      } else {
+        now += rng.uniform_int(0, 200);
+        w.drain_until(now, got);
+        std::stable_sort(pending.begin(), pending.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first < b.first;
+                         });
+        auto it = pending.begin();
+        for (; it != pending.end() && it->first <= now; ++it)
+          want.push_back(it->second);
+        pending.erase(pending.begin(), it);
+        ASSERT_EQ(got, want) << "round " << round << " op " << op;
+      }
+    }
+    // Final flush: everything must come out, in (time, insertion) order.
+    now += static_cast<Time>(Wheel::kSlots) * 8;
+    w.drain_until(now, got);
+    std::stable_sort(
+        pending.begin(), pending.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [t, v] : pending) want.push_back(v);
+    ASSERT_EQ(got, want) << "round " << round << " final flush";
+    EXPECT_EQ(w.size(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace dtm
